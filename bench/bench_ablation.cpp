@@ -1,0 +1,247 @@
+// E13 — engineering ablations called out in DESIGN.md.
+//
+// Table 1: literal template (Algorithm 1 with level re-updates) vs cascade
+//   engine (each affected node finalized once): identical outputs, different
+//   work — Σ|S_i| vs nodes evaluated — and wall-clock per update.
+// Table 2: the §6 discussion — sequential per-update work scales with the
+//   average degree (the O(Δ) neighbor-notification term), while adjustments
+//   stay ~1.
+// Table 3: derived-structure overhead per G-change: direct MIS vs line-graph
+//   matching vs clique-expansion coloring vs direct greedy coloring.
+#include <chrono>
+#include <iostream>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "core/template_engine.hpp"
+#include "derived/dynamic_coloring.hpp"
+#include "derived/dynamic_matching.hpp"
+#include "derived/greedy_coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dmis;
+using util::OnlineStats;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto updates = static_cast<int>(cli.flag_int("updates", 400, "changes per row"));
+  cli.finish();
+
+  std::cout << "# E13a — template (literal Algorithm 1) vs cascade engine\n";
+  util::Table ab({"n", "engine", "E[work]/update", "E[adj]/update", "µs/update"});
+  for (const graph::NodeId n : {200U, 800U, 3200U}) {
+    util::Rng rng(n);
+    const auto g = graph::random_avg_degree(n, 8.0, rng);
+
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> toggles;
+    util::Rng toggle_rng(n * 3 + 1);
+    while (toggles.size() < static_cast<std::size_t>(updates)) {
+      const auto u = static_cast<graph::NodeId>(toggle_rng.below(n));
+      const auto v = static_cast<graph::NodeId>(toggle_rng.below(n));
+      if (u != v) toggles.emplace_back(u, v);
+    }
+
+    {
+      core::TemplateEngine engine(g, 42);
+      OnlineStats work;
+      OnlineStats adj;
+      const double start = now_us();
+      for (const auto& [u, v] : toggles) {
+        const auto rep = engine.graph().has_edge(u, v) ? engine.remove_edge(u, v)
+                                                       : engine.add_edge(u, v);
+        work.add(static_cast<double>(rep.s_memberships));
+        adj.add(static_cast<double>(rep.adjustments));
+      }
+      const double elapsed = now_us() - start;
+      ab.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell("template (Σ|S_i| updates)")
+          .cell(work.mean(), 3)
+          .cell(adj.mean(), 3)
+          .cell(elapsed / updates, 2);
+    }
+    {
+      core::CascadeEngine engine(g, 42);
+      OnlineStats work;
+      OnlineStats adj;
+      const double start = now_us();
+      for (const auto& [u, v] : toggles) {
+        const auto rep = engine.graph().has_edge(u, v) ? engine.remove_edge(u, v)
+                                                       : engine.add_edge(u, v);
+        work.add(static_cast<double>(rep.evaluated));
+        adj.add(static_cast<double>(rep.adjustments));
+      }
+      const double elapsed = now_us() - start;
+      ab.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell("cascade (nodes evaluated)")
+          .cell(work.mean(), 3)
+          .cell(adj.mean(), 3)
+          .cell(elapsed / updates, 2);
+    }
+  }
+  ab.print(std::cout);
+
+  std::cout << "\n# E13b — §6: sequential update work vs average degree "
+               "(adjustments stay ~1, work pays the O(Δ) term)\n";
+  util::Table deg_table({"avg degree", "E[evaluated]/update", "E[edges scanned]",
+                         "E[adjustments]"});
+  const graph::NodeId n = 2000;
+  for (const double deg : {2.0, 8.0, 32.0, 128.0}) {
+    util::Rng rng(static_cast<std::uint64_t>(deg) * 7 + 5);
+    const auto g = graph::random_avg_degree(n, deg, rng);
+    core::CascadeEngine engine(g, 4242);
+    OnlineStats evaluated;
+    OnlineStats scanned;
+    OnlineStats adj;
+    util::Rng toggle_rng(99);
+    for (int step = 0; step < updates; ++step) {
+      const auto u = static_cast<graph::NodeId>(toggle_rng.below(n));
+      const auto v = static_cast<graph::NodeId>(toggle_rng.below(n));
+      if (u == v) continue;
+      const auto rep = engine.graph().has_edge(u, v) ? engine.remove_edge(u, v)
+                                                     : engine.add_edge(u, v);
+      evaluated.add(static_cast<double>(rep.evaluated));
+      // Each evaluation scans the node's adjacency: ~deg edges.
+      scanned.add(static_cast<double>(rep.evaluated) * deg);
+      adj.add(static_cast<double>(rep.adjustments));
+    }
+    deg_table.row()
+        .cell(deg, 0)
+        .cell(evaluated.mean(), 3)
+        .cell(scanned.mean(), 1)
+        .cell(adj.mean(), 3);
+  }
+  deg_table.print(std::cout);
+
+  std::cout << "\n# E13c — derived structures: MIS adjustments per G edge-toggle\n";
+  util::Table derived_table({"structure", "E[adjustments]/change", "notes"});
+  {
+    const graph::NodeId dn = 300;
+    util::Rng rng(5);
+    OnlineStats direct;
+    OnlineStats matching_adj;
+    OnlineStats coloring_adj;
+    OnlineStats greedy_color_adj;
+
+    core::CascadeEngine mis_engine(7);
+    derived::DynamicMatching matching(7);
+    derived::DynamicColoring coloring(24, 7);
+    derived::GreedyColoringEngine greedy(7);
+    for (graph::NodeId v = 0; v < dn; ++v) {
+      (void)mis_engine.add_node();
+      (void)matching.add_node();
+      (void)coloring.add_node();
+      (void)greedy.add_node();
+    }
+    for (int step = 0; step < updates; ++step) {
+      const auto u = static_cast<graph::NodeId>(rng.below(dn));
+      const auto v = static_cast<graph::NodeId>(rng.below(dn));
+      if (u == v) continue;
+      if (mis_engine.graph().has_edge(u, v)) {
+        direct.add(static_cast<double>(mis_engine.remove_edge(u, v).adjustments));
+        matching.remove_edge(u, v);
+        coloring.remove_edge(u, v);
+        greedy_color_adj.add(
+            static_cast<double>(greedy.remove_edge(u, v).adjustments));
+      } else {
+        if (mis_engine.graph().degree(u) + 2 >= 24 ||
+            mis_engine.graph().degree(v) + 2 >= 24) {
+          continue;  // coloring palette guard
+        }
+        direct.add(static_cast<double>(mis_engine.add_edge(u, v).adjustments));
+        matching.add_edge(u, v);
+        coloring.add_edge(u, v);
+        greedy_color_adj.add(static_cast<double>(greedy.add_edge(u, v).adjustments));
+      }
+      matching_adj.add(static_cast<double>(matching.last_adjustments()));
+      coloring_adj.add(static_cast<double>(coloring.last_adjustments()));
+    }
+    derived_table.row().cell("direct MIS").cell(direct.mean(), 3).cell("Theorem 1");
+    derived_table.row()
+        .cell("matching (line graph)")
+        .cell(matching_adj.mean(), 3)
+        .cell("1 L(G)-node op per edge op");
+    derived_table.row()
+        .cell("coloring (clique expansion)")
+        .cell(coloring_adj.mean(), 3)
+        .cell("palette ops per edge op (§5: up to ~2Δ)");
+    derived_table.row()
+        .cell("coloring (direct random greedy)")
+        .cell(greedy_color_adj.mean(), 3)
+        .cell("ω(1) worst case, open problem in §5");
+  }
+  derived_table.print(std::cout);
+
+  std::cout << "\n# E13d — §6 open question: batches of simultaneous changes "
+               "(one repair pass) vs one-at-a-time\n";
+  util::Table batch_table({"batch size k", "E[adj] sequential", "E[adj] batched",
+                           "ratio", "E[evaluated] batched"});
+  {
+    const graph::NodeId bn = 500;
+    for (const int k : {1, 4, 16, 64}) {
+      OnlineStats seq_adj;
+      OnlineStats bat_adj;
+      OnlineStats bat_eval;
+      for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        util::Rng rng(seed * 7 + static_cast<std::uint64_t>(k));
+        const auto g = graph::random_avg_degree(bn, 6.0, rng);
+
+        // Draw k random edge toggles (consistent for both strategies).
+        std::vector<core::BatchOp> ops;
+        graph::DynamicGraph mirror = g;
+        while (ops.size() < static_cast<std::size_t>(k)) {
+          const auto u = static_cast<graph::NodeId>(rng.below(bn));
+          const auto v = static_cast<graph::NodeId>(rng.below(bn));
+          if (u == v) continue;
+          if (mirror.has_edge(u, v)) {
+            mirror.remove_edge(u, v);
+            ops.push_back(core::BatchOp::remove_edge(u, v));
+          } else {
+            mirror.add_edge(u, v);
+            ops.push_back(core::BatchOp::add_edge(u, v));
+          }
+        }
+
+        core::CascadeEngine sequential(g, seed);
+        std::uint64_t seq_total = 0;
+        for (const auto& op : ops) {
+          if (op.kind == core::BatchOp::Kind::kAddEdge)
+            seq_total += sequential.add_edge(op.u, op.v).adjustments;
+          else seq_total += sequential.remove_edge(op.u, op.v).adjustments;
+        }
+
+        core::CascadeEngine batched(g, seed);
+        const auto result = core::apply_batch(batched, ops);
+        seq_adj.add(static_cast<double>(seq_total));
+        bat_adj.add(static_cast<double>(result.report.adjustments));
+        bat_eval.add(static_cast<double>(result.report.evaluated));
+      }
+      batch_table.row()
+          .cell(static_cast<std::int64_t>(k))
+          .cell(seq_adj.mean(), 3)
+          .cell(bat_adj.mean(), 3)
+          .cell(seq_adj.mean() > 0 ? bat_adj.mean() / seq_adj.mean() : 1.0, 3)
+          .cell(bat_eval.mean(), 3);
+    }
+  }
+  batch_table.print(std::cout);
+  std::cout << "\n(the batch lands on the same structure with ≤ the sequential "
+               "adjustments: intermediate configurations are never "
+               "materialized — an empirical data point for §6's multi-change "
+               "open question)\n";
+  return 0;
+}

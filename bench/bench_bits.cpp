@@ -1,0 +1,79 @@
+// E11 — the O(1)-bits-per-broadcast refinement (§1.1, Métivier et al.).
+//
+// Table 1: one-shot comparisons — E[bits revealed] ≈ 4 regardless of how
+//   many nodes exist (each pair decides at a Geometric(1/2) prefix depth).
+// Table 2: a node ordering itself against d neighbors under the incremental
+//   prefix-sharing protocol — total bits grow like Θ(d) with a small
+//   constant, and the *per-neighbor* marginal cost stays O(1); contrast
+//   with naive 64-bit priority announcements.
+#include <iostream>
+
+#include "core/bit_priority.hpp"
+#include "graph/generators.hpp"
+#include "sim/message.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dmis;
+using core::BitPriority;
+using core::PairwiseBitOrder;
+using util::OnlineStats;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto trials = static_cast<int>(cli.flag_int("trials", 2000, "comparisons"));
+  cli.finish();
+
+  std::cout << "# E11 — lazy-bit priorities: bits per comparison "
+               "(paper: O(1) expected)\n";
+  util::Table table({"population", "E[bits/comparison] ± 95%", "p99 bits",
+                     "naive bits (64-bit keys)"});
+  for (const std::uint64_t population : {16ULL, 256ULL, 65536ULL}) {
+    OnlineStats bits;
+    util::Histogram hist;
+    util::Rng rng(population);
+    for (int t = 0; t < trials; ++t) {
+      const auto u = static_cast<graph::NodeId>(rng.below(population));
+      auto v = static_cast<graph::NodeId>(rng.below(population));
+      if (u == v) v = static_cast<graph::NodeId>((v + 1) % population);
+      const BitPriority a(7, u);
+      const BitPriority b(7, v);
+      const auto outcome = core::compare_bit_priorities(a, b);
+      bits.add(static_cast<double>(outcome.bits_revealed));
+      hist.add(static_cast<std::int64_t>(outcome.bits_revealed));
+    }
+    table.row()
+        .cell(population)
+        .cell_pm(bits.mean(), bits.ci95())
+        .cell(hist.quantile(0.99))
+        .cell(2 * static_cast<std::uint64_t>(sim::kLogNBits));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n# E11b — ordering a node against d neighbors "
+               "(incremental prefix sharing)\n";
+  util::Table nbr({"d", "E[total bits] ± 95%", "bits per neighbor",
+                   "naive bits ((d+1)·64)"});
+  for (const std::uint64_t d : {2ULL, 8ULL, 32ULL, 128ULL}) {
+    OnlineStats total;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      PairwiseBitOrder order(seed);
+      for (graph::NodeId v = 1; v <= d; ++v) (void)order.before(0, v);
+      total.add(static_cast<double>(order.total_bits()));
+    }
+    nbr.row()
+        .cell(d)
+        .cell_pm(total.mean(), total.ci95())
+        .cell(total.mean() / static_cast<double>(d), 3)
+        .cell((d + 1) * sim::kLogNBits);
+  }
+  nbr.print(std::cout);
+  std::cout << "\n(≈ 4 bits/comparison one-shot; amortized below 4 with prefix "
+               "sharing — versus 64-bit announcements)\n";
+  return 0;
+}

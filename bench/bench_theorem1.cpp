@@ -1,0 +1,141 @@
+// E1 — Theorem 1: E[|S|] ≤ 1 for every topology change.
+//
+// For each change type and each (n, avg-degree) configuration, applies one
+// fixed change to a fixed random graph under many independent random orders
+// (fresh priority seeds) and reports the empirical E[|S|], E[Σ|S_i|]
+// (state updates of the direct implementation), E[levels], E[adjustments]
+// and the largest |S| seen. The paper predicts E[|S|] ≤ 1 for all rows.
+#include <iostream>
+
+#include "core/template_engine.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dmis;
+using core::TemplateEngine;
+using core::TemplateReport;
+using util::OnlineStats;
+
+struct Row {
+  OnlineStats s_size;
+  OnlineStats memberships;
+  OnlineStats levels;
+  OnlineStats adjustments;
+  std::uint64_t max_s = 0;
+
+  void add(const TemplateReport& rep) {
+    s_size.add(static_cast<double>(rep.s_distinct));
+    memberships.add(static_cast<double>(rep.s_memberships));
+    levels.add(static_cast<double>(rep.levels));
+    adjustments.add(static_cast<double>(rep.adjustments));
+    max_s = std::max(max_s, rep.s_distinct);
+  }
+};
+
+template <typename ChangeFn>
+Row measure(const graph::DynamicGraph& g, int trials, ChangeFn&& change) {
+  Row row;
+  for (int t = 0; t < trials; ++t) {
+    TemplateEngine engine(g, 10'000 + static_cast<std::uint64_t>(t) * 13);
+    row.add(change(engine));
+  }
+  return row;
+}
+
+void emit(util::Table& table, const char* change, graph::NodeId n, double deg,
+          const Row& row) {
+  table.row()
+      .cell(std::string(change))
+      .cell(static_cast<std::uint64_t>(n))
+      .cell(deg, 0)
+      .cell_pm(row.s_size.mean(), row.s_size.ci95())
+      .cell(row.adjustments.mean(), 3)
+      .cell(row.memberships.mean(), 3)
+      .cell(row.levels.mean(), 3)
+      .cell(row.max_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto trials = static_cast<int>(cli.flag_int("trials", 300, "orders per row"));
+  const auto scale = cli.flag_double("scale", 1.0, "multiplier on graph sizes");
+  cli.finish();
+
+  std::cout << "# E1 — Theorem 1: expected |S| per topology change (paper: ≤ 1)\n";
+
+  util::Table table({"change", "n", "avg deg", "E[|S|] ± 95%", "E[adj]",
+                     "E[Σ|S_i|]", "E[levels]", "max |S|"});
+
+  const std::vector<graph::NodeId> sizes = {
+      static_cast<graph::NodeId>(100 * scale), static_cast<graph::NodeId>(400 * scale),
+      static_cast<graph::NodeId>(1600 * scale)};
+  for (const graph::NodeId n : sizes) {
+    for (const double deg : {5.0, 20.0}) {
+      util::Rng rng(n * 7 + static_cast<std::uint64_t>(deg));
+      const auto g = graph::random_avg_degree(n, deg, rng);
+
+      // Edge insertion between two fixed non-adjacent nodes.
+      graph::NodeId a = 0;
+      graph::NodeId b = 1;
+      while (g.has_edge(a, b)) ++b;
+      emit(table, "edge-insert", n, deg, measure(g, trials, [a, b](TemplateEngine& e) {
+             return e.add_edge(a, b);
+           }));
+
+      // Edge deletion of a fixed existing edge.
+      const auto edges = g.edges();
+      const auto [eu, ev] = edges[edges.size() / 2];
+      emit(table, "edge-delete", n, deg,
+           measure(g, trials, [eu = eu, ev = ev](TemplateEngine& e) {
+             return e.remove_edge(eu, ev);
+           }));
+
+      // Node insertion with a fixed attachment list.
+      std::vector<graph::NodeId> attach;
+      for (graph::NodeId v = 0; v < n; v += n / 8) attach.push_back(v);
+      emit(table, "node-insert", n, deg, measure(g, trials, [&attach](TemplateEngine& e) {
+             e.add_node(attach);
+             return e.last_report();
+           }));
+
+      // Node deletion of a fixed node.
+      const graph::NodeId victim = n / 2;
+      emit(table, "node-delete", n, deg, measure(g, trials, [victim](TemplateEngine& e) {
+             return e.remove_node(victim);
+           }));
+    }
+  }
+  table.print(std::cout);
+
+  // The heavy-tailed witness: the star. E[|S|] = 1 exactly, max |S| = n.
+  std::cout << "\n# E1b — star-center deletion: E[|S|] = 1 but the tail is Θ(n)\n";
+  util::Table star_table({"n", "E[|S|] ± 95%", "P(|S| = n)", "max |S|"});
+  for (const graph::NodeId n : {32U, 128U, 512U}) {
+    const auto g = graph::star(n);
+    OnlineStats s_size;
+    std::uint64_t full_flips = 0;
+    std::uint64_t max_s = 0;
+    const int star_trials = trials * 10;
+    for (int t = 0; t < star_trials; ++t) {
+      TemplateEngine engine(g, 999 + static_cast<std::uint64_t>(t));
+      const auto rep = engine.remove_node(0);
+      s_size.add(static_cast<double>(rep.s_distinct));
+      full_flips += rep.s_distinct == n ? 1 : 0;
+      max_s = std::max(max_s, rep.s_distinct);
+    }
+    star_table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell_pm(s_size.mean(), s_size.ci95())
+        .cell(static_cast<double>(full_flips) / star_trials, 4)
+        .cell(max_s);
+  }
+  star_table.print(std::cout);
+  std::cout << "\n(expected P(|S|=n) = 1/n: the deleted center was the MIS)\n";
+  return 0;
+}

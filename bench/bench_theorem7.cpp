@@ -1,0 +1,176 @@
+// E3 — Theorem 7: the full distributed implementation (Algorithm 2).
+//
+// Table 1: per change type — expected adjustments, rounds, broadcasts, bits.
+//   Paper: 1 adjustment, O(1) rounds for everything; O(1) broadcasts for
+//   edge insert/delete (graceful and abrupt), graceful node deletion and
+//   unmuting; O(d(v*)) broadcasts for node insertion.
+// Table 2: abrupt node deletion — broadcasts vs victim degree and n
+//   (Lemma 13: O(min{log n, d(v*)})).
+// Table 3: node insertion — broadcasts vs degree (Lemma 10: O(d(v*))).
+#include <iostream>
+
+#include "core/dist_mis.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dmis;
+using core::DeletionMode;
+using core::DistMis;
+using util::OnlineStats;
+
+struct CostRow {
+  OnlineStats adjustments;
+  OnlineStats rounds;
+  OnlineStats broadcasts;
+  OnlineStats bits;
+
+  void add(const sim::CostReport& cost) {
+    adjustments.add(static_cast<double>(cost.adjustments));
+    rounds.add(static_cast<double>(cost.rounds));
+    broadcasts.add(static_cast<double>(cost.broadcasts));
+    bits.add(static_cast<double>(cost.bits));
+  }
+};
+
+void emit(util::Table& table, const std::string& label, graph::NodeId n,
+          const CostRow& row) {
+  table.row()
+      .cell(label)
+      .cell(static_cast<std::uint64_t>(n))
+      .cell_pm(row.adjustments.mean(), row.adjustments.ci95())
+      .cell_pm(row.rounds.mean(), row.rounds.ci95())
+      .cell_pm(row.broadcasts.mean(), row.broadcasts.ci95())
+      .cell(row.bits.mean(), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto trials = static_cast<int>(cli.flag_int("trials", 120, "trials per row"));
+  const auto deg = cli.flag_double("deg", 8.0, "average degree of the base graph");
+  cli.finish();
+
+  std::cout << "# E3 — Theorem 7: Algorithm 2 costs per change type\n";
+  util::Table table({"change", "n", "E[adj] ± 95%", "E[rounds] ± 95%",
+                     "E[broadcasts] ± 95%", "E[bits]"});
+
+  for (const graph::NodeId n : {100U, 400U, 1600U}) {
+    CostRow rows[7];
+    for (int t = 0; t < trials; ++t) {
+      util::Rng rng(static_cast<std::uint64_t>(t) * 101 + n);
+      const auto g = graph::random_avg_degree(n, deg, rng);
+      const std::uint64_t seed = 7'000 + static_cast<std::uint64_t>(t) * 3;
+
+      {  // edge insertion
+        DistMis mis(g, seed);
+        graph::NodeId u = static_cast<graph::NodeId>(rng.below(n));
+        graph::NodeId v = static_cast<graph::NodeId>(rng.below(n));
+        if (u == v || g.has_edge(u, v)) {
+          u = 0;
+          v = 1;
+          while (g.has_edge(u, v)) ++v;
+        }
+        rows[0].add(mis.insert_edge(u, v).cost);
+      }
+      {  // graceful / abrupt edge deletion
+        const auto edges = g.edges();
+        const auto [u, v] = edges[rng.below(edges.size())];
+        DistMis graceful(g, seed);
+        rows[1].add(graceful.remove_edge(u, v, DeletionMode::kGraceful).cost);
+        DistMis abrupt(g, seed);
+        rows[2].add(abrupt.remove_edge(u, v, DeletionMode::kAbrupt).cost);
+      }
+      {  // node insertion (random attachments, ~deg of them)
+        DistMis mis(g, seed);
+        std::vector<graph::NodeId> attach;
+        for (graph::NodeId v = 0; v < n && attach.size() < deg; v += n / 16)
+          attach.push_back(v);
+        rows[3].add(mis.insert_node(attach).cost);
+      }
+      {  // unmute with the same attachments
+        DistMis mis(g, seed);
+        std::vector<graph::NodeId> attach;
+        for (graph::NodeId v = 0; v < n && attach.size() < deg; v += n / 16)
+          attach.push_back(v);
+        rows[4].add(mis.unmute_node(attach).cost);
+      }
+      {  // graceful / abrupt node deletion
+        const auto victim = static_cast<graph::NodeId>(rng.below(n));
+        DistMis graceful(g, seed);
+        rows[5].add(graceful.remove_node(victim, DeletionMode::kGraceful).cost);
+        DistMis abrupt(g, seed);
+        rows[6].add(abrupt.remove_node(victim, DeletionMode::kAbrupt).cost);
+      }
+    }
+    static const char* kLabels[7] = {
+        "edge-insert",        "edge-delete (graceful)", "edge-delete (abrupt)",
+        "node-insert",        "node-unmute",            "node-delete (graceful)",
+        "node-delete (abrupt)"};
+    for (int i = 0; i < 7; ++i) emit(table, kLabels[i], n, rows[i]);
+  }
+  table.print(std::cout);
+
+  // Lemma 13 scaling: abrupt deletion of a victim with controlled degree.
+  std::cout << "\n# E3b — abrupt node deletion: broadcasts vs victim degree "
+               "(paper: O(min{log n, d}))\n";
+  util::Table abrupt_table({"n", "d(victim)", "E[broadcasts] ± 95%",
+                            "E[rounds]", "E[adj]"});
+  for (const graph::NodeId n : {256U, 2048U}) {
+    for (const graph::NodeId d : {2U, 8U, 32U, 128U}) {
+      CostRow row;
+      for (int t = 0; t < trials; ++t) {
+        util::Rng rng(static_cast<std::uint64_t>(t) * 17 + d);
+        auto g = graph::random_avg_degree(n, 4.0, rng);
+        // Wire a dedicated victim to exactly d random nodes.
+        const graph::NodeId victim = g.add_node();
+        while (g.degree(victim) < d) {
+          const auto u = static_cast<graph::NodeId>(rng.below(n));
+          g.add_edge(victim, u);
+        }
+        DistMis mis(g, 9'000 + static_cast<std::uint64_t>(t));
+        row.add(mis.remove_node(victim, DeletionMode::kAbrupt).cost);
+      }
+      abrupt_table.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(d))
+          .cell_pm(row.broadcasts.mean(), row.broadcasts.ci95())
+          .cell(row.rounds.mean(), 2)
+          .cell(row.adjustments.mean(), 3);
+    }
+  }
+  abrupt_table.print(std::cout);
+
+  std::cout << "\n# E3c — node insertion: broadcasts vs degree (paper: O(d))\n";
+  util::Table insert_table({"n", "d(new node)", "E[broadcasts] ± 95%",
+                            "broadcasts − d", "E[rounds]"});
+  const graph::NodeId n = 1024;
+  for (const graph::NodeId d : {1U, 4U, 16U, 64U, 256U}) {
+    CostRow row;
+    for (int t = 0; t < trials; ++t) {
+      util::Rng rng(static_cast<std::uint64_t>(t) * 29 + d);
+      const auto g = graph::random_avg_degree(n, 4.0, rng);
+      std::vector<graph::NodeId> attach;
+      while (attach.size() < d) {
+        const auto u = static_cast<graph::NodeId>(rng.below(n));
+        bool fresh = true;
+        for (const auto w : attach) fresh &= w != u;
+        if (fresh) attach.push_back(u);
+      }
+      DistMis mis(g, 11'000 + static_cast<std::uint64_t>(t));
+      row.add(mis.insert_node(attach).cost);
+    }
+    insert_table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(d))
+        .cell_pm(row.broadcasts.mean(), row.broadcasts.ci95())
+        .cell(row.broadcasts.mean() - static_cast<double>(d), 2)
+        .cell(row.rounds.mean(), 2);
+  }
+  insert_table.print(std::cout);
+  return 0;
+}

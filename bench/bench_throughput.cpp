@@ -1,0 +1,141 @@
+// E12 — wall-clock throughput of the sequential engines (google-benchmark).
+//
+// Not a paper claim — an engineering datapoint for adopters: updates/sec of
+// the cascade engine across graph sizes and densities, the literal-template
+// comparison, and the derived structures' overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/cascade_engine.hpp"
+#include "core/greedy_mis.hpp"
+#include "core/template_engine.hpp"
+#include "derived/dynamic_matching.hpp"
+#include "derived/greedy_coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dmis;
+
+graph::DynamicGraph make_graph(graph::NodeId n, double deg) {
+  util::Rng rng(n * 31 + static_cast<std::uint64_t>(deg));
+  return graph::random_avg_degree(n, deg, rng);
+}
+
+void BM_CascadeEdgeToggle(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const double deg = static_cast<double>(state.range(1));
+  core::CascadeEngine engine(make_graph(n, deg), 7);
+  util::Rng rng(99);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (engine.graph().has_edge(u, v)) {
+      benchmark::DoNotOptimize(engine.remove_edge(u, v));
+    } else {
+      benchmark::DoNotOptimize(engine.add_edge(u, v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CascadeEdgeToggle)
+    ->Args({1'000, 8})
+    ->Args({10'000, 8})
+    ->Args({100'000, 8})
+    ->Args({10'000, 64});
+
+void BM_TemplateEdgeToggle(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  core::TemplateEngine engine(make_graph(n, 8.0), 7);
+  util::Rng rng(99);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (engine.graph().has_edge(u, v)) {
+      benchmark::DoNotOptimize(engine.remove_edge(u, v));
+    } else {
+      benchmark::DoNotOptimize(engine.add_edge(u, v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemplateEdgeToggle)->Arg(1'000)->Arg(10'000);
+
+void BM_NodeChurn(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  core::CascadeEngine engine(make_graph(n, 8.0), 11);
+  util::Rng rng(101);
+  std::vector<graph::NodeId> live = engine.graph().nodes();
+  for (auto _ : state) {
+    // Delete a random node, insert a replacement with ~8 attachments.
+    const std::size_t index = rng.below(live.size());
+    engine.remove_node(live[index]);
+    live[index] = live.back();
+    live.pop_back();
+    std::vector<graph::NodeId> attach;
+    for (int i = 0; i < 8; ++i) attach.push_back(live[rng.below(live.size())]);
+    std::sort(attach.begin(), attach.end());
+    attach.erase(std::unique(attach.begin(), attach.end()), attach.end());
+    live.push_back(engine.add_node(attach));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeChurn)->Arg(1'000)->Arg(10'000);
+
+void BM_MatchingEdgeToggle(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  derived::DynamicMatching matching(13);
+  for (graph::NodeId v = 0; v < n; ++v) (void)matching.add_node();
+  util::Rng rng(7);
+  // Warm up with ~4n edges.
+  for (graph::NodeId e = 0; e < 4 * n; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u != v && !matching.graph().has_edge(u, v)) matching.add_edge(u, v);
+  }
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (matching.graph().has_edge(u, v)) matching.remove_edge(u, v);
+    else matching.add_edge(u, v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchingEdgeToggle)->Arg(1'000)->Arg(10'000);
+
+void BM_GreedyColoringEdgeToggle(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  derived::GreedyColoringEngine engine(make_graph(n, 8.0), 17);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (engine.graph().has_edge(u, v)) {
+      benchmark::DoNotOptimize(engine.remove_edge(u, v));
+    } else {
+      benchmark::DoNotOptimize(engine.add_edge(u, v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GreedyColoringEdgeToggle)->Arg(1'000)->Arg(10'000);
+
+void BM_FromScratchGreedy(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = make_graph(n, 8.0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::PriorityMap pri(++seed);
+    benchmark::DoNotOptimize(core::greedy_mis(g, pri));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FromScratchGreedy)->Arg(1'000)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

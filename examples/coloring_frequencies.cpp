@@ -1,0 +1,80 @@
+// Dynamic frequency assignment for interfering access points.
+//
+// Access points that interfere must broadcast on different channels — a
+// proper coloring of the interference graph. This example maintains the
+// coloring two ways as the radio environment changes:
+//   * the paper's §5 reduction — dynamic MIS over the clique expansion
+//     (history independent, but pays the reduction overhead), and
+//   * the direct dynamic random-greedy coloring (also history independent;
+//     the paper notes its adjustment cost can reach Θ(Δ) and leaves closing
+//     that gap open).
+#include <iostream>
+
+#include "derived/dynamic_coloring.hpp"
+#include "derived/greedy_coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmis;
+  util::Cli cli(argc, argv);
+  const auto aps =
+      static_cast<graph::NodeId>(cli.flag_int("aps", 40, "access points"));
+  const auto channels =
+      static_cast<graph::NodeId>(cli.flag_int("channels", 12, "channel budget"));
+  const auto events = static_cast<int>(cli.flag_int("events", 250, "interference events"));
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 5, "rng seed"));
+  cli.finish();
+
+  util::Rng rng(seed);
+  derived::DynamicColoring reduction(channels, seed + 10);
+  derived::GreedyColoringEngine direct(seed + 10);
+  for (graph::NodeId v = 0; v < aps; ++v) {
+    (void)reduction.add_node();
+    (void)direct.add_node();
+  }
+
+  util::OnlineStats reduction_adj;
+  util::OnlineStats direct_adj;
+  for (int e = 0; e < events; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.below(aps));
+    const auto v = static_cast<graph::NodeId>(rng.below(aps));
+    if (u == v) continue;
+    if (reduction.graph().has_edge(u, v)) {
+      reduction.remove_edge(u, v);
+      direct_adj.add(static_cast<double>(direct.remove_edge(u, v).adjustments));
+    } else {
+      // Respect the channel budget: the reduction needs deg ≤ channels − 1.
+      if (reduction.graph().degree(u) + 2 >= channels ||
+          reduction.graph().degree(v) + 2 >= channels) {
+        continue;
+      }
+      reduction.add_edge(u, v);
+      direct_adj.add(static_cast<double>(direct.add_edge(u, v).adjustments));
+    }
+    reduction_adj.add(static_cast<double>(reduction.last_adjustments()));
+  }
+  reduction.verify();
+  direct.verify();
+
+  util::Table table({"assignment strategy", "channels used",
+                     "mean adjustments / event", "max adjustments / event"});
+  table.row()
+      .cell("MIS reduction (clique expansion)")
+      .cell(static_cast<std::uint64_t>(reduction.palette_used()))
+      .cell(reduction_adj.mean(), 3)
+      .cell(reduction_adj.max(), 0);
+  table.row()
+      .cell("direct random-greedy")
+      .cell(static_cast<std::uint64_t>(direct.palette_used()))
+      .cell(direct_adj.mean(), 3)
+      .cell(direct_adj.max(), 0);
+  table.print(std::cout);
+
+  std::cout << "\nboth colorings are proper (verified) and history independent; "
+               "the direct greedy usually needs fewer channel flips per event, "
+               "matching the paper's §5 discussion of the reduction's cost\n";
+  return 0;
+}

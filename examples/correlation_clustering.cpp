@@ -1,0 +1,83 @@
+// Dynamic correlation clustering of an evolving similarity graph.
+//
+// Nodes are items; an edge means "similar". The paper's pivot construction
+// (§1.1) turns the maintained MIS into a 3-approximate correlation
+// clustering: every MIS node anchors a cluster, and each remaining item
+// joins its earliest-ordered similar anchor. This example grows a
+// preferential-attachment similarity graph, then streams edits, tracking
+// cluster count, objective cost, and how few items get reassigned per edit.
+#include <iostream>
+
+#include "clustering/dynamic_clustering.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmis;
+  util::Cli cli(argc, argv);
+  const auto items =
+      static_cast<graph::NodeId>(cli.flag_int("items", 300, "number of items"));
+  const auto edits = static_cast<int>(cli.flag_int("edits", 500, "stream edits"));
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 3, "rng seed"));
+  cli.finish();
+
+  util::Rng rng(seed);
+  clustering::DynamicClustering dc(seed * 13 + 5);
+
+  // Build a preferential-attachment similarity graph through the dynamic API.
+  const auto blueprint = graph::barabasi_albert(items, 3, rng);
+  for (graph::NodeId v = 0; v < items; ++v) (void)dc.add_node();
+  for (const auto& [u, v] : blueprint.edges()) dc.add_edge(u, v);
+
+  const auto cluster_count = [&dc] {
+    return clustering::group_clusters(dc.graph(), dc.assignment()).size();
+  };
+  std::cout << "initial: " << items << " items, " << dc.graph().edge_count()
+            << " similarities, " << cluster_count() << " clusters, cost "
+            << dc.cost() << "\n\n";
+
+  util::OnlineStats reassigned;
+  util::OnlineStats mis_adjustments;
+  for (int e = 0; e < edits; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.below(items));
+    const auto v = static_cast<graph::NodeId>(rng.below(items));
+    if (u == v) continue;
+    if (dc.graph().has_edge(u, v)) dc.remove_edge(u, v);
+    else dc.add_edge(u, v);
+    reassigned.add(static_cast<double>(dc.last_reassigned()));
+    mis_adjustments.add(static_cast<double>(dc.mis().last_report().adjustments));
+  }
+  dc.verify();
+
+  util::Table table({"metric", "value"});
+  table.row().cell("edits applied").cell(reassigned.count());
+  table.row().cell("mean anchors adjusted / edit").cell(mis_adjustments.mean(), 3);
+  table.row().cell("mean items reassigned / edit").cell(reassigned.mean(), 3);
+  table.row().cell("max items reassigned in one edit").cell(reassigned.max(), 0);
+  table.row().cell("clusters now").cell(static_cast<std::uint64_t>(cluster_count()));
+  table.row().cell("objective cost now").cell(dc.cost());
+  table.print(std::cout);
+
+  // Show a few clusters.
+  std::cout << "\nsample clusters (pivot: members…):\n";
+  int shown = 0;
+  for (const auto& [pivot, members] :
+       clustering::group_clusters(dc.graph(), dc.assignment())) {
+    if (members.size() < 3 || ++shown > 4) continue;
+    std::cout << "  " << pivot << ":";
+    std::size_t printed = 0;
+    for (const auto m : members) {
+      std::cout << ' ' << m;
+      if (++printed == 8) {
+        std::cout << " …(" << members.size() << " total)";
+        break;
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\n(the clustering is history independent: it depends only on "
+               "the current similarity graph, so no edit order can bias it)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Task–worker pairing via dynamic maximal matching.
+//
+// Compatibility edges connect tasks and workers; a maximal matching pairs
+// them so that no compatible (task, worker) pair is left both idle. The
+// paper's composability result (§5) gives a *history-independent* dynamic
+// matching by running the dynamic MIS on the line graph. This example
+// streams task arrivals/completions and worker churn, and shows that each
+// event disturbs O(1) existing pairs in expectation — assignments are
+// stable, unlike a from-scratch rematch.
+#include <iostream>
+
+#include "derived/dynamic_matching.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmis;
+  util::Cli cli(argc, argv);
+  const auto workers =
+      static_cast<graph::NodeId>(cli.flag_int("workers", 60, "worker count"));
+  const auto events = static_cast<int>(cli.flag_int("events", 600, "stream events"));
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 7, "rng seed"));
+  cli.finish();
+
+  util::Rng rng(seed);
+  derived::DynamicMatching pairing(seed + 1);
+
+  std::vector<graph::NodeId> worker_ids;
+  for (graph::NodeId w = 0; w < workers; ++w) worker_ids.push_back(pairing.add_node());
+  std::vector<graph::NodeId> task_ids;
+
+  util::OnlineStats pairs_disturbed;
+  util::OnlineStats matched_fraction;
+
+  for (int e = 0; e < events; ++e) {
+    const double roll = rng.real01();
+    std::uint64_t disturbed = 0;
+    if (roll < 0.5 || task_ids.empty()) {
+      // Task arrives; it is compatible with ~4 random workers.
+      const auto task = pairing.add_node();
+      task_ids.push_back(task);
+      for (int i = 0; i < 4; ++i) {
+        const auto w = worker_ids[rng.below(worker_ids.size())];
+        if (!pairing.graph().has_edge(task, w)) {
+          pairing.add_edge(task, w);
+          disturbed += pairing.last_adjustments();
+        }
+      }
+    } else {
+      // Task completes (or is cancelled) and leaves.
+      const std::size_t index = rng.below(task_ids.size());
+      pairing.remove_node(task_ids[index]);
+      disturbed += pairing.last_adjustments();
+      task_ids[index] = task_ids.back();
+      task_ids.pop_back();
+    }
+    pairs_disturbed.add(static_cast<double>(disturbed));
+    if (!task_ids.empty()) {
+      std::size_t matched = 0;
+      for (const auto t : task_ids) matched += pairing.is_matched_node(t) ? 1 : 0;
+      matched_fraction.add(static_cast<double>(matched) /
+                           static_cast<double>(task_ids.size()));
+    }
+  }
+  pairing.verify();
+
+  util::Table table({"metric", "value"});
+  table.row().cell("events processed").cell(pairs_disturbed.count());
+  table.row().cell("open tasks now").cell(static_cast<std::uint64_t>(task_ids.size()));
+  table.row().cell("pairs now").cell(static_cast<std::uint64_t>(pairing.matching_size()));
+  table.row().cell("mean pair changes / event").cell(pairs_disturbed.mean(), 3);
+  table.row().cell("max pair changes / event").cell(pairs_disturbed.max(), 0);
+  table.row().cell("mean fraction of tasks matched").cell(matched_fraction.mean(), 3);
+  table.print(std::cout);
+  std::cout << "\n(maximality guarantee: whenever a compatible worker is idle, "
+               "the task is paired — and each event disturbs O(1) pairs in "
+               "expectation)\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "baselines/deterministic_mis.hpp"
+
+namespace dmis::baselines {
+
+DeterministicMis::DeterministicMis(const graph::DynamicGraph& g) : engine_(0) {
+  for (graph::NodeId v = 0; v < g.id_bound(); ++v) {
+    DMIS_ASSERT_MSG(g.has_node(v), "DeterministicMis requires a gap-free graph");
+    pin_next_key();
+    (void)engine_.add_node();
+  }
+  for (const auto& [u, v] : g.edges()) engine_.add_edge(u, v);
+}
+
+}  // namespace dmis::baselines

@@ -1,0 +1,54 @@
+// Deterministic dynamic greedy MIS — the lower-bound foil (paper §1.1).
+//
+// Identical machinery to CascadeEngine but with the deterministic order
+// π(v) = v (node id). The paper proves that for *any* deterministic dynamic
+// MIS algorithm there is a topology change forcing n adjustments: on the
+// complete bipartite graph K_{k,k}, deleting the MIS side node by node must
+// at some step flip the entire MIS to the other side. This class realizes
+// that behavior so the bench can contrast it with the randomized algorithm's
+// expected O(1) adjustments per change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cascade_engine.hpp"
+
+namespace dmis::baselines {
+
+class DeterministicMis {
+ public:
+  DeterministicMis() : engine_(0) {}
+
+  /// Build from a graph, ordering nodes by id.
+  explicit DeterministicMis(const graph::DynamicGraph& g);
+
+  core::NodeId add_node(const std::vector<core::NodeId>& neighbors = {}) {
+    pin_next_key();
+    return engine_.add_node(neighbors);
+  }
+  core::UpdateReport add_edge(core::NodeId u, core::NodeId v) {
+    return engine_.add_edge(u, v);
+  }
+  core::UpdateReport remove_edge(core::NodeId u, core::NodeId v) {
+    return engine_.remove_edge(u, v);
+  }
+  core::UpdateReport remove_node(core::NodeId v) { return engine_.remove_node(v); }
+
+  [[nodiscard]] bool in_mis(core::NodeId v) const { return engine_.in_mis(v); }
+  [[nodiscard]] const graph::DynamicGraph& graph() const { return engine_.graph(); }
+  [[nodiscard]] const core::UpdateReport& last_report() const {
+    return engine_.last_report();
+  }
+  void verify() const { engine_.verify(); }
+
+ private:
+  void pin_next_key() {
+    const core::NodeId next = engine_.graph().id_bound();
+    engine_.priorities().set_key(next, next);
+  }
+
+  core::CascadeEngine engine_;
+};
+
+}  // namespace dmis::baselines

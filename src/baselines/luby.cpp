@@ -1,0 +1,93 @@
+#include "baselines/luby.hpp"
+
+#include <unordered_map>
+
+namespace dmis::baselines {
+
+namespace {
+
+enum LubyMsg : std::uint8_t {
+  kValue = 1,  ///< a = drawn value                  (O(log n) bits)
+  kInMis = 2,  ///< winner announcement              (O(1) bits)
+  kOut = 3,    ///< dominated-node announcement      (O(1) bits)
+};
+
+enum class Status : std::uint8_t { kActive, kInMis, kOut };
+
+class LubyProtocol final : public sim::SyncProtocol {
+ public:
+  LubyProtocol(const graph::DynamicGraph& g, std::uint64_t seed) : rng_(seed) {
+    status_.resize(g.id_bound(), Status::kOut);
+    value_.resize(g.id_bound(), 0);
+    for (const NodeId v : g.nodes()) status_[v] = Status::kActive;
+  }
+
+  [[nodiscard]] std::vector<bool> membership() const {
+    std::vector<bool> out(status_.size(), false);
+    for (NodeId v = 0; v < status_.size(); ++v) out[v] = status_[v] == Status::kInMis;
+    return out;
+  }
+
+  void on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+                sim::SyncNetwork& net) override {
+    if (status_[v] != Status::kActive) return;
+    // Lockstep phase position derived from the global round counter.
+    const std::uint64_t step = (net.round() - 1) % 3;
+    switch (step) {
+      case 0: {  // draw + broadcast value
+        // Inbox only holds kOut announcements from the previous phase's
+        // step 2 — dropped-out neighbors simply stop sending values.
+        value_[v] = rng_.next_u64();
+        net.broadcast(v, {kValue, value_[v], 0}, sim::kLogNBits);
+        net.wake(v);
+        break;
+      }
+      case 1: {  // decide: strict local minimum among active neighbors wins
+        bool winner = true;
+        for (const auto& d : inbox) {
+          if (d.msg.kind != kValue) continue;
+          if (core::priority_before(d.msg.a, d.from, value_[v], v)) winner = false;
+        }
+        if (winner) {
+          status_[v] = Status::kInMis;
+          net.broadcast(v, {kInMis, 0, 0}, sim::kStateBits);
+          // Done: no further wakes for this node.
+        } else {
+          net.wake(v);
+        }
+        break;
+      }
+      case 2: {  // drop out next to a fresh MIS node
+        bool dominated = false;
+        for (const auto& d : inbox) dominated |= d.msg.kind == kInMis;
+        if (dominated) {
+          status_[v] = Status::kOut;
+          net.broadcast(v, {kOut, 0, 0}, sim::kStateBits);
+        } else {
+          net.wake(v);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<Status> status_;
+  std::vector<std::uint64_t> value_;
+};
+
+}  // namespace
+
+LubyResult luby_mis(const graph::DynamicGraph& g, std::uint64_t seed) {
+  sim::SyncNetwork net;
+  net.comm() = g;
+  LubyProtocol proto(g, seed);
+  for (const NodeId v : g.nodes()) net.wake(v);
+  net.run(proto);
+  return {proto.membership(), net.cost()};
+}
+
+}  // namespace dmis::baselines

@@ -1,0 +1,37 @@
+// Luby's classic randomized distributed MIS [43] — the static baseline.
+//
+// Phases of three synchronous rounds, run in lockstep by all still-active
+// nodes: (1) every active node draws a fresh random value and broadcasts it;
+// (2) a node whose value is a strict local minimum among its active
+// neighbors joins the MIS and announces it; (3) nodes adjacent to a new MIS
+// node drop out and announce that. O(log n) phases with high probability.
+//
+// The paper's point of comparison: re-running a static algorithm like this
+// after every topology change costs Θ(log n) rounds and Θ(n) broadcasts per
+// change, and the fresh randomness reshuffles the whole MIS (no output
+// stability) — versus the dynamic algorithm's expected O(1) everything.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "sim/cost_report.hpp"
+#include "sim/sync_network.hpp"
+#include "util/rng.hpp"
+
+namespace dmis::baselines {
+
+using graph::NodeId;
+
+struct LubyResult {
+  std::vector<bool> in_mis;  ///< indexed by node id
+  sim::CostReport cost;      ///< rounds and broadcasts of the full run
+};
+
+/// Run Luby's algorithm on `g` over a simulated synchronous network.
+[[nodiscard]] LubyResult luby_mis(const graph::DynamicGraph& g, std::uint64_t seed);
+
+}  // namespace dmis::baselines

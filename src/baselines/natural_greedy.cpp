@@ -1,0 +1,162 @@
+#include "baselines/natural_greedy.hpp"
+
+#include <algorithm>
+
+#include "graph/graph_stats.hpp"
+
+namespace dmis::baselines {
+
+bool NaturalGreedyMis::has_mis_neighbor(NodeId v) const {
+  for (const NodeId u : g_.neighbors(v))
+    if (in_mis_[u]) return true;
+  return false;
+}
+
+NodeId NaturalGreedyMis::add_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = g_.add_node();
+  in_mis_.resize(g_.id_bound(), false);
+  for (const NodeId u : neighbors) g_.add_edge(v, u);
+  in_mis_[v] = !has_mis_neighbor(v);
+  return v;
+}
+
+void NaturalGreedyMis::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  if (in_mis_[u] && in_mis_[v]) {
+    // Minimal local fix: demote the later-created endpoint, then re-promote
+    // any of its neighbors left undominated.
+    const NodeId demoted = u < v ? v : u;
+    in_mis_[demoted] = false;
+    repair_around({demoted});
+  }
+}
+
+void NaturalGreedyMis::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  repair_around({u, v});
+}
+
+void NaturalGreedyMis::remove_node(NodeId v) {
+  const std::vector<NodeId> former = g_.neighbors(v);
+  const bool was_member = in_mis_[v];
+  g_.remove_node(v);
+  in_mis_[v] = false;
+  if (was_member) repair_around(former);
+}
+
+void NaturalGreedyMis::repair_around(const std::vector<NodeId>& candidates) {
+  std::vector<NodeId> frontier;
+  for (const NodeId c : candidates) {
+    if (g_.has_node(c)) frontier.push_back(c);
+    if (g_.has_node(c))
+      for (const NodeId w : g_.neighbors(c)) frontier.push_back(w);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+  for (const NodeId w : frontier)
+    if (!in_mis_[w] && !has_mis_neighbor(w)) in_mis_[w] = true;
+}
+
+std::unordered_set<NodeId> NaturalGreedyMis::mis_set() const {
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : g_.nodes())
+    if (in_mis_[v]) out.insert(v);
+  return out;
+}
+
+void NaturalGreedyMis::verify() const {
+  DMIS_ASSERT_MSG(graph::is_maximal_independent_set(g_, mis_set()),
+                  "natural greedy structure is not an MIS");
+}
+
+NodeId NaturalGreedyMatching::add_node() {
+  const NodeId v = g_.add_node();
+  partner_.resize(g_.id_bound(), graph::kInvalidNode);
+  return v;
+}
+
+void NaturalGreedyMatching::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  if (partner_[u] == graph::kInvalidNode && partner_[v] == graph::kInvalidNode) {
+    partner_[u] = v;
+    partner_[v] = u;
+  }
+}
+
+void NaturalGreedyMatching::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  if (partner_[u] == v) {
+    partner_[u] = graph::kInvalidNode;
+    partner_[v] = graph::kInvalidNode;
+    repair_around({u, v});
+  }
+}
+
+void NaturalGreedyMatching::remove_node(NodeId v) {
+  const std::vector<NodeId> former = g_.neighbors(v);
+  const NodeId mate = partner_[v];
+  g_.remove_node(v);
+  partner_[v] = graph::kInvalidNode;
+  if (mate != graph::kInvalidNode) {
+    partner_[mate] = graph::kInvalidNode;
+    repair_around({mate});
+  }
+  repair_around(former);
+}
+
+void NaturalGreedyMatching::repair_around(const std::vector<NodeId>& candidates) {
+  std::vector<NodeId> frontier;
+  for (const NodeId c : candidates)
+    if (g_.has_node(c)) frontier.push_back(c);
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+  for (const NodeId w : frontier) {
+    if (partner_[w] != graph::kInvalidNode) continue;
+    for (const NodeId x : g_.neighbors(w)) {
+      if (partner_[x] == graph::kInvalidNode) {
+        partner_[w] = x;
+        partner_[x] = w;
+        break;
+      }
+    }
+  }
+}
+
+bool NaturalGreedyMatching::is_matched(NodeId v) const {
+  return v < partner_.size() && partner_[v] != graph::kInvalidNode;
+}
+
+std::vector<std::pair<NodeId, NodeId>> NaturalGreedyMatching::matching() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const NodeId v : g_.nodes())
+    if (partner_[v] != graph::kInvalidNode && v < partner_[v])
+      out.emplace_back(v, partner_[v]);
+  return out;
+}
+
+std::size_t NaturalGreedyMatching::matching_size() const { return matching().size(); }
+
+void NaturalGreedyMatching::verify() const {
+  DMIS_ASSERT_MSG(graph::is_maximal_matching(g_, matching()),
+                  "natural greedy matching is not maximal");
+}
+
+std::vector<NodeId> first_fit_coloring(const graph::DynamicGraph& g,
+                                       const std::vector<NodeId>& order) {
+  constexpr NodeId kUncolored = graph::kInvalidNode;
+  std::vector<NodeId> color(g.id_bound(), kUncolored);
+  for (const NodeId v : order) {
+    std::vector<bool> used;
+    for (const NodeId u : g.neighbors(v)) {
+      if (color[u] == kUncolored) continue;
+      if (used.size() <= color[u]) used.resize(color[u] + 1, false);
+      used[color[u]] = true;
+    }
+    NodeId c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+}  // namespace dmis::baselines

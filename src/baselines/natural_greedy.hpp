@@ -1,0 +1,88 @@
+// "Natural" history-dependent baselines (paper §5).
+//
+// The paper contrasts its history-independent algorithm with "the natural
+// algorithm ... the greedy algorithm that gives every new node or edge the
+// best value that is possible without making any global changes". For any
+// feasible output there is a pattern of topology changes forcing the natural
+// algorithm to produce it — so an adversary controls the result entirely.
+//
+// Three such baselines back the §5 examples:
+//  * NaturalGreedyMis — a new node joins the MIS iff it has no MIS neighbor;
+//    local-only repairs on deletions (Example 1: a star grown center-first
+//    keeps MIS = {center}, size 1, versus random-greedy's Θ(n)).
+//  * NaturalGreedyMatching — a new edge is matched iff both endpoints are
+//    free (Example 2: 3-edge paths grown middle-edge-first give n/4 instead
+//    of the random-greedy 5n/12).
+//  * first_fit_coloring — nodes colored first-fit in arrival order
+//    (Example 3: K_{k,k} minus a perfect matching grown alternately needs
+//    Θ(n) colors, versus random-greedy's 2 with probability 1 − 1/n).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::baselines {
+
+using graph::NodeId;
+
+class NaturalGreedyMis {
+ public:
+  NodeId add_node(const std::vector<NodeId>& neighbors = {});
+  void add_edge(NodeId u, NodeId v);
+  void remove_edge(NodeId u, NodeId v);
+  void remove_node(NodeId v);
+
+  [[nodiscard]] bool in_mis(NodeId v) const {
+    return v < in_mis_.size() && in_mis_[v];
+  }
+  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+
+  /// Abort if the maintained set is not a maximal independent set.
+  void verify() const;
+
+ private:
+  [[nodiscard]] bool has_mis_neighbor(NodeId v) const;
+  /// Promote any neighbor of a demoted/removed node that is now undominated
+  /// (in ascending id order — deterministic, local, history-dependent).
+  void repair_around(const std::vector<NodeId>& candidates);
+
+  graph::DynamicGraph g_;
+  std::vector<bool> in_mis_;
+};
+
+class NaturalGreedyMatching {
+ public:
+  NodeId add_node();
+  void add_edge(NodeId u, NodeId v);
+  void remove_edge(NodeId u, NodeId v);
+  void remove_node(NodeId v);
+
+  [[nodiscard]] bool is_matched(NodeId v) const;
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> matching() const;
+  [[nodiscard]] std::size_t matching_size() const;
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+
+  /// Abort if the maintained matching is not maximal.
+  void verify() const;
+
+ private:
+  /// Try to match both endpoints of every currently-unmatched edge at the
+  /// given nodes (local repair after a deletion).
+  void repair_around(const std::vector<NodeId>& candidates);
+
+  graph::DynamicGraph g_;
+  /// partner_[v] = matched partner or kInvalidNode.
+  std::vector<NodeId> partner_;
+};
+
+/// First-fit coloring in the given arrival order: each node receives the
+/// smallest color unused by its already-colored neighbors. Returns colors
+/// indexed by node id.
+[[nodiscard]] std::vector<NodeId> first_fit_coloring(const graph::DynamicGraph& g,
+                                                     const std::vector<NodeId>& order);
+
+}  // namespace dmis::baselines

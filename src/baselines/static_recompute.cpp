@@ -1,0 +1,41 @@
+#include "baselines/static_recompute.hpp"
+
+namespace dmis::baselines {
+
+StaticRecomputeMis::StaticRecomputeMis(const graph::DynamicGraph& g, std::uint64_t seed)
+    : g_(g), seeds_(seed) {
+  membership_ = luby_mis(g_, seeds_.next_u64()).in_mis;
+}
+
+sim::CostReport StaticRecomputeMis::apply(const workload::GraphOp& op) {
+  using workload::OpKind;
+  switch (op.kind) {
+    case OpKind::kAddNode:
+    case OpKind::kUnmuteNode: {
+      const NodeId v = g_.add_node();
+      for (const NodeId u : op.neighbors) g_.add_edge(v, u);
+      break;
+    }
+    case OpKind::kAddEdge:
+      g_.add_edge(op.u, op.v);
+      break;
+    case OpKind::kRemoveEdgeGraceful:
+    case OpKind::kRemoveEdgeAbrupt:
+      g_.remove_edge(op.u, op.v);
+      break;
+    case OpKind::kRemoveNodeGraceful:
+    case OpKind::kRemoveNodeAbrupt:
+      g_.remove_node(op.u);
+      break;
+  }
+  LubyResult result = luby_mis(g_, seeds_.next_u64());
+  sim::CostReport cost = result.cost;
+  for (const NodeId v : g_.nodes()) {
+    const bool before = v < membership_.size() && membership_[v];
+    if (before != result.in_mis[v]) ++cost.adjustments;
+  }
+  membership_ = std::move(result.in_mis);
+  return cost;
+}
+
+}  // namespace dmis::baselines

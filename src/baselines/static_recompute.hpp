@@ -1,0 +1,39 @@
+// Static-recompute baseline: after every topology change, re-run a static
+// distributed MIS algorithm (Luby) from scratch on the whole graph.
+//
+// This is the standard way to handle dynamics with a static algorithm
+// (paper §1, [5, 6, 40]); it is correct but pays Θ(log n) rounds and Θ(n)
+// broadcasts per change, and — because each run uses fresh randomness — it
+// has no output stability: the adjustment count per change is typically
+// Θ(n) rather than the dynamic algorithm's expected 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/luby.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::baselines {
+
+class StaticRecomputeMis {
+ public:
+  StaticRecomputeMis(const graph::DynamicGraph& g, std::uint64_t seed);
+
+  /// Apply one topology change: mutate the graph, re-run Luby from scratch,
+  /// and report that run's cost plus the realized adjustments (symmetric
+  /// difference between the old and new MIS over surviving nodes).
+  sim::CostReport apply(const workload::GraphOp& op);
+
+  [[nodiscard]] bool in_mis(NodeId v) const {
+    return v < membership_.size() && membership_[v];
+  }
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+
+ private:
+  graph::DynamicGraph g_;
+  std::vector<bool> membership_;
+  util::Rng seeds_;
+};
+
+}  // namespace dmis::baselines

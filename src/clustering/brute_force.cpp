@@ -1,0 +1,70 @@
+#include "clustering/brute_force.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmis::clustering {
+
+namespace {
+
+/// Recursive enumeration of restricted-growth strings with incremental cost.
+///
+/// Nodes are assigned to blocks in index order; placing node i into block b
+/// adds, for every already-placed node j: +1 if i,j are adjacent and in
+/// different blocks, +1 if non-adjacent and in the same block. Branches that
+/// already exceed the best known cost are pruned.
+class PartitionSearch {
+ public:
+  explicit PartitionSearch(std::vector<std::vector<bool>> adjacent)
+      : adjacent_(std::move(adjacent)),
+        n_(adjacent_.size()),
+        block_of_(n_, 0),
+        best_(~0ULL) {}
+
+  std::uint64_t run() {
+    recurse(0, 0, 0);
+    return best_;
+  }
+
+ private:
+  void recurse(std::size_t i, std::size_t blocks_used, std::uint64_t cost) {
+    if (cost >= best_) return;
+    if (i == n_) {
+      best_ = cost;
+      return;
+    }
+    for (std::size_t b = 0; b <= blocks_used && b < n_; ++b) {
+      std::uint64_t added = 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        const bool same = block_of_[j] == b;
+        if (adjacent_[i][j] != same) ++added;  // disagreement pair
+      }
+      block_of_[i] = b;
+      recurse(i + 1, std::max(blocks_used, b + 1), cost + added);
+    }
+  }
+
+  std::vector<std::vector<bool>> adjacent_;
+  std::size_t n_;
+  std::vector<std::size_t> block_of_;
+  std::uint64_t best_;
+};
+
+}  // namespace
+
+std::uint64_t optimal_correlation_cost(const graph::DynamicGraph& g,
+                                       std::size_t max_nodes) {
+  const std::vector<graph::NodeId> nodes = g.nodes();
+  DMIS_ASSERT_MSG(nodes.size() <= max_nodes,
+                  "graph too large for exhaustive partition search");
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<bool>> adjacent(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      adjacent[i][j] = adjacent[j][i] = g.has_edge(nodes[i], nodes[j]);
+  return PartitionSearch(std::move(adjacent)).run();
+}
+
+}  // namespace dmis::clustering

@@ -1,0 +1,20 @@
+// Exact correlation clustering by exhaustive partition enumeration.
+//
+// Enumerates all set partitions of the live nodes (restricted growth
+// strings), evaluating the correlation objective for each — the Bell-number
+// blow-up limits this to small graphs (n ≤ 12, B(12) ≈ 4.2M), which is
+// exactly what the 3-approximation bench (E5) needs for its OPT denominator.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::clustering {
+
+/// Cost of an optimal correlation clustering of g. Aborts if g has more than
+/// `max_nodes` live nodes (guard against accidental exponential blow-up).
+[[nodiscard]] std::uint64_t optimal_correlation_cost(const graph::DynamicGraph& g,
+                                                     std::size_t max_nodes = 12);
+
+}  // namespace dmis::clustering

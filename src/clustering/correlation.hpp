@@ -1,0 +1,38 @@
+// Correlation clustering via random-greedy pivots (paper §1.1, §2;
+// Ailon, Charikar, Newman [1]).
+//
+// Each MIS node induces a cluster; every non-MIS node joins the cluster of
+// its earliest-ordered (smallest ℓ) MIS neighbor — which exists by
+// maximality. Because the MIS is the random-greedy MIS, this is exactly the
+// ACN "pivot" algorithm, whose expected cost is at most 3·OPT for the
+// complete-information correlation clustering objective:
+//
+//   cost(C) = #{edges across clusters} + #{non-adjacent pairs inside clusters}
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::clustering {
+
+using graph::NodeId;
+
+/// Cluster assignment indexed by node id: the pivot (MIS node) of each live
+/// node; kInvalidNode for dead ids.
+[[nodiscard]] std::vector<NodeId> pivot_assignment(const graph::DynamicGraph& g,
+                                                   const core::PriorityMap& priorities,
+                                                   const std::vector<bool>& in_mis);
+
+/// The correlation-clustering objective for an assignment.
+[[nodiscard]] std::uint64_t correlation_cost(const graph::DynamicGraph& g,
+                                             const std::vector<NodeId>& cluster_of);
+
+/// Clusters as pivot → member list (members include the pivot).
+[[nodiscard]] std::unordered_map<NodeId, std::vector<NodeId>> group_clusters(
+    const graph::DynamicGraph& g, const std::vector<NodeId>& cluster_of);
+
+}  // namespace dmis::clustering

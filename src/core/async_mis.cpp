@@ -1,0 +1,209 @@
+#include "core/async_mis.hpp"
+
+namespace dmis::core {
+
+AsyncMisProtocol::Local& AsyncMisProtocol::local(NodeId v) {
+  DMIS_ASSERT_MSG(v < nodes_.size() && nodes_[v].exists, "no such async node");
+  return nodes_[v];
+}
+
+void AsyncMisProtocol::create_node(NodeId v, std::uint64_t key, bool in_mis) {
+  if (nodes_.size() <= v) nodes_.resize(static_cast<std::size_t>(v) + 1);
+  DMIS_ASSERT(!nodes_[v].exists);
+  Local fresh;
+  fresh.exists = true;
+  fresh.key = key;
+  fresh.in_mis = in_mis;
+  nodes_[v] = std::move(fresh);
+}
+
+void AsyncMisProtocol::destroy_node(NodeId v) { local(v) = Local{}; }
+
+void AsyncMisProtocol::learn_neighbor(NodeId v, NodeId u, std::uint64_t key,
+                                      bool in_mis) {
+  local(v).view[u] = NeighborInfo{key, in_mis};
+}
+
+void AsyncMisProtocol::forget_neighbor(NodeId v, NodeId u) { local(v).view.erase(u); }
+
+bool AsyncMisProtocol::in_mis(NodeId v) const {
+  return v < nodes_.size() && nodes_[v].exists && nodes_[v].in_mis;
+}
+
+bool AsyncMisProtocol::wants_mis(const Local& me, NodeId my_id) const {
+  for (const auto& [u, info] : me.view)
+    if (info.in_mis && priority_before(info.key, u, me.key, my_id)) return false;
+  return true;
+}
+
+void AsyncMisProtocol::reevaluate(NodeId v, sim::AsyncNetwork& net) {
+  Local& me = local(v);
+  if (me.awaiting_hellos > 0) return;  // §4.1: wait for all introductions
+  const bool wants = wants_mis(me, v);
+  if (wants == me.in_mis) return;
+  me.in_mis = wants;
+  net.broadcast(v, {kAState, 0, wants ? 1ULL : 0ULL}, sim::kStateBits);
+}
+
+void AsyncMisProtocol::on_message(NodeId v, const sim::Delivery& d,
+                                  sim::AsyncNetwork& net) {
+  if (v >= nodes_.size() || !nodes_[v].exists) return;
+  Local& me = nodes_[v];
+  switch (d.msg.kind) {
+    case kAHello: {
+      // Introduction that requests a reply (a joining node's announcement).
+      me.view[d.from] = NeighborInfo{d.msg.a, d.msg.b != 0};
+      net.broadcast(v, {kAHelloReply, me.key, me.in_mis ? 1ULL : 0ULL},
+                    sim::kLogNBits);
+      reevaluate(v, net);
+      break;
+    }
+    case kAHelloReply: {
+      me.view[d.from] = NeighborInfo{d.msg.a, d.msg.b != 0};
+      if (me.awaiting_hellos > 0) --me.awaiting_hellos;
+      reevaluate(v, net);
+      break;
+    }
+    case kAState: {
+      const auto it = me.view.find(d.from);
+      if (it == me.view.end()) break;  // stale sender
+      it->second.in_mis = d.msg.b != 0;
+      reevaluate(v, net);
+      break;
+    }
+    case kASysEdgeNew: {
+      // Both endpoints announce themselves; no reply needed — the peer's own
+      // announcement carries its information.
+      net.broadcast(v, {kAHelloReply, me.key, me.in_mis ? 1ULL : 0ULL},
+                    sim::kLogNBits);
+      break;
+    }
+    case kASysEdgeGone:
+    case kASysRetired: {
+      me.view.erase(d.from);
+      reevaluate(v, net);
+      break;
+    }
+    case kASysJoin: {
+      me.awaiting_hellos = d.msg.a;
+      if (me.awaiting_hellos == 0) {
+        reevaluate(v, net);  // isolated node: joins the MIS immediately
+      } else {
+        net.broadcast(v, {kAHello, me.key, me.in_mis ? 1ULL : 0ULL}, sim::kLogNBits);
+      }
+      break;
+    }
+    case kASysUnmute: {
+      // View was granted (the node listened while muted): settle directly
+      // and announce presence + final state in one broadcast.
+      me.in_mis = wants_mis(me, v);
+      net.broadcast(v, {kAHelloReply, me.key, me.in_mis ? 1ULL : 0ULL},
+                    sim::kLogNBits);
+      break;
+    }
+    default:
+      DMIS_ASSERT_MSG(false, "unknown async message kind");
+  }
+}
+
+AsyncMis::AsyncMis(const graph::DynamicGraph& g, std::uint64_t priority_seed,
+                   std::uint64_t scheduler_seed, std::uint64_t max_delay)
+    : logical_(g), priorities_(priority_seed), net_(scheduler_seed, max_delay) {
+  net_.comm() = g;
+  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
+  for (const NodeId v : logical_.nodes())
+    protocol_.create_node(v, priorities_.key(v), oracle[v]);
+  for (const auto& [u, v] : logical_.edges()) {
+    protocol_.learn_neighbor(u, v, priorities_.key(v), oracle[v]);
+    protocol_.learn_neighbor(v, u, priorities_.key(u), oracle[u]);
+  }
+}
+
+std::vector<bool> AsyncMis::snapshot() const {
+  std::vector<bool> out(logical_.id_bound(), false);
+  for (const NodeId v : logical_.nodes()) out[v] = protocol_.in_mis(v);
+  return out;
+}
+
+AsyncMis::ChangeResult AsyncMis::run_change(NodeId node) {
+  const std::vector<bool> before = snapshot();
+  net_.reset_cost();
+  net_.run(protocol_);
+  ChangeResult result;
+  result.node = node;
+  result.cost = net_.cost();
+  const std::vector<bool> after = snapshot();
+  for (NodeId v = 0; v < after.size(); ++v) {
+    const bool pre = v < before.size() && before[v];
+    if (pre != after[v]) ++result.cost.adjustments;
+  }
+  return result;
+}
+
+AsyncMis::ChangeResult AsyncMis::insert_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(logical_.add_edge(u, v));
+  net_.comm().add_edge(u, v);
+  net_.inject(u, v, {kASysEdgeNew, 0, 0});
+  net_.inject(v, u, {kASysEdgeNew, 0, 0});
+  return run_change();
+}
+
+AsyncMis::ChangeResult AsyncMis::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(logical_.remove_edge(u, v));
+  net_.comm().remove_edge(u, v);
+  net_.inject(u, v, {kASysEdgeGone, 0, 0});
+  net_.inject(v, u, {kASysEdgeGone, 0, 0});
+  return run_change();
+}
+
+NodeId AsyncMis::materialize_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = logical_.add_node();
+  const NodeId comm_id = net_.comm().add_node();
+  DMIS_ASSERT_MSG(comm_id == v, "logical and communication graphs diverged");
+  for (const NodeId u : neighbors) {
+    logical_.add_edge(v, u);
+    net_.comm().add_edge(v, u);
+  }
+  protocol_.create_node(v, priorities_.ensure(v), false);
+  return v;
+}
+
+AsyncMis::ChangeResult AsyncMis::insert_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = materialize_node(neighbors);
+  net_.inject(v, v, {kASysJoin, neighbors.size(), 0});
+  return run_change(v);
+}
+
+AsyncMis::ChangeResult AsyncMis::unmute_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = materialize_node(neighbors);
+  for (const NodeId u : neighbors)
+    protocol_.learn_neighbor(v, u, priorities_.key(u), protocol_.in_mis(u));
+  net_.inject(v, v, {kASysUnmute, 0, 0});
+  return run_change(v);
+}
+
+AsyncMis::ChangeResult AsyncMis::remove_node(NodeId v) {
+  DMIS_ASSERT(logical_.has_node(v));
+  const std::vector<NodeId> former = logical_.neighbors(v);
+  logical_.remove_node(v);
+  net_.comm().remove_node(v);
+  protocol_.destroy_node(v);
+  for (const NodeId u : former) net_.inject(u, v, {kASysRetired, 0, 0});
+  return run_change();
+}
+
+std::unordered_set<NodeId> AsyncMis::mis_set() const {
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : logical_.nodes())
+    if (protocol_.in_mis(v)) out.insert(v);
+  return out;
+}
+
+void AsyncMis::verify() {
+  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
+  for (const NodeId v : logical_.nodes())
+    DMIS_ASSERT_MSG(protocol_.in_mis(v) == oracle[v],
+                    "async MIS diverged from the greedy oracle");
+}
+
+}  // namespace dmis::core

@@ -1,0 +1,118 @@
+// AsyncMis — the direct asynchronous implementation of the template
+// (paper Corollary 6): in the asynchronous model the algorithm needs, in
+// expectation, a single adjustment and a single "round", where the round
+// complexity of an asynchronous execution is the longest causal chain of
+// messages.
+//
+// Each node keeps its state (M / M̄), its priority, and a view of its
+// neighbors' priorities and states. Whenever anything in its view changes,
+// a node recomputes the MIS invariant locally — it should be in M iff no
+// earlier-ordered live neighbor is in M — and if its state must change it
+// flips and broadcasts the new state. States may flip transiently while
+// information is in flight; because a node's correct state depends only on
+// strictly earlier-ordered nodes, the relaxation settles bottom-up in π
+// order and quiesces with the exact random-greedy MIS.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/greedy_mis.hpp"
+#include "core/priority.hpp"
+#include "sim/async_network.hpp"
+
+namespace dmis::core {
+
+/// Message kinds for the async protocol.
+enum AsyncMsg : std::uint8_t {
+  kAHello = 1,      ///< a = priority, b = in_mis     (O(log n) bits)
+  kAHelloReply = 2, ///< a = priority, b = in_mis     (O(log n) bits)
+  kAState = 3,      ///< b = in_mis                   (O(1) bits)
+  kASysEdgeNew = 10,
+  kASysEdgeGone = 11,
+  kASysRetired = 12,
+  kASysJoin = 13,    ///< a = number of introductions to await (§4.1)
+  kASysUnmute = 14,
+};
+
+class AsyncMisProtocol final : public sim::AsyncProtocol {
+ public:
+  void create_node(NodeId v, std::uint64_t key, bool in_mis);
+  void destroy_node(NodeId v);
+  void learn_neighbor(NodeId v, NodeId u, std::uint64_t key, bool in_mis);
+  void forget_neighbor(NodeId v, NodeId u);
+
+  [[nodiscard]] bool exists(NodeId v) const {
+    return v < nodes_.size() && nodes_[v].exists;
+  }
+  [[nodiscard]] bool in_mis(NodeId v) const;
+
+  void on_message(NodeId v, const sim::Delivery& d, sim::AsyncNetwork& net) override;
+
+ private:
+  struct NeighborInfo {
+    std::uint64_t key = 0;
+    bool in_mis = false;
+  };
+  struct Local {
+    bool exists = false;
+    bool in_mis = false;
+    std::uint64_t key = 0;
+    std::uint64_t awaiting_hellos = 0;  ///< §4.1 join: reply count outstanding
+    std::unordered_map<NodeId, NeighborInfo> view;
+  };
+
+  [[nodiscard]] Local& local(NodeId v);
+  [[nodiscard]] bool wants_mis(const Local& me, NodeId my_id) const;
+  /// Re-evaluate the invariant; broadcast iff the state flips.
+  void reevaluate(NodeId v, sim::AsyncNetwork& net);
+
+  std::vector<Local> nodes_;
+};
+
+/// Driver for the async algorithm; mirrors core::DistMis for the four
+/// logical changes plus unmuting (deletions are abrupt-style: the model's
+/// graceful/abrupt distinction only affects relaying, which the direct
+/// implementation never uses).
+class AsyncMis {
+ public:
+  AsyncMis(std::uint64_t priority_seed, std::uint64_t scheduler_seed,
+           std::uint64_t max_delay = 8)
+      : priorities_(priority_seed), net_(scheduler_seed, max_delay) {}
+
+  AsyncMis(const graph::DynamicGraph& g, std::uint64_t priority_seed,
+           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8);
+
+  struct ChangeResult {
+    NodeId node = graph::kInvalidNode;
+    sim::CostReport cost;  ///< .rounds = longest causal chain of the recovery
+  };
+
+  ChangeResult insert_edge(NodeId u, NodeId v);
+  ChangeResult remove_edge(NodeId u, NodeId v);
+  ChangeResult insert_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult unmute_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult remove_node(NodeId v);
+
+  [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
+  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
+  [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
+
+  /// Abort unless outputs equal the sequential random-greedy oracle.
+  void verify();
+
+ private:
+  ChangeResult run_change(NodeId node = graph::kInvalidNode);
+  NodeId materialize_node(const std::vector<NodeId>& neighbors);
+  [[nodiscard]] std::vector<bool> snapshot() const;
+
+  graph::DynamicGraph logical_;
+  PriorityMap priorities_;
+  sim::AsyncNetwork net_;
+  AsyncMisProtocol protocol_;
+};
+
+}  // namespace dmis::core

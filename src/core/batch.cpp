@@ -1,0 +1,51 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+
+namespace dmis::core {
+
+BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) {
+  BatchResult result;
+  std::vector<NodeId> seeds;
+
+  // Seeding rule: for every touched edge, the later-ordered endpoint (the
+  // only node an edge change can break, §3); for every inserted node, the
+  // node itself; for every deleted node, all of its former neighbors (the
+  // later-ordered ones may have been freed; seeding the earlier ones too is
+  // a harmless no-op evaluation). Seeds that end up deleted by a later op
+  // in the same batch are skipped by the repair pass.
+  const auto seed_edge = [&](NodeId u, NodeId v) {
+    seeds.push_back(engine.priorities().before(u, v) ? v : u);
+  };
+
+  for (const BatchOp& op : ops) {
+    switch (op.kind) {
+      case BatchOp::Kind::kAddEdge:
+        engine.raw_add_edge(op.u, op.v);
+        seed_edge(op.u, op.v);
+        break;
+      case BatchOp::Kind::kRemoveEdge:
+        engine.raw_remove_edge(op.u, op.v);
+        seed_edge(op.u, op.v);
+        break;
+      case BatchOp::Kind::kAddNode: {
+        const NodeId v = engine.raw_add_node(op.neighbors);
+        result.new_nodes.push_back(v);
+        seeds.push_back(v);
+        break;
+      }
+      case BatchOp::Kind::kRemoveNode: {
+        const std::vector<NodeId> former = engine.raw_remove_node(op.u);
+        seeds.insert(seeds.end(), former.begin(), former.end());
+        break;
+      }
+    }
+  }
+
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  result.report = engine.repair(std::move(seeds));
+  return result;
+}
+
+}  // namespace dmis::core

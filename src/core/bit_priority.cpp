@@ -1,0 +1,47 @@
+#include "core/bit_priority.hpp"
+
+#include <algorithm>
+
+namespace dmis::core {
+
+BitCompare compare_bit_priorities(const BitPriority& a, const BitPriority& b,
+                                  std::uint64_t max_bits) {
+  BitCompare result;
+  for (std::uint64_t i = 0; i < max_bits; ++i) {
+    const bool ba = a.bit(i);
+    const bool bb = b.bit(i);
+    result.bits_revealed += 2;
+    if (ba != bb) {
+      result.less = !ba;  // 0-bit first means smaller ℓ value
+      return result;
+    }
+  }
+  result.less = a.id() < b.id();
+  return result;
+}
+
+bool PairwiseBitOrder::before(graph::NodeId u, graph::NodeId v) {
+  const BitPriority pu(seed_, u);
+  const BitPriority pv(seed_, v);
+  const BitCompare outcome = compare_bit_priorities(pu, pv);
+  const std::uint64_t depth = outcome.bits_revealed / 2;
+  // Each side only transmits bits beyond its already-revealed prefix.
+  auto& ru = revealed_[u];
+  auto& rv = revealed_[v];
+  if (depth > ru) {
+    total_bits_ += depth - ru;
+    ru = depth;
+  }
+  if (depth > rv) {
+    total_bits_ += depth - rv;
+    rv = depth;
+  }
+  return outcome.less;
+}
+
+std::uint64_t PairwiseBitOrder::revealed(graph::NodeId v) const {
+  const auto it = revealed_.find(v);
+  return it == revealed_.end() ? 0 : it->second;
+}
+
+}  // namespace dmis::core

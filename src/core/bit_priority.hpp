@@ -1,0 +1,75 @@
+// Lazy-bit priorities — the O(1)-bits-per-broadcast refinement (§1.1).
+//
+// The paper notes that, since a node only needs the *order* between itself
+// and its neighbors, the technique of Métivier et al. [45] applies: think of
+// ℓ_v ∈ [0,1] as an infinite stream of uniformly random bits, and reveal the
+// stream lazily, one bit per broadcast, until the order against each relevant
+// neighbor is decided. Two independent uniform bit streams first differ at a
+// Geometric(1/2) position, so deciding one comparison reveals 2 bits in
+// expectation from each side — O(1) bits per broadcast overall.
+//
+// BitPriority derives its stream deterministically from (seed, node id), so
+// a node's stream is reproducible and consistent with a 64-bit key prefix.
+// PairwiseBitOrder additionally models the incremental protocol: it caches
+// the revealed prefix per node, so a sequence of comparisons only pays for
+// newly revealed bits — exactly what a node would transmit over its lifetime.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dmis::core {
+
+class BitPriority {
+ public:
+  BitPriority(std::uint64_t seed, graph::NodeId id) noexcept : seed_(seed), id_(id) {}
+
+  /// Bit `index` (0-based) of the node's infinite priority stream.
+  [[nodiscard]] bool bit(std::uint64_t index) const noexcept {
+    std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL * (id_ + 1)) ^
+                      (0xbf58476d1ce4e5b9ULL * (index + 1));
+    return (util::splitmix64(s) & 1ULL) != 0;
+  }
+
+  [[nodiscard]] graph::NodeId id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t seed_;
+  graph::NodeId id_;
+};
+
+struct BitCompare {
+  bool less = false;             ///< a before b in π?
+  std::uint64_t bits_revealed = 0;  ///< total new bits exposed by both sides
+};
+
+/// One-shot comparison: reveal both streams until they differ (id tiebreak
+/// after `max_bits` positions, which is a probability-2^-max_bits event).
+[[nodiscard]] BitCompare compare_bit_priorities(const BitPriority& a,
+                                                const BitPriority& b,
+                                                std::uint64_t max_bits = 64);
+
+/// Incremental comparisons with per-node revealed-prefix accounting.
+class PairwiseBitOrder {
+ public:
+  explicit PairwiseBitOrder(std::uint64_t seed) : seed_(seed) {}
+
+  /// Is u before v? Accounts only bits not previously revealed by u or v.
+  bool before(graph::NodeId u, graph::NodeId v);
+
+  /// Total bits transmitted so far across all nodes.
+  [[nodiscard]] std::uint64_t total_bits() const noexcept { return total_bits_; }
+
+  /// Bits node v has revealed so far.
+  [[nodiscard]] std::uint64_t revealed(graph::NodeId v) const;
+
+ private:
+  std::uint64_t seed_;
+  std::unordered_map<graph::NodeId, std::uint64_t> revealed_;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace dmis::core

@@ -1,0 +1,144 @@
+#include "core/cascade_engine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/greedy_mis.hpp"
+#include "core/invariant.hpp"
+
+namespace dmis::core {
+
+namespace {
+
+struct HeapEntry {
+  std::uint64_t key;
+  NodeId id;
+
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return priority_before(b.key, b.id, a.key, a.id);
+  }
+};
+
+}  // namespace
+
+CascadeEngine::CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed)
+    : g_(g), priorities_(priority_seed) {
+  state_ = greedy_mis(g_, priorities_);
+}
+
+bool CascadeEngine::eval(NodeId v) const {
+  for (const NodeId u : g_.neighbors(v))
+    if (priorities_.before(u, v) && state_[u]) return false;
+  return true;
+}
+
+void CascadeEngine::cascade(std::vector<NodeId> seeds) {
+  report_ = UpdateReport{};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (const NodeId v : seeds) heap.push({priorities_.key(v), v});
+
+  std::unordered_set<NodeId> done;
+  while (!heap.empty()) {
+    const NodeId v = heap.top().id;
+    heap.pop();
+    if (!done.insert(v).second) continue;  // duplicate enqueue
+    if (!g_.has_node(v)) continue;  // seeded then deleted within a batch
+    ++report_.evaluated;
+    const bool next = eval(v);
+    if (next == state_[v]) continue;
+    state_[v] = next;
+    report_.changed.push_back(v);
+    for (const NodeId u : g_.neighbors(v))
+      if (priorities_.before(v, u)) heap.push({priorities_.key(u), u});
+  }
+  report_.adjustments = report_.changed.size();
+  std::sort(report_.changed.begin(), report_.changed.end());
+}
+
+NodeId CascadeEngine::add_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = g_.add_node();
+  priorities_.ensure(v);
+  state_.resize(g_.id_bound(), false);
+  for (const NodeId u : neighbors) g_.add_edge(v, u);
+  cascade({v});
+  return v;
+}
+
+UpdateReport CascadeEngine::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  const NodeId hi = priorities_.before(u, v) ? v : u;
+  // The invariant can only break at the later endpoint, and only when both
+  // endpoints are currently in the MIS (§3).
+  if (state_[u] && state_[v]) cascade({hi});
+  else report_ = UpdateReport{};
+  return report_;
+}
+
+UpdateReport CascadeEngine::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  const NodeId lo = priorities_.before(u, v) ? u : v;
+  const NodeId hi = lo == u ? v : u;
+  // Deleting an edge can only break the later endpoint: it may have just
+  // lost its only earlier MIS neighbor.
+  if (state_[lo] && !state_[hi]) cascade({hi});
+  else report_ = UpdateReport{};
+  return report_;
+}
+
+UpdateReport CascadeEngine::remove_node(NodeId v) {
+  DMIS_ASSERT(g_.has_node(v));
+  const bool was_in_mis = state_[v];
+  std::vector<NodeId> seeds;
+  if (was_in_mis)
+    for (const NodeId u : g_.neighbors(v))
+      if (priorities_.before(v, u)) seeds.push_back(u);
+  g_.remove_node(v);
+  state_[v] = false;
+  // Deleting an M̄ node affects nobody (no invariant references it); deleting
+  // an M node can free exactly its later-ordered neighbors.
+  cascade(std::move(seeds));
+  return report_;
+}
+
+NodeId CascadeEngine::raw_add_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = g_.add_node();
+  priorities_.ensure(v);
+  state_.resize(g_.id_bound(), false);
+  for (const NodeId u : neighbors) g_.add_edge(v, u);
+  return v;
+}
+
+void CascadeEngine::raw_add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+}
+
+void CascadeEngine::raw_remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+}
+
+std::vector<NodeId> CascadeEngine::raw_remove_node(NodeId v) {
+  DMIS_ASSERT(g_.has_node(v));
+  const std::vector<NodeId> former = g_.neighbors(v);
+  g_.remove_node(v);
+  state_[v] = false;
+  return former;
+}
+
+UpdateReport CascadeEngine::repair(std::vector<NodeId> seeds) {
+  cascade(std::move(seeds));
+  return report_;
+}
+
+std::unordered_set<NodeId> CascadeEngine::mis_set() const {
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : g_.nodes())
+    if (state_[v]) out.insert(v);
+  return out;
+}
+
+void CascadeEngine::verify() const {
+  DMIS_ASSERT_MSG(invariant_holds(g_, priorities_, state_, nullptr),
+                  "MIS invariant violated after cascade");
+}
+
+}  // namespace dmis::core

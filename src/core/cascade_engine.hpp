@@ -1,0 +1,87 @@
+// CascadeEngine — efficient sequential maintenance of the random-greedy MIS.
+//
+// Computes exactly the same structure as TemplateEngine (the unique greedy
+// MIS for the current graph and priorities — history independence makes
+// "same" well-defined), but repairs the invariant with a min-priority-queue
+// cascade: affected nodes are re-evaluated in increasing π order, so each is
+// finalized the first time it is popped and the work per update is
+// O(Σ_{v ∈ touched} deg(v) · log). This is the engine the public DynamicMIS
+// facade and all derived structures (matching, coloring, clustering) run on;
+// it is also the paper's suggestion (§6) for the sequential dynamic setting,
+// where the O(Δ) neighbor-notification cost is inherent.
+//
+// Why pops in π order finalize immediately: a node is only ever enqueued by a
+// *lower-priority* neighbor, and the heap pops lowest priority first, so by
+// the time v pops, every lower node that could still flip has already been
+// finalized; v's evaluation reads only final values.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::core {
+
+struct UpdateReport {
+  /// Surviving nodes whose output changed (the paper's adjustment measure).
+  std::uint64_t adjustments = 0;
+  /// Nodes re-evaluated during the cascade (work measure; ≥ adjustments).
+  std::uint64_t evaluated = 0;
+  std::vector<NodeId> changed;
+};
+
+class CascadeEngine {
+ public:
+  explicit CascadeEngine(std::uint64_t priority_seed) : priorities_(priority_seed) {}
+
+  /// Build from an existing graph (initial MIS computed from scratch; the
+  /// initial computation is not an "update" and produces no report).
+  CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed);
+
+  NodeId add_node(const std::vector<NodeId>& neighbors = {});
+  UpdateReport add_edge(NodeId u, NodeId v);
+  UpdateReport remove_edge(NodeId u, NodeId v);
+  UpdateReport remove_node(NodeId v);
+
+  [[nodiscard]] bool in_mis(NodeId v) const {
+    return v < state_.size() && state_[v];
+  }
+  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] std::vector<bool> membership() const { return state_; }
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+  [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
+  [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
+  [[nodiscard]] const UpdateReport& last_report() const noexcept { return report_; }
+
+  /// Abort if the MIS invariant does not hold everywhere (test hook).
+  void verify() const;
+
+  // --- expert interface for simultaneous (batch) changes, core/batch.hpp ---
+  // Mutations below do NOT repair the invariant; after any sequence of them
+  // the caller must invoke repair() with seeds covering every node whose
+  // invariant may have broken (batch.cpp documents the seeding rule).
+
+  /// Insert a node (+ edges) without repairing. The node starts as M̄.
+  NodeId raw_add_node(const std::vector<NodeId>& neighbors);
+  void raw_add_edge(NodeId u, NodeId v);
+  void raw_remove_edge(NodeId u, NodeId v);
+  /// Remove a node without repairing; returns its former neighbors.
+  std::vector<NodeId> raw_remove_node(NodeId v);
+  /// Run the increasing-π repair pass from `seeds`; the report becomes
+  /// last_report().
+  UpdateReport repair(std::vector<NodeId> seeds);
+
+ private:
+  [[nodiscard]] bool eval(NodeId v) const;
+  void cascade(std::vector<NodeId> seeds);
+
+  graph::DynamicGraph g_;
+  PriorityMap priorities_;
+  std::vector<bool> state_;
+  UpdateReport report_;
+};
+
+}  // namespace dmis::core

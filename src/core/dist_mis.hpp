@@ -1,0 +1,83 @@
+// DistMis — the complete fully dynamic distributed MIS algorithm
+// (paper Theorem 7), driving MisProtocol over a simulated synchronous
+// broadcast network.
+//
+// Supported topology changes and their expected costs (all with expected one
+// adjustment and O(1) rounds):
+//
+//   insert_edge(u, v)          O(1) broadcasts             (Lemma 10)
+//   remove_edge(u, v, mode)    O(1) broadcasts, graceful or abrupt (Lemma 9)
+//   insert_node(neighbors)     O(d(v*)) broadcasts          (Lemma 10)
+//   unmute_node(neighbors)     O(1) broadcasts              (Lemma 9)
+//   remove_node(v, graceful)   O(1) broadcasts              (Lemma 9)
+//   remove_node(v, abrupt)     O(min{log n, d(v*)}) broadcasts (Lemma 13)
+//
+// Between changes the system is stable (the paper's assumption of
+// sufficiently infrequent changes); each method injects the change, runs the
+// network to quiescence, and returns the measured CostReport. The driver
+// also maintains the logical graph so the result can be verified against the
+// sequential random-greedy oracle — this equality is the executable form of
+// history independence and is asserted by verify().
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/greedy_mis.hpp"
+#include "core/mis_protocol.hpp"
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "sim/sync_network.hpp"
+
+namespace dmis::core {
+
+enum class DeletionMode : std::uint8_t {
+  kGraceful,  ///< departing node/edge keeps relaying until the system is stable
+  kAbrupt,    ///< neighbors merely discover the retirement
+};
+
+class DistMis {
+ public:
+  struct ChangeResult {
+    NodeId node = graph::kInvalidNode;  ///< the inserted node, when applicable
+    sim::CostReport cost;               ///< rounds/broadcasts/bits/adjustments
+  };
+
+  explicit DistMis(std::uint64_t seed) : priorities_(seed) {}
+
+  /// Start from an existing stable graph: states are initialized to the
+  /// greedy MIS and every node knows its neighbors' priorities and states
+  /// (the paper's stable-start assumption); no communication is charged.
+  DistMis(const graph::DynamicGraph& g, std::uint64_t seed);
+
+  ChangeResult insert_edge(NodeId u, NodeId v);
+  ChangeResult remove_edge(NodeId u, NodeId v,
+                           DeletionMode mode = DeletionMode::kGraceful);
+  ChangeResult insert_node(const std::vector<NodeId>& neighbors = {});
+  /// A node that has silently listened to its prospective neighbors becomes
+  /// visible (§2's unmuting). Modeled as a fresh node whose view is granted.
+  ChangeResult unmute_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult remove_node(NodeId v, DeletionMode mode = DeletionMode::kGraceful);
+
+  [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
+  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
+  [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
+  [[nodiscard]] const MisProtocol& protocol() const noexcept { return protocol_; }
+
+  /// Abort unless the protocol outputs equal the sequential random-greedy
+  /// MIS of the current graph under the same priorities.
+  void verify();
+
+ private:
+  ChangeResult run_change(NodeId node = graph::kInvalidNode);
+  NodeId materialize_node(const std::vector<NodeId>& neighbors);
+
+  graph::DynamicGraph logical_;
+  PriorityMap priorities_;
+  sim::SyncNetwork net_;
+  MisProtocol protocol_;
+};
+
+}  // namespace dmis::core

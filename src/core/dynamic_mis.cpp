@@ -1,0 +1,4 @@
+#include "core/dynamic_mis.hpp"
+
+// DynamicMIS is header-only; see dynamic_mis.hpp.
+namespace dmis::core {}

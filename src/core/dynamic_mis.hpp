@@ -1,0 +1,111 @@
+// DynamicMIS — the library's primary public API.
+//
+// Maintains a maximal independent set of a fully dynamic graph under edge
+// insertion/deletion and node insertion/deletion, with expected O(1)
+// adjustments per change over the random priorities (paper, Theorem 1), by
+// simulating the random-greedy sequential MIS.
+//
+// The maintained set is *history independent* (Definition 14): its
+// distribution depends only on the current graph, never on the change
+// sequence that produced it. Equivalently, after any update the set equals
+// the from-scratch random-greedy MIS for the same priorities — which
+// verify() checks in O(n + m).
+//
+// Typical use:
+//
+//   dmis::core::DynamicMIS mis(/*seed=*/42);
+//   auto a = mis.add_node();
+//   auto b = mis.add_node();
+//   mis.add_edge(a, b);
+//   bool leader = mis.in_mis(a);
+//   const auto& rep = mis.last_report();   // adjustments for the last change
+//
+// This facade runs on CascadeEngine; use TemplateEngine directly when you
+// need the paper's S-set instrumentation, and DistMis / AsyncMis for the
+// message-passing implementations with round/broadcast accounting.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cascade_engine.hpp"
+
+namespace dmis::core {
+
+class DynamicMIS {
+ public:
+  /// `seed` drives the random priorities; runs with the same seed and the
+  /// same update sequence are identical.
+  explicit DynamicMIS(std::uint64_t seed) : engine_(seed) {}
+
+  /// Start from an existing graph (initial MIS computed from scratch).
+  DynamicMIS(const graph::DynamicGraph& g, std::uint64_t seed) : engine_(g, seed) {}
+
+  /// Insert a node, optionally pre-wired to existing nodes. Returns its id.
+  NodeId add_node(const std::vector<NodeId>& neighbors = {}) {
+    const NodeId v = engine_.add_node(neighbors);
+    account();
+    return v;
+  }
+
+  void add_edge(NodeId u, NodeId v) {
+    engine_.add_edge(u, v);
+    account();
+  }
+
+  void remove_edge(NodeId u, NodeId v) {
+    engine_.remove_edge(u, v);
+    account();
+  }
+
+  void remove_node(NodeId v) {
+    engine_.remove_node(v);
+    account();
+  }
+
+  /// Is v currently in the maintained MIS?
+  [[nodiscard]] bool in_mis(NodeId v) const { return engine_.in_mis(v); }
+
+  /// The maintained MIS as a set of node ids.
+  [[nodiscard]] std::unordered_set<NodeId> mis_set() const { return engine_.mis_set(); }
+
+  [[nodiscard]] std::size_t mis_size() const {
+    std::size_t count = 0;
+    for (const NodeId v : engine_.graph().nodes()) count += engine_.in_mis(v) ? 1 : 0;
+    return count;
+  }
+
+  /// The current graph (read-only; mutate through the methods above).
+  [[nodiscard]] const graph::DynamicGraph& graph() const { return engine_.graph(); }
+
+  /// Report for the most recent update (adjustments, nodes changed).
+  [[nodiscard]] const UpdateReport& last_report() const { return engine_.last_report(); }
+
+  /// Number of updates applied and total adjustments over the lifetime —
+  /// lifetime_adjustments() / update_count() empirically tracks Theorem 1's
+  /// expected ≤ 1 adjustment per change.
+  [[nodiscard]] std::uint64_t update_count() const noexcept { return updates_; }
+  [[nodiscard]] std::uint64_t lifetime_adjustments() const noexcept {
+    return total_adjustments_;
+  }
+
+  /// Abort the process if the maintained set violates the MIS invariant.
+  void verify() const { engine_.verify(); }
+
+  /// Advanced access (instrumentation, derived structures).
+  [[nodiscard]] CascadeEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const CascadeEngine& engine() const noexcept { return engine_; }
+
+ private:
+  void account() {
+    ++updates_;
+    total_adjustments_ += engine_.last_report().adjustments;
+  }
+
+  CascadeEngine engine_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t total_adjustments_ = 0;
+};
+
+}  // namespace dmis::core

@@ -1,0 +1,32 @@
+#include "core/greedy_mis.hpp"
+
+#include <algorithm>
+
+namespace dmis::core {
+
+std::vector<bool> greedy_mis(const graph::DynamicGraph& g, PriorityMap& priorities) {
+  std::vector<NodeId> order = g.nodes();
+  for (const NodeId v : order) priorities.ensure(v);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return priorities.before(a, b);
+  });
+  std::vector<bool> in_mis(g.id_bound(), false);
+  for (const NodeId v : order) {
+    bool blocked = false;
+    for (const NodeId u : g.neighbors(v))
+      blocked |= priorities.before(u, v) && in_mis[u];
+    in_mis[v] = !blocked;
+  }
+  return in_mis;
+}
+
+std::unordered_set<NodeId> greedy_mis_set(const graph::DynamicGraph& g,
+                                          PriorityMap& priorities) {
+  const std::vector<bool> in_mis = greedy_mis(g, priorities);
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : g.nodes())
+    if (in_mis[v]) out.insert(v);
+  return out;
+}
+
+}  // namespace dmis::core

@@ -1,0 +1,29 @@
+// The random-greedy sequential MIS — the algorithm every dynamic engine in
+// this repository simulates (paper §1.1, §3).
+//
+// Greedy inspects nodes by increasing π and adds a node to the MIS iff no
+// earlier neighbor was added. Given a fixed priority assignment the result is
+// *unique*, which is what makes it the correctness oracle for the dynamic
+// engines: after any update sequence, a dynamic structure must equal
+// greedy_mis() of the current graph under the same priorities (this is the
+// history-independence property, Definition 14, in executable form).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::core {
+
+/// Membership vector indexed by node id (dead ids are false). Assigns
+/// priorities to any live node that does not have one yet.
+[[nodiscard]] std::vector<bool> greedy_mis(const graph::DynamicGraph& g,
+                                           PriorityMap& priorities);
+
+/// Same result as a set of node ids.
+[[nodiscard]] std::unordered_set<NodeId> greedy_mis_set(const graph::DynamicGraph& g,
+                                                        PriorityMap& priorities);
+
+}  // namespace dmis::core

@@ -1,0 +1,66 @@
+// History-independence instrumentation (paper §5, Definition 14).
+//
+// An algorithm maintaining a structure P is history independent if, for a
+// given current graph G, the distribution of P depends only on G — not on
+// the sequence of topology changes that produced G. For this library the
+// property is exact and testable: the maintained MIS always equals the
+// random-greedy MIS of (G, π), so over the random priorities the output
+// distribution is the random-greedy distribution of G, whatever the history.
+//
+// These helpers replay traces over fresh engines across many seeds and
+// collect per-node membership frequencies and the MIS-size distribution, so
+// tests/benches can compare the distributions induced by different histories
+// of the same graph (they must match) and against the from-scratch greedy
+// distribution (they must match too).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::core {
+
+/// Which implementation path to exercise; all must induce identical
+/// distributions (the distributed paths route through every protocol branch).
+enum class EnginePath : std::uint8_t {
+  kCascade,
+  kTemplate,
+  kDistributedSync,
+  kDistributedAsync,
+};
+
+struct OutputDistribution {
+  std::uint64_t trials = 0;
+  util::Histogram mis_size;
+  /// How often each node id ended in the MIS, over the trials.
+  std::unordered_map<NodeId, std::uint64_t> member_count;
+
+  [[nodiscard]] double member_frequency(NodeId v) const {
+    const auto it = member_count.find(v);
+    return trials == 0 || it == member_count.end()
+               ? 0.0
+               : static_cast<double>(it->second) / static_cast<double>(trials);
+  }
+};
+
+/// Final MIS membership (by id) after replaying `trace` from scratch with
+/// priority seed `seed` through the chosen engine path.
+[[nodiscard]] std::vector<bool> replay_membership(const workload::Trace& trace,
+                                                  std::uint64_t seed,
+                                                  EnginePath path);
+
+/// Replay `trace` for seeds base_seed … base_seed + trials − 1 and collect
+/// the output distribution.
+[[nodiscard]] OutputDistribution collect_distribution(const workload::Trace& trace,
+                                                      std::uint64_t base_seed,
+                                                      std::uint64_t trials,
+                                                      EnginePath path);
+
+/// Largest absolute difference between per-node membership frequencies of
+/// two distributions over the union of node ids seen by either (0 = equal).
+[[nodiscard]] double max_frequency_gap(const OutputDistribution& a,
+                                       const OutputDistribution& b);
+
+}  // namespace dmis::core

@@ -1,0 +1,25 @@
+// The MIS invariant (paper §3): node v is in M if and only if none of its
+// neighbors u with π(u) < π(v) are in M. Whenever the invariant holds at
+// every node, M is a maximal independent set equal to the random-greedy MIS.
+#pragma once
+
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::core {
+
+/// Does the invariant hold at node v?
+[[nodiscard]] bool invariant_holds_at(const graph::DynamicGraph& g,
+                                      const PriorityMap& priorities,
+                                      const std::vector<bool>& in_mis, NodeId v);
+
+/// Does the invariant hold at every live node? If not and `violator` is
+/// non-null, reports the π-smallest violating node.
+[[nodiscard]] bool invariant_holds(const graph::DynamicGraph& g,
+                                   const PriorityMap& priorities,
+                                   const std::vector<bool>& in_mis,
+                                   NodeId* violator = nullptr);
+
+}  // namespace dmis::core

@@ -1,0 +1,278 @@
+#include "core/mis_protocol.hpp"
+
+namespace dmis::core {
+
+const char* to_string(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::NotM: return "NotM";
+    case NodeState::M: return "M";
+    case NodeState::C: return "C";
+    case NodeState::R: return "R";
+    case NodeState::Retired: return "Retired";
+  }
+  return "?";
+}
+
+namespace {
+NodeState decode_state(std::uint64_t raw) {
+  DMIS_ASSERT(raw <= static_cast<std::uint64_t>(NodeState::Retired));
+  return static_cast<NodeState>(raw);
+}
+}  // namespace
+
+MisProtocol::Local& MisProtocol::local(NodeId v) {
+  DMIS_ASSERT_MSG(v < nodes_.size() && nodes_[v].exists, "no such protocol node");
+  return nodes_[v];
+}
+
+void MisProtocol::create_node(NodeId v, std::uint64_t key, NodeState state) {
+  if (nodes_.size() <= v) nodes_.resize(static_cast<std::size_t>(v) + 1);
+  DMIS_ASSERT_MSG(!nodes_[v].exists, "protocol node already exists");
+  Local fresh;
+  fresh.exists = true;
+  fresh.key = key;
+  fresh.state = state;
+  nodes_[v] = std::move(fresh);
+}
+
+void MisProtocol::destroy_node(NodeId v) {
+  Local& me = local(v);
+  me = Local{};
+}
+
+void MisProtocol::learn_neighbor(NodeId v, NodeId u, std::uint64_t key,
+                                 NodeState state) {
+  local(v).view[u] = NeighborInfo{key, state};
+}
+
+void MisProtocol::forget_neighbor(NodeId v, NodeId u) { local(v).view.erase(u); }
+
+void MisProtocol::begin_change() {
+  ++epoch_;
+  adjustments_ = 0;
+}
+
+NodeState MisProtocol::state(NodeId v) const {
+  DMIS_ASSERT_MSG(v < nodes_.size() && nodes_[v].exists, "no such protocol node");
+  return nodes_[v].state;
+}
+
+bool MisProtocol::is_lower(const Local& me, NodeId my_id, NodeId u,
+                           const NeighborInfo& info) const {
+  return priority_before(info.key, u, me.key, my_id);
+}
+
+bool MisProtocol::any_lower_in(const Local& me, NodeId my_id, NodeState s) const {
+  for (const auto& [u, info] : me.view)
+    if (is_lower(me, my_id, u, info) && info.state == s) return true;
+  return false;
+}
+
+bool MisProtocol::any_higher_in(const Local& me, NodeId my_id, NodeState s) const {
+  for (const auto& [u, info] : me.view)
+    if (!is_lower(me, my_id, u, info) && info.state == s) return true;
+  return false;
+}
+
+bool MisProtocol::all_lower_settled(const Local& me, NodeId my_id) const {
+  for (const auto& [u, info] : me.view)
+    if (is_lower(me, my_id, u, info) && !settled(info.state)) return false;
+  return true;
+}
+
+void MisProtocol::note_epoch_entry(Local& me) {
+  if (me.epoch != epoch_) {
+    me.epoch = epoch_;
+    me.epoch_origin = me.state;
+    me.counted = false;
+  }
+}
+
+void MisProtocol::announce(NodeId v, NodeState s, sim::SyncNetwork& net) {
+  net.broadcast(v, {kStateChange, 0, static_cast<std::uint64_t>(s)}, sim::kStateBits);
+}
+
+void MisProtocol::to_c(NodeId v, sim::SyncNetwork& net) {
+  Local& me = local(v);
+  DMIS_ASSERT(me.state == NodeState::M || me.state == NodeState::NotM);
+  note_epoch_entry(me);
+  me.state = NodeState::C;
+  me.c_round = net.round();
+  announce(v, NodeState::C, net);
+  net.wake(v);
+}
+
+void MisProtocol::settle(NodeId v, sim::SyncNetwork& net) {
+  Local& me = local(v);
+  DMIS_ASSERT(me.state == NodeState::R);
+  const NodeState final_state =
+      any_lower_in(me, v, NodeState::M) ? NodeState::NotM : NodeState::M;
+  me.state = final_state;
+  // Adjustment accounting against the state held when the epoch began; a
+  // node that re-enters C later in the same recovery (Lemma 12) and settles
+  // back to its origin is un-counted again.
+  if (final_state != me.epoch_origin && !me.counted) {
+    me.counted = true;
+    ++adjustments_;
+  } else if (final_state == me.epoch_origin && me.counted) {
+    me.counted = false;
+    --adjustments_;
+  }
+  announce(v, final_state, net);
+}
+
+void MisProtocol::trigger(NodeId v, bool lower_announced_c, sim::SyncNetwork& net) {
+  Local& me = local(v);
+  if (me.state != NodeState::M && me.state != NodeState::NotM) return;
+  if (lower_announced_c) {
+    // Rules 1 and 2, literally.
+    if (me.state == NodeState::M) {
+      to_c(v, net);
+    } else if (!any_lower_in(me, v, NodeState::M)) {
+      to_c(v, net);
+    }
+    return;
+  }
+  // Settled-information trigger: the local invariant check. For M̄ the check
+  // is deferred while any earlier neighbor is still unsettled — that
+  // neighbor's own settle announcement will re-trigger us.
+  if (me.state == NodeState::M) {
+    if (any_lower_in(me, v, NodeState::M)) to_c(v, net);
+  } else {
+    if (all_lower_settled(me, v) && !any_lower_in(me, v, NodeState::M)) to_c(v, net);
+  }
+}
+
+void MisProtocol::handle_delivery(NodeId v, const sim::Delivery& d,
+                                  sim::SyncNetwork& net) {
+  Local& me = local(v);
+  if (me.state == NodeState::Retired) {
+    // A departing node keeps listening (and relaying at the physical layer)
+    // but takes no further protocol actions.
+    if (d.msg.kind == kStateChange && me.view.contains(d.from))
+      me.view[d.from].state = decode_state(d.msg.b);
+    return;
+  }
+  switch (d.msg.kind) {
+    case kHelloJoin: {
+      me.view[d.from] = NeighborInfo{d.msg.a, decode_state(d.msg.b)};
+      // §4.1, second round: neighbors of a joining node introduce themselves.
+      net.broadcast(v, {kHelloAnnounce, me.key, static_cast<std::uint64_t>(me.state)},
+                    sim::kLogNBits);
+      trigger(v, false, net);
+      break;
+    }
+    case kHelloAnnounce: {
+      me.view[d.from] = NeighborInfo{d.msg.a, decode_state(d.msg.b)};
+      trigger(v, decode_state(d.msg.b) == NodeState::C &&
+                      is_lower(me, v, d.from, me.view[d.from]),
+              net);
+      break;
+    }
+    case kStateChange: {
+      const auto it = me.view.find(d.from);
+      if (it == me.view.end()) break;  // stale sender, no longer a neighbor
+      it->second.state = decode_state(d.msg.b);
+      trigger(v, it->second.state == NodeState::C && is_lower(me, v, d.from, it->second),
+              net);
+      break;
+    }
+    case kLeaving: {
+      const auto it = me.view.find(d.from);
+      if (it == me.view.end()) break;
+      it->second.state = NodeState::Retired;
+      trigger(v, false, net);
+      break;
+    }
+    case kSysEdgeNew: {
+      // §4.1: both endpoints of a fresh edge announce priority and state.
+      net.broadcast(v, {kHelloAnnounce, me.key, static_cast<std::uint64_t>(me.state)},
+                    sim::kLogNBits);
+      break;
+    }
+    case kSysEdgeGone: {
+      me.view.erase(d.from);
+      trigger(v, false, net);
+      break;
+    }
+    case kSysRetired: {
+      me.view.erase(d.from);
+      trigger(v, false, net);
+      break;
+    }
+    case kSysJoin: {
+      // §4.1: broadcast priority and temporary state M̄, then wait two rounds
+      // for the neighbors' introductions before self-evaluating.
+      me.state = NodeState::NotM;
+      net.broadcast(v, {kHelloJoin, me.key, static_cast<std::uint64_t>(me.state)},
+                    sim::kLogNBits);
+      me.eval_round = net.round() + 2;
+      net.wake(v);
+      break;
+    }
+    case kSysUnmute: {
+      // The node overheard all neighbor communication while muted, so its
+      // view is already correct and it can settle directly, in O(1)
+      // broadcasts; affected neighbors then run the usual recovery.
+      note_epoch_entry(me);
+      const NodeState mine =
+          any_lower_in(me, v, NodeState::M) ? NodeState::NotM : NodeState::M;
+      me.state = mine;
+      if (mine != me.epoch_origin && !me.counted) {
+        me.counted = true;
+        ++adjustments_;
+      }
+      net.broadcast(v, {kHelloAnnounce, me.key, static_cast<std::uint64_t>(mine)},
+                    sim::kLogNBits);
+      break;
+    }
+    case kSysLeave: {
+      // Graceful departure: announce, then merely relay until quiescence.
+      me.state = NodeState::Retired;
+      net.broadcast(v, {kLeaving, 0, 0}, sim::kStateBits);
+      break;
+    }
+    default:
+      DMIS_ASSERT_MSG(false, "unknown message kind");
+  }
+}
+
+void MisProtocol::on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+                           sim::SyncNetwork& net) {
+  if (v >= nodes_.size() || !nodes_[v].exists) return;  // retired mid-recovery
+  for (const auto& d : inbox) handle_delivery(v, d, net);
+
+  Local& me = nodes_[v];
+  if (!me.exists) return;
+  switch (me.state) {
+    case NodeState::C: {
+      // Rule 3: wait out two rounds, then leave C once no later-ordered
+      // neighbor is still in C (C drains from the top of the order down).
+      if (net.round() >= me.c_round + 2 && !any_higher_in(me, v, NodeState::C)) {
+        me.state = NodeState::R;
+        announce(v, NodeState::R, net);
+      }
+      net.wake(v);
+      break;
+    }
+    case NodeState::R: {
+      // Rule 4: settle bottom-up once every earlier neighbor has settled.
+      if (all_lower_settled(me, v)) settle(v, net);
+      else net.wake(v);
+      break;
+    }
+    default: {
+      if (me.eval_round != 0) {
+        if (net.round() >= me.eval_round) {
+          me.eval_round = 0;
+          trigger(v, false, net);
+        } else {
+          net.wake(v);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace dmis::core

@@ -1,0 +1,146 @@
+// MisProtocol — the node state machine of the paper's Algorithm 2 (§4),
+// executed over sim::SyncNetwork.
+//
+// Each node is in one of four protocol states — M (MIS member), M̄ (non-
+// member), C ("may need to change") and R ("ready to change") — plus an
+// implementation state Retired for gracefully departed nodes that are still
+// physically present in the communication graph. The printed rules:
+//
+//   1. v ∈ M:  some u ∈ I_π(v) changes to C                    → v becomes C
+//   2. v ∈ M̄: some u ∈ I_π(v) changes to C and no other
+//      earlier neighbor is in M                                 → v becomes C
+//   3. v ∈ C:  no later-ordered neighbor is in C, and v turned
+//      C at least two rounds ago                                → v becomes R
+//   4. v ∈ R:  every earlier neighbor is settled (M or M̄)      → v becomes M
+//      iff none of them is in M, else M̄
+//
+// Every state change is broadcast to the node's neighbors. C spreads upward
+// in π order, R descends from the top, and final values settle bottom-up, so
+// each influenced node changes state O(1) times (Lemma 8) and the broadcast
+// complexity is O(|S|) — O(1) in expectation by Theorem 1.
+//
+// Nodes act purely on local knowledge: their own priority, and a view of
+// each neighbor's priority and last announced state (the paper's maintained
+// property that a node knows the ℓ values of its neighbors). Triggers are:
+//
+//   * literal rules 1–2 when a lower neighbor announces C, and
+//   * a local invariant check when a lower neighbor's *settled* state
+//     changes (hello / final settle / departure). The latter uniformly
+//     covers the v* trigger for every topology-change type in §4.1–§4.2 and
+//     also re-triggers settled nodes during multi-source recoveries
+//     (Lemma 12 allows re-entering C).
+//
+// The protocol object stores the per-node local state for the whole network
+// (indexable by id) — conceptually each Local is private to its node; the
+// code never lets node v read anything but nodes_[v] and its own view.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "sim/sync_network.hpp"
+
+namespace dmis::core {
+
+enum class NodeState : std::uint8_t { NotM = 0, M = 1, C = 2, R = 3, Retired = 4 };
+
+[[nodiscard]] constexpr bool settled(NodeState s) noexcept {
+  return s == NodeState::M || s == NodeState::NotM || s == NodeState::Retired;
+}
+
+[[nodiscard]] const char* to_string(NodeState s) noexcept;
+
+/// Message kinds. kHello* carry (priority, state) and are accounted at
+/// O(log n) bits; state changes are constant-size announcements. kSys* are
+/// environment notifications delivered via SyncNetwork::notify (model-given
+/// knowledge, not protocol traffic).
+enum MisMsg : std::uint8_t {
+  kHelloJoin = 1,      ///< introduction that requests a hello in response (§4.1)
+  kHelloAnnounce = 2,  ///< introduction/state announcement, no response expected
+  kStateChange = 3,    ///< b = new state (O(1) bits)
+  kLeaving = 4,        ///< graceful departure announcement (O(1) bits)
+  kSysEdgeNew = 10,    ///< from = new neighbor
+  kSysEdgeGone = 11,   ///< from = former neighbor
+  kSysRetired = 12,    ///< from = abruptly deleted former neighbor
+  kSysJoin = 13,       ///< delivered to a joining node
+  kSysUnmute = 14,     ///< delivered to an unmuting node
+  kSysLeave = 15,      ///< delivered to a gracefully departing node
+};
+
+class MisProtocol final : public sim::SyncProtocol {
+ public:
+  // ---- driver-side management (stable-state bookkeeping, cost-free) ----
+
+  /// Allocate local state for node v with priority `key` and initial state.
+  void create_node(NodeId v, std::uint64_t key, NodeState state = NodeState::NotM);
+
+  /// Drop local state of a deleted node.
+  void destroy_node(NodeId v);
+
+  /// Install u into v's view (initial stable knowledge or model-granted
+  /// knowledge, e.g. what a muted listener has overheard).
+  void learn_neighbor(NodeId v, NodeId u, std::uint64_t key, NodeState state);
+
+  /// Remove u from v's view (post-change cleanup by the driver).
+  void forget_neighbor(NodeId v, NodeId u);
+
+  /// Start a new change epoch: resets the per-change adjustment counter.
+  void begin_change();
+
+  /// Output changes (settles whose final state differs from the state held
+  /// when the current change epoch began) since begin_change().
+  [[nodiscard]] std::uint64_t adjustments() const noexcept { return adjustments_; }
+
+  [[nodiscard]] NodeState state(NodeId v) const;
+  [[nodiscard]] bool in_mis(NodeId v) const { return state(v) == NodeState::M; }
+  [[nodiscard]] bool exists(NodeId v) const {
+    return v < nodes_.size() && nodes_[v].exists;
+  }
+
+  // ---- protocol execution ----
+  void on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+                sim::SyncNetwork& net) override;
+
+ private:
+  struct NeighborInfo {
+    std::uint64_t key = 0;
+    NodeState state = NodeState::NotM;
+  };
+
+  struct Local {
+    bool exists = false;
+    NodeState state = NodeState::NotM;
+    std::uint64_t key = 0;
+    std::uint64_t c_round = 0;     ///< round of the last transition into C
+    std::uint64_t eval_round = 0;  ///< §4.1 join: round to self-evaluate (0 = none)
+    std::unordered_map<NodeId, NeighborInfo> view;
+    // Adjustment accounting for the current change epoch.
+    std::uint64_t epoch = 0;
+    NodeState epoch_origin = NodeState::NotM;
+    bool counted = false;
+  };
+
+  [[nodiscard]] Local& local(NodeId v);
+  [[nodiscard]] bool is_lower(const Local& me, NodeId my_id, NodeId u,
+                              const NeighborInfo& info) const;
+  [[nodiscard]] bool any_lower_in(const Local& me, NodeId my_id, NodeState s) const;
+  [[nodiscard]] bool any_higher_in(const Local& me, NodeId my_id, NodeState s) const;
+  [[nodiscard]] bool all_lower_settled(const Local& me, NodeId my_id) const;
+
+  void handle_delivery(NodeId v, const sim::Delivery& d, sim::SyncNetwork& net);
+  /// Rules 1–2 (literal) when a lower neighbor announced C; otherwise the
+  /// local invariant check. No-op unless v is in a stable state.
+  void trigger(NodeId v, bool lower_announced_c, sim::SyncNetwork& net);
+  void to_c(NodeId v, sim::SyncNetwork& net);
+  void note_epoch_entry(Local& me);
+  void settle(NodeId v, sim::SyncNetwork& net);
+  void announce(NodeId v, NodeState s, sim::SyncNetwork& net);
+
+  std::vector<Local> nodes_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace dmis::core

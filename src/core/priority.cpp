@@ -1,0 +1,4 @@
+#include "core/priority.hpp"
+
+// PriorityMap is header-only; see priority.hpp.
+namespace dmis::core {}

@@ -1,0 +1,65 @@
+// Random node priorities — the permutation π.
+//
+// The paper implements the uniformly random order π by giving each node an
+// independent uniform ℓ_v ∈ [0,1] (§4). We use 64-bit uniform draws; ties are
+// broken by node id, so the induced order is a.s. the same as with reals and
+// is always a strict total order. Node ids are never reused by DynamicGraph,
+// so one draw per id is stable for the lifetime of a structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dmis::core {
+
+using graph::NodeId;
+
+/// Strict total order on (key, id) pairs; smaller = earlier in π.
+[[nodiscard]] constexpr bool priority_before(std::uint64_t key_a, NodeId a,
+                                             std::uint64_t key_b, NodeId b) noexcept {
+  return key_a != key_b ? key_a < key_b : a < b;
+}
+
+class PriorityMap {
+ public:
+  explicit PriorityMap(std::uint64_t seed) : rng_(seed) {}
+
+  /// Draw (once) and return the priority key of `v`.
+  std::uint64_t ensure(NodeId v) {
+    if (keys_.size() <= v) keys_.resize(static_cast<std::size_t>(v) + 1, 0);
+    if (assigned_.size() <= v) assigned_.resize(static_cast<std::size_t>(v) + 1, false);
+    if (!assigned_[v]) {
+      keys_[v] = rng_.next_u64();
+      assigned_[v] = true;
+    }
+    return keys_[v];
+  }
+
+  [[nodiscard]] std::uint64_t key(NodeId v) const {
+    DMIS_ASSERT_MSG(v < assigned_.size() && assigned_[v], "priority not assigned");
+    return keys_[v];
+  }
+
+  /// π(u) < π(v)?
+  [[nodiscard]] bool before(NodeId u, NodeId v) const {
+    return priority_before(key(u), u, key(v), v);
+  }
+
+  /// Override a node's key (tests pin specific permutations with this).
+  void set_key(NodeId v, std::uint64_t key_value) {
+    if (keys_.size() <= v) keys_.resize(static_cast<std::size_t>(v) + 1, 0);
+    if (assigned_.size() <= v) assigned_.resize(static_cast<std::size_t>(v) + 1, false);
+    keys_[v] = key_value;
+    assigned_[v] = true;
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<bool> assigned_;
+};
+
+}  // namespace dmis::core

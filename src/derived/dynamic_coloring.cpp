@@ -1,0 +1,96 @@
+#include "derived/dynamic_coloring.hpp"
+
+#include <unordered_set>
+
+#include "graph/graph_stats.hpp"
+
+namespace dmis::derived {
+
+NodeId DynamicColoring::add_node() {
+  const NodeId v = g_.add_node();
+  const std::vector<NodeId> copies = map_.add_graph_node(v);
+  last_adjustments_ = 0;
+  // Mirror the clique into the MIS engine copy by copy, wiring each fresh
+  // copy to the previously created ones.
+  std::vector<NodeId> clique_so_far;
+  for (const NodeId copy : copies) {
+    const NodeId engine_node = engine_.add_node(clique_so_far);
+    DMIS_ASSERT_MSG(engine_node == copy, "expansion and MIS engine diverged");
+    last_adjustments_ += engine_.last_report().adjustments;
+    clique_so_far.push_back(copy);
+  }
+  return v;
+}
+
+void DynamicColoring::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT_MSG(g_.degree(u) + 1 < palette_ && g_.degree(v) + 1 < palette_,
+                  "palette too small for the degree this edge would create");
+  DMIS_ASSERT(g_.add_edge(u, v));
+  last_adjustments_ = 0;
+  for (const auto& [a, b] : map_.add_graph_edge(u, v)) {
+    engine_.add_edge(a, b);
+    last_adjustments_ += engine_.last_report().adjustments;
+  }
+}
+
+void DynamicColoring::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  last_adjustments_ = 0;
+  for (const auto& [a, b] : map_.remove_graph_edge(u, v)) {
+    engine_.remove_edge(a, b);
+    last_adjustments_ += engine_.last_report().adjustments;
+  }
+}
+
+void DynamicColoring::remove_node(NodeId v) {
+  // Peel incident edges first so the expansion never holds dangling
+  // matching edges, then dissolve the clique.
+  last_adjustments_ = 0;
+  const std::vector<NodeId> neighbors = g_.neighbors(v);
+  for (const NodeId u : neighbors) {
+    DMIS_ASSERT(g_.remove_edge(v, u));
+    for (const auto& [a, b] : map_.remove_graph_edge(v, u)) {
+      engine_.remove_edge(a, b);
+      last_adjustments_ += engine_.last_report().adjustments;
+    }
+  }
+  for (const NodeId copy : map_.remove_graph_node(v)) {
+    engine_.remove_node(copy);
+    last_adjustments_ += engine_.last_report().adjustments;
+  }
+  g_.remove_node(v);
+}
+
+NodeId DynamicColoring::color_of(NodeId v) const {
+  DMIS_ASSERT(g_.has_node(v));
+  NodeId found = graph::kInvalidNode;
+  for (NodeId i = 0; i < palette_; ++i) {
+    if (engine_.in_mis(map_.copy(v, i))) {
+      DMIS_ASSERT_MSG(found == graph::kInvalidNode, "node holds two colors");
+      found = i;
+    }
+  }
+  DMIS_ASSERT_MSG(found != graph::kInvalidNode,
+                  "node holds no color (palette smaller than Δ+1?)");
+  return found;
+}
+
+std::vector<NodeId> DynamicColoring::colors() const {
+  std::vector<NodeId> out(g_.id_bound(), graph::kInvalidNode);
+  for (const NodeId v : g_.nodes()) out[v] = color_of(v);
+  return out;
+}
+
+std::size_t DynamicColoring::palette_used() const {
+  std::unordered_set<NodeId> used;
+  for (const NodeId v : g_.nodes()) used.insert(color_of(v));
+  return used.size();
+}
+
+void DynamicColoring::verify() const {
+  engine_.verify();
+  DMIS_ASSERT_MSG(graph::is_proper_coloring(g_, colors()),
+                  "clique-expansion MIS does not induce a proper coloring");
+}
+
+}  // namespace dmis::derived

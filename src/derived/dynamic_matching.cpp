@@ -1,0 +1,71 @@
+#include "derived/dynamic_matching.hpp"
+
+#include "graph/graph_stats.hpp"
+
+namespace dmis::derived {
+
+NodeId DynamicMatching::add_node() {
+  last_adjustments_ = 0;
+  return g_.add_node();
+}
+
+void DynamicMatching::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  const NodeId line_node = map_.add_graph_edge(u, v);
+  const NodeId engine_node = engine_.add_node(map_.line().neighbors(line_node));
+  DMIS_ASSERT_MSG(engine_node == line_node, "line graph and MIS engine diverged");
+  last_adjustments_ = engine_.last_report().adjustments;
+}
+
+void DynamicMatching::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  const NodeId line_node = map_.remove_graph_edge(u, v);
+  engine_.remove_node(line_node);
+  last_adjustments_ = engine_.last_report().adjustments;
+}
+
+void DynamicMatching::remove_node(NodeId v) {
+  last_adjustments_ = 0;
+  // One line-node deletion per incident edge; each is a single MIS update.
+  for (const NodeId line_node : map_.incident_line_nodes(v)) {
+    const auto [a, b] = map_.edge_of(line_node);
+    DMIS_ASSERT(g_.remove_edge(a, b));
+    map_.remove_graph_edge(a, b);
+    engine_.remove_node(line_node);
+    last_adjustments_ += engine_.last_report().adjustments;
+  }
+  g_.remove_node(v);
+}
+
+bool DynamicMatching::is_matched_edge(NodeId u, NodeId v) const {
+  if (!map_.has_graph_edge(u, v)) return false;
+  return engine_.in_mis(map_.line_node_of(u, v));
+}
+
+bool DynamicMatching::is_matched_node(NodeId v) const {
+  for (const NodeId line_node : map_.incident_line_nodes(v))
+    if (engine_.in_mis(line_node)) return true;
+  return false;
+}
+
+std::vector<std::pair<NodeId, NodeId>> DynamicMatching::matching() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const NodeId line_node : engine_.graph().nodes())
+    if (engine_.in_mis(line_node)) out.push_back(map_.edge_of(line_node));
+  return out;
+}
+
+std::size_t DynamicMatching::matching_size() const {
+  std::size_t count = 0;
+  for (const NodeId line_node : engine_.graph().nodes())
+    count += engine_.in_mis(line_node) ? 1 : 0;
+  return count;
+}
+
+void DynamicMatching::verify() const {
+  engine_.verify();
+  DMIS_ASSERT_MSG(graph::is_maximal_matching(g_, matching()),
+                  "line-graph MIS does not induce a maximal matching");
+}
+
+}  // namespace dmis::derived

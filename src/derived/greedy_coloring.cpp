@@ -1,0 +1,116 @@
+#include "derived/greedy_coloring.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/graph_stats.hpp"
+
+namespace dmis::derived {
+
+namespace {
+struct HeapEntry {
+  std::uint64_t key;
+  NodeId id;
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return core::priority_before(b.key, b.id, a.key, a.id);
+  }
+};
+}  // namespace
+
+GreedyColoringEngine::GreedyColoringEngine(const graph::DynamicGraph& g,
+                                           std::uint64_t seed)
+    : g_(g), priorities_(seed) {
+  std::vector<NodeId> order = g_.nodes();
+  for (const NodeId v : order) priorities_.ensure(v);
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return priorities_.before(a, b); });
+  color_.assign(g_.id_bound(), graph::kInvalidNode);
+  for (const NodeId v : order) color_[v] = eval(v);
+}
+
+NodeId GreedyColoringEngine::eval(NodeId v) const {
+  std::vector<bool> used;
+  for (const NodeId u : g_.neighbors(v)) {
+    if (!priorities_.before(u, v)) continue;
+    const NodeId c = color_[u];
+    DMIS_ASSERT_MSG(c != graph::kInvalidNode, "earlier neighbor uncolored");
+    if (used.size() <= c) used.resize(static_cast<std::size_t>(c) + 1, false);
+    used[c] = true;
+  }
+  NodeId c = 0;
+  while (c < used.size() && used[c]) ++c;
+  return c;
+}
+
+void GreedyColoringEngine::cascade(std::vector<NodeId> seeds) {
+  report_ = ColoringReport{};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (const NodeId v : seeds) heap.push({priorities_.key(v), v});
+  std::unordered_set<NodeId> done;
+  while (!heap.empty()) {
+    const NodeId v = heap.top().id;
+    heap.pop();
+    if (!done.insert(v).second) continue;
+    ++report_.evaluated;
+    const NodeId next = eval(v);
+    if (next == color_[v]) continue;
+    color_[v] = next;
+    report_.changed.push_back(v);
+    for (const NodeId u : g_.neighbors(v))
+      if (priorities_.before(v, u)) heap.push({priorities_.key(u), u});
+  }
+  report_.adjustments = report_.changed.size();
+  std::sort(report_.changed.begin(), report_.changed.end());
+}
+
+NodeId GreedyColoringEngine::add_node(const std::vector<NodeId>& neighbors) {
+  const NodeId v = g_.add_node();
+  priorities_.ensure(v);
+  color_.resize(g_.id_bound(), graph::kInvalidNode);
+  for (const NodeId u : neighbors) g_.add_edge(v, u);
+  cascade({v});
+  // The fresh node's first color is not an "adjustment" of an existing
+  // output; exclude it from the count (it always gets a color).
+  auto it = std::find(report_.changed.begin(), report_.changed.end(), v);
+  if (it != report_.changed.end()) {
+    report_.changed.erase(it);
+    --report_.adjustments;
+  }
+  return v;
+}
+
+ColoringReport GreedyColoringEngine::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  cascade({priorities_.before(u, v) ? v : u});
+  return report_;
+}
+
+ColoringReport GreedyColoringEngine::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  cascade({priorities_.before(u, v) ? v : u});
+  return report_;
+}
+
+ColoringReport GreedyColoringEngine::remove_node(NodeId v) {
+  std::vector<NodeId> seeds;
+  for (const NodeId u : g_.neighbors(v))
+    if (priorities_.before(v, u)) seeds.push_back(u);
+  g_.remove_node(v);
+  color_[v] = graph::kInvalidNode;
+  cascade(std::move(seeds));
+  return report_;
+}
+
+std::size_t GreedyColoringEngine::palette_used() const {
+  std::unordered_set<NodeId> used;
+  for (const NodeId v : g_.nodes()) used.insert(color_[v]);
+  return used.size();
+}
+
+void GreedyColoringEngine::verify() const {
+  for (const NodeId v : g_.nodes())
+    DMIS_ASSERT_MSG(color_[v] == eval(v), "greedy coloring invariant violated");
+  DMIS_ASSERT_MSG(graph::is_proper_coloring(g_, color_), "coloring is improper");
+}
+
+}  // namespace dmis::derived

@@ -1,0 +1,161 @@
+#include "derived/greedy_matching.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/graph_stats.hpp"
+
+namespace dmis::derived {
+
+namespace {
+struct HeapEntry {
+  std::uint64_t key;
+  EdgeId id;
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return core::priority_before(b.key, b.id, a.key, a.id);
+  }
+};
+}  // namespace
+
+NodeId GreedyMatchingEngine::add_node() {
+  report_ = MatchingReport{};
+  return g_.add_node();
+}
+
+EdgeId GreedyMatchingEngine::id_of(NodeId u, NodeId v) const {
+  const auto it = by_key_.find(graph::edge_key(u, v));
+  DMIS_ASSERT_MSG(it != by_key_.end(), "unknown edge");
+  return it->second;
+}
+
+template <typename Fn>
+void GreedyMatchingEngine::for_each_adjacent(EdgeId e, Fn&& fn) const {
+  const EdgeInfo& info = edges_[e];
+  for (const NodeId endpoint : {info.u, info.v}) {
+    const auto it = incident_.find(endpoint);
+    if (it == incident_.end()) continue;
+    for (const EdgeId other : it->second)
+      if (other != e) fn(other);
+  }
+}
+
+bool GreedyMatchingEngine::eval(EdgeId e) const {
+  bool blocked = false;
+  for_each_adjacent(e, [&](EdgeId other) {
+    blocked |= edges_[other].matched && priorities_.before(other, e);
+  });
+  return !blocked;
+}
+
+void GreedyMatchingEngine::cascade(std::vector<EdgeId> seeds) {
+  report_ = MatchingReport{};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (const EdgeId e : seeds) heap.push({priorities_.key(e), e});
+  std::vector<bool> done(edges_.size(), false);
+  while (!heap.empty()) {
+    const EdgeId e = heap.top().id;
+    heap.pop();
+    if (done[e]) continue;
+    done[e] = true;
+    if (!edges_[e].alive) continue;
+    ++report_.evaluated;
+    const bool next = eval(e);
+    if (next == edges_[e].matched) continue;
+    edges_[e].matched = next;
+    ++report_.adjustments;
+    for_each_adjacent(e, [&](EdgeId other) {
+      if (priorities_.before(e, other))
+        heap.push({priorities_.key(other), other});
+    });
+  }
+}
+
+void GreedyMatchingEngine::add_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.add_edge(u, v));
+  const auto e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, /*alive=*/true, /*matched=*/false});
+  priorities_.ensure(e);
+  by_key_.emplace(graph::edge_key(u, v), e);
+  incident_[u].push_back(e);
+  incident_[v].push_back(e);
+  cascade({e});
+}
+
+void GreedyMatchingEngine::detach(EdgeId e) {
+  EdgeInfo& info = edges_[e];
+  DMIS_ASSERT(info.alive);
+  for (const NodeId endpoint : {info.u, info.v}) {
+    auto& list = incident_[endpoint];
+    list.erase(std::find(list.begin(), list.end(), e));
+  }
+  by_key_.erase(graph::edge_key(info.u, info.v));
+  info.alive = false;
+  info.matched = false;
+}
+
+void GreedyMatchingEngine::remove_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT(g_.remove_edge(u, v));
+  const EdgeId e = id_of(u, v);
+  const bool was_matched = edges_[e].matched;
+  std::vector<EdgeId> seeds;
+  if (was_matched)
+    for_each_adjacent(e, [&](EdgeId other) {
+      if (priorities_.before(e, other)) seeds.push_back(other);
+    });
+  detach(e);
+  cascade(std::move(seeds));
+}
+
+void GreedyMatchingEngine::remove_node(NodeId v) {
+  const auto it = incident_.find(v);
+  std::vector<EdgeId> doomed = it == incident_.end() ? std::vector<EdgeId>{}
+                                                     : it->second;
+  std::vector<EdgeId> seeds;
+  for (const EdgeId e : doomed) {
+    if (!edges_[e].matched) continue;
+    for_each_adjacent(e, [&](EdgeId other) {
+      if (priorities_.before(e, other)) seeds.push_back(other);
+    });
+  }
+  for (const EdgeId e : doomed) detach(e);
+  g_.remove_node(v);
+  // Seeds that were themselves incident to v are gone; cascade skips them.
+  cascade(std::move(seeds));
+}
+
+bool GreedyMatchingEngine::is_matched_edge(NodeId u, NodeId v) const {
+  const auto it = by_key_.find(graph::edge_key(u, v));
+  return it != by_key_.end() && edges_[it->second].matched;
+}
+
+bool GreedyMatchingEngine::is_matched_node(NodeId v) const {
+  const auto it = incident_.find(v);
+  if (it == incident_.end()) return false;
+  for (const EdgeId e : it->second)
+    if (edges_[e].matched) return true;
+  return false;
+}
+
+std::vector<std::pair<NodeId, NodeId>> GreedyMatchingEngine::matching() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const EdgeInfo& info : edges_)
+    if (info.alive && info.matched) out.emplace_back(info.u, info.v);
+  return out;
+}
+
+std::size_t GreedyMatchingEngine::matching_size() const {
+  std::size_t count = 0;
+  for (const EdgeInfo& info : edges_) count += (info.alive && info.matched) ? 1 : 0;
+  return count;
+}
+
+void GreedyMatchingEngine::verify() const {
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edges_[e].alive) continue;
+    DMIS_ASSERT_MSG(edges_[e].matched == eval(e), "greedy matching invariant broken");
+  }
+  DMIS_ASSERT_MSG(graph::is_maximal_matching(g_, matching()),
+                  "matched set is not a maximal matching");
+}
+
+}  // namespace dmis::derived

@@ -1,0 +1,56 @@
+#include "graph/clique_expansion.hpp"
+
+namespace dmis::graph {
+
+std::vector<NodeId> CliqueExpansionMap::add_graph_node(NodeId v) {
+  DMIS_ASSERT_MSG(!has_graph_node(v), "node already expanded");
+  std::vector<NodeId> ids;
+  ids.reserve(palette_);
+  for (NodeId i = 0; i < palette_; ++i) {
+    const NodeId id = x_.add_node();
+    ids.push_back(id);
+    if (owner_.size() <= id) owner_.resize(id + 1);
+    owner_[id] = {v, i};
+  }
+  for (NodeId i = 0; i < palette_; ++i)
+    for (NodeId j = i + 1; j < palette_; ++j) x_.add_edge(ids[i], ids[j]);
+  copies_.emplace(v, ids);
+  return ids;
+}
+
+std::vector<NodeId> CliqueExpansionMap::remove_graph_node(NodeId v) {
+  const auto it = copies_.find(v);
+  DMIS_ASSERT_MSG(it != copies_.end(), "node not expanded");
+  std::vector<NodeId> ids = it->second;
+  for (const NodeId id : ids) x_.remove_node(id);
+  copies_.erase(it);
+  return ids;
+}
+
+std::vector<std::pair<NodeId, NodeId>> CliqueExpansionMap::add_graph_edge(NodeId u,
+                                                                          NodeId v) {
+  const auto& cu = copies_.at(u);
+  const auto& cv = copies_.at(v);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(palette_);
+  for (NodeId i = 0; i < palette_; ++i) {
+    x_.add_edge(cu[i], cv[i]);
+    pairs.emplace_back(cu[i], cv[i]);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<NodeId, NodeId>> CliqueExpansionMap::remove_graph_edge(
+    NodeId u, NodeId v) {
+  const auto& cu = copies_.at(u);
+  const auto& cv = copies_.at(v);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(palette_);
+  for (NodeId i = 0; i < palette_; ++i) {
+    x_.remove_edge(cu[i], cv[i]);
+    pairs.emplace_back(cu[i], cv[i]);
+  }
+  return pairs;
+}
+
+}  // namespace dmis::graph

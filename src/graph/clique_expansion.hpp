@@ -1,0 +1,67 @@
+// Clique-expansion reduction from (Δ+1)-coloring to MIS (Luby [43], used by
+// the paper in §5 to derive a history-independent coloring algorithm).
+//
+// Every G-node v becomes a clique {(v,0), …, (v,C−1)} of C = palette-size
+// copies; every G-edge {u,v} becomes the perfect matching {(u,i),(v,i)}.
+// An MIS of the expanded graph contains exactly one copy (v,i) per node v as
+// long as deg(v) ≤ C − 1, and "v has color i" is a proper coloring.
+//
+// CliqueExpansionMap maintains the correspondence incrementally so a dynamic
+// MIS over the expansion can be driven by G's topology changes
+// (derived::DynamicColoring).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::graph {
+
+class CliqueExpansionMap {
+ public:
+  /// `palette` = C, the number of copies per node (must exceed the largest
+  /// degree G will ever reach).
+  explicit CliqueExpansionMap(NodeId palette) : palette_(palette) {
+    DMIS_ASSERT(palette_ >= 1);
+  }
+
+  [[nodiscard]] NodeId palette() const noexcept { return palette_; }
+  [[nodiscard]] const DynamicGraph& expansion() const noexcept { return x_; }
+
+  /// Mirror a node insertion: creates the clique. Returns the copy ids in
+  /// palette order.
+  std::vector<NodeId> add_graph_node(NodeId v);
+
+  /// Mirror a node deletion: removes all copies. Returns them.
+  std::vector<NodeId> remove_graph_node(NodeId v);
+
+  /// Mirror an edge insertion: adds the matching edges. Returns the C pairs.
+  std::vector<std::pair<NodeId, NodeId>> add_graph_edge(NodeId u, NodeId v);
+
+  /// Mirror an edge deletion: removes the matching edges. Returns the C pairs.
+  std::vector<std::pair<NodeId, NodeId>> remove_graph_edge(NodeId u, NodeId v);
+
+  /// Copy i of G-node v.
+  [[nodiscard]] NodeId copy(NodeId v, NodeId i) const {
+    const auto it = copies_.find(v);
+    DMIS_ASSERT(it != copies_.end() && i < palette_);
+    return it->second[i];
+  }
+
+  /// Inverse map: which (G-node, color index) a copy represents.
+  [[nodiscard]] std::pair<NodeId, NodeId> owner(NodeId copy_id) const {
+    DMIS_ASSERT(copy_id < owner_.size());
+    return owner_[copy_id];
+  }
+
+  [[nodiscard]] bool has_graph_node(NodeId v) const { return copies_.contains(v); }
+
+ private:
+  NodeId palette_;
+  DynamicGraph x_;
+  std::unordered_map<NodeId, std::vector<NodeId>> copies_;
+  std::vector<std::pair<NodeId, NodeId>> owner_;  // copy id -> (v, i)
+};
+
+}  // namespace dmis::graph

@@ -1,0 +1,6 @@
+#include "graph/dynamic_graph.hpp"
+
+// DynamicGraph is header-only; this translation unit exists so the target has
+// a stable archive member for the module and to host any future out-of-line
+// definitions.
+namespace dmis::graph {}

@@ -1,0 +1,155 @@
+// DynamicGraph: the mutable undirected graph that every engine in this
+// repository operates on.
+//
+// The paper's model (§2) manipulates an undirected graph under four logical
+// topology changes: edge insertion, edge deletion, node insertion and node
+// deletion. This class provides exactly those operations with O(1) expected
+// edge queries and O(deg) updates, plus the inspection helpers the engines
+// and simulators need.
+//
+// Node identifiers are dense indices assigned in insertion order and never
+// reused, so a NodeId is a stable handle for priorities, histories and
+// cross-structure maps (line graph, clique expansion) even across deletions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmis::graph {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~static_cast<NodeId>(0);
+
+/// Canonical 64-bit key of an undirected edge (order-insensitive).
+[[nodiscard]] constexpr std::uint64_t edge_key(NodeId u, NodeId v) noexcept {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Create a graph with `n` initial nodes (ids 0 … n−1) and no edges.
+  explicit DynamicGraph(NodeId n) {
+    for (NodeId v = 0; v < n; ++v) (void)add_node();
+  }
+
+  /// Insert a fresh node; returns its id (== previous id_bound()).
+  NodeId add_node() {
+    const auto id = static_cast<NodeId>(alive_.size());
+    alive_.push_back(true);
+    adjacency_.emplace_back();
+    ++node_count_;
+    return id;
+  }
+
+  /// Remove a node and all incident edges. The id is never reused.
+  void remove_node(NodeId v) {
+    DMIS_ASSERT(has_node(v));
+    // Copy: remove_edge mutates adjacency_[v].
+    const std::vector<NodeId> neighbors = adjacency_[v];
+    for (const NodeId u : neighbors) remove_edge(v, u);
+    alive_[v] = false;
+    --node_count_;
+  }
+
+  /// Insert edge {u, v}; returns false if it already exists.
+  bool add_edge(NodeId u, NodeId v) {
+    DMIS_ASSERT(has_node(u) && has_node(v));
+    DMIS_ASSERT_MSG(u != v, "self-loops are not part of the model");
+    if (!edges_.insert(edge_key(u, v)).second) return false;
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    return true;
+  }
+
+  /// Remove edge {u, v}; returns false if it was absent.
+  bool remove_edge(NodeId u, NodeId v) {
+    if (edges_.erase(edge_key(u, v)) == 0) return false;
+    erase_neighbor(u, v);
+    erase_neighbor(v, u);
+    return true;
+  }
+
+  [[nodiscard]] bool has_node(NodeId v) const noexcept {
+    return v < alive_.size() && alive_[v];
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept {
+    return edges_.contains(edge_key(u, v));
+  }
+
+  [[nodiscard]] NodeId node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// One past the largest id ever assigned; valid ids are < id_bound().
+  [[nodiscard]] NodeId id_bound() const noexcept {
+    return static_cast<NodeId>(alive_.size());
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    DMIS_ASSERT(has_node(v));
+    return adjacency_[v].size();
+  }
+
+  /// Current neighbors of v (unordered). Invalidated by any mutation.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const {
+    DMIS_ASSERT(has_node(v));
+    return adjacency_[v];
+  }
+
+  /// All live node ids, ascending.
+  [[nodiscard]] std::vector<NodeId> nodes() const {
+    std::vector<NodeId> out;
+    out.reserve(node_count_);
+    for (NodeId v = 0; v < id_bound(); ++v)
+      if (alive_[v]) out.push_back(v);
+    return out;
+  }
+
+  /// All edges as (lo, hi) pairs, unordered.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const {
+    std::vector<std::pair<NodeId, NodeId>> out;
+    out.reserve(edges_.size());
+    for (const auto key : edges_)
+      out.emplace_back(static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xffffffffULL));
+    return out;
+  }
+
+  friend bool operator==(const DynamicGraph& a, const DynamicGraph& b) {
+    if (a.node_count_ != b.node_count_ || a.edges_.size() != b.edges_.size())
+      return false;
+    const NodeId bound = a.id_bound() < b.id_bound() ? b.id_bound() : a.id_bound();
+    for (NodeId v = 0; v < bound; ++v)
+      if (a.has_node(v) != b.has_node(v)) return false;
+    for (const auto key : a.edges_)
+      if (!b.edges_.contains(key)) return false;
+    return true;
+  }
+
+ private:
+  void erase_neighbor(NodeId v, NodeId target) {
+    auto& list = adjacency_[v];
+    for (auto& entry : list) {
+      if (entry == target) {
+        entry = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    DMIS_ASSERT_MSG(false, "adjacency list inconsistent with edge set");
+  }
+
+  std::vector<bool> alive_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_set<std::uint64_t> edges_;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace dmis::graph

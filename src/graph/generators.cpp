@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+namespace dmis::graph {
+
+DynamicGraph erdos_renyi(NodeId n, double p, util::Rng& rng) {
+  DynamicGraph g(n);
+  if (p <= 0.0) return g;
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping (Batagelj–Brandes): O(n + m) instead of O(n²).
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < static_cast<std::int64_t>(n)) {
+    const double r = rng.real01();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < static_cast<std::int64_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::int64_t>(n))
+      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  }
+  return g;
+}
+
+DynamicGraph gnm(NodeId n, std::uint64_t m, util::Rng& rng) {
+  DynamicGraph g(n);
+  if (n < 2) return g;
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  if (m > max_edges) m = max_edges;
+  while (g.edge_count() < m) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u != v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+DynamicGraph random_avg_degree(NodeId n, double avg_degree, util::Rng& rng) {
+  const auto m = static_cast<std::uint64_t>(
+      std::llround(avg_degree * static_cast<double>(n) / 2.0));
+  return gnm(n, m, rng);
+}
+
+DynamicGraph star(NodeId n) {
+  DynamicGraph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+DynamicGraph path(NodeId n) {
+  DynamicGraph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+DynamicGraph cycle(NodeId n) {
+  DMIS_ASSERT(n >= 3);
+  DynamicGraph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+DynamicGraph complete(NodeId n) {
+  DynamicGraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+DynamicGraph complete_bipartite(NodeId a, NodeId b) {
+  DynamicGraph g(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+DynamicGraph bipartite_minus_perfect_matching(NodeId k) {
+  DynamicGraph g(2 * k);
+  for (NodeId i = 0; i < k; ++i)
+    for (NodeId j = 0; j < k; ++j)
+      if (i != j) g.add_edge(i, k + j);
+  return g;
+}
+
+DynamicGraph disjoint_three_edge_paths(NodeId count) {
+  DynamicGraph g(4 * count);
+  for (NodeId i = 0; i < count; ++i) {
+    const NodeId base = 4 * i;
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base + 2, base + 3);
+  }
+  return g;
+}
+
+DynamicGraph grid(NodeId rows, NodeId cols) {
+  DynamicGraph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+DynamicGraph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng) {
+  DMIS_ASSERT(k >= 2 && k % 2 == 0 && n > k);
+  DynamicGraph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId j = 1; j <= k / 2; ++j) g.add_edge(v, (v + j) % n);
+  // Rewire each lattice edge's far endpoint with probability beta.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      if (!rng.chance(beta)) continue;
+      const NodeId old_target = (v + j) % n;
+      if (!g.has_edge(v, old_target)) continue;  // already rewired away
+      const auto fresh = static_cast<NodeId>(rng.below(n));
+      if (fresh == v || g.has_edge(v, fresh)) continue;
+      g.remove_edge(v, old_target);
+      g.add_edge(v, fresh);
+    }
+  }
+  return g;
+}
+
+DynamicGraph barabasi_albert(NodeId n, NodeId attach, util::Rng& rng) {
+  DMIS_ASSERT(attach >= 1);
+  DMIS_ASSERT(n > attach);
+  DynamicGraph g = complete(attach + 1);
+  // Endpoint multiset: sampling uniformly from it is sampling ∝ degree.
+  std::vector<NodeId> endpoints;
+  for (const auto& [u, v] : g.edges()) {
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  }
+  for (NodeId v = attach + 1; v < n; ++v) {
+    const NodeId id = g.add_node();
+    std::vector<NodeId> targets;
+    while (targets.size() < attach) {
+      const NodeId candidate = rng.pick(endpoints);
+      bool fresh = true;
+      for (const NodeId t : targets) fresh &= (t != candidate);
+      if (fresh) targets.push_back(candidate);
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(id, t);
+      endpoints.push_back(id);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace dmis::graph

@@ -1,0 +1,66 @@
+// Graph generators for workloads, tests and the paper's worked examples.
+//
+// Includes the specific constructions the paper analyzes: the star (§5
+// Example 1), disjoint 3-edge paths (§5 Example 2), the complete bipartite
+// graph K_{k,k} (the deterministic lower bound of §1.1) and the complete
+// bipartite graph minus a perfect matching (§5 Example 3), alongside the
+// generic random-graph families used to measure expectations over "any"
+// topology (Erdős–Rényi, fixed-edge-count G(n,m), preferential attachment,
+// grids, etc.).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dmis::graph {
+
+/// G(n, p): each pair independently an edge with probability p.
+[[nodiscard]] DynamicGraph erdos_renyi(NodeId n, double p, util::Rng& rng);
+
+/// G(n, m): exactly m distinct uniform edges (m capped at C(n,2)).
+[[nodiscard]] DynamicGraph gnm(NodeId n, std::uint64_t m, util::Rng& rng);
+
+/// Convenience: G(n, m) with m chosen so the average degree is `avg_degree`.
+[[nodiscard]] DynamicGraph random_avg_degree(NodeId n, double avg_degree,
+                                             util::Rng& rng);
+
+/// Star on n nodes; node 0 is the center.
+[[nodiscard]] DynamicGraph star(NodeId n);
+
+/// Simple path on n nodes: 0–1–…–(n−1).
+[[nodiscard]] DynamicGraph path(NodeId n);
+
+/// Cycle on n ≥ 3 nodes.
+[[nodiscard]] DynamicGraph cycle(NodeId n);
+
+/// Complete graph K_n.
+[[nodiscard]] DynamicGraph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}; left side ids 0…a−1, right side a…a+b−1.
+[[nodiscard]] DynamicGraph complete_bipartite(NodeId a, NodeId b);
+
+/// §5 Example 3: K_{k,k} minus a perfect matching — edge (u_i, v_j) for all
+/// i ≠ j. Left ids 0…k−1, right ids k…2k−1; the missing matching pairs i with
+/// k+i.
+[[nodiscard]] DynamicGraph bipartite_minus_perfect_matching(NodeId k);
+
+/// §5 Example 2: `count` disjoint paths of 3 edges (4 nodes) each.
+[[nodiscard]] DynamicGraph disjoint_three_edge_paths(NodeId count);
+
+/// rows × cols grid graph.
+[[nodiscard]] DynamicGraph grid(NodeId rows, NodeId cols);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` nodes, each new node attaches to `attach` existing nodes
+/// sampled proportionally to degree.
+[[nodiscard]] DynamicGraph barabasi_albert(NodeId n, NodeId attach, util::Rng& rng);
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k` nearest neighbors (k even), with each edge rewired to a uniform
+/// endpoint with probability `beta`. Realistic mesh/P2P topologies.
+[[nodiscard]] DynamicGraph watts_strogatz(NodeId n, NodeId k, double beta,
+                                          util::Rng& rng);
+
+}  // namespace dmis::graph

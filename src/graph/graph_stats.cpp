@@ -1,0 +1,106 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dmis::graph {
+
+DegreeSummary degree_summary(const DynamicGraph& g) {
+  DegreeSummary s;
+  if (g.node_count() == 0) return s;
+  s.minimum = ~static_cast<std::size_t>(0);
+  double total = 0.0;
+  for (const NodeId v : g.nodes()) {
+    const std::size_t d = g.degree(v);
+    total += static_cast<double>(d);
+    s.maximum = std::max(s.maximum, d);
+    s.minimum = std::min(s.minimum, d);
+  }
+  s.average = total / static_cast<double>(g.node_count());
+  return s;
+}
+
+util::Histogram degree_histogram(const DynamicGraph& g) {
+  util::Histogram h;
+  for (const NodeId v : g.nodes()) h.add(static_cast<std::int64_t>(g.degree(v)));
+  return h;
+}
+
+std::size_t component_count(const DynamicGraph& g) {
+  std::vector<bool> seen(g.id_bound(), false);
+  std::size_t components = 0;
+  for (const NodeId start : g.nodes()) {
+    if (seen[start]) continue;
+    ++components;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId u : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_independent_set(const DynamicGraph& g,
+                        const std::unordered_set<NodeId>& set) {
+  for (const NodeId v : set) {
+    if (!g.has_node(v)) return false;
+    for (const NodeId u : g.neighbors(v))
+      if (set.contains(u)) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const DynamicGraph& g,
+                                const std::unordered_set<NodeId>& set) {
+  if (!is_independent_set(g, set)) return false;
+  for (const NodeId v : g.nodes()) {
+    if (set.contains(v)) continue;
+    bool dominated = false;
+    for (const NodeId u : g.neighbors(v)) dominated |= set.contains(u);
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_matching(const DynamicGraph& g,
+                 const std::vector<std::pair<NodeId, NodeId>>& matching) {
+  std::unordered_set<NodeId> touched;
+  for (const auto& [u, v] : matching) {
+    if (!g.has_edge(u, v)) return false;
+    if (!touched.insert(u).second) return false;
+    if (!touched.insert(v).second) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const DynamicGraph& g,
+                         const std::vector<std::pair<NodeId, NodeId>>& matching) {
+  if (!is_matching(g, matching)) return false;
+  std::unordered_set<NodeId> touched;
+  for (const auto& [u, v] : matching) {
+    touched.insert(u);
+    touched.insert(v);
+  }
+  for (const auto& [u, v] : g.edges())
+    if (!touched.contains(u) && !touched.contains(v)) return false;
+  return true;
+}
+
+bool is_proper_coloring(const DynamicGraph& g, const std::vector<NodeId>& color) {
+  for (const auto& [u, v] : g.edges()) {
+    if (u >= color.size() || v >= color.size()) return false;
+    if (color[u] == color[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace dmis::graph

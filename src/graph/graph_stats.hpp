@@ -1,0 +1,49 @@
+// Graph measurements and solution validators.
+//
+// The validators are the ground-truth oracles for the test suite: independent
+// set / MIS checks (paper §2), proper-coloring and matching checks for the
+// derived structures of §5.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/stats.hpp"
+
+namespace dmis::graph {
+
+struct DegreeSummary {
+  double average = 0.0;
+  std::size_t maximum = 0;
+  std::size_t minimum = 0;
+};
+
+[[nodiscard]] DegreeSummary degree_summary(const DynamicGraph& g);
+
+[[nodiscard]] util::Histogram degree_histogram(const DynamicGraph& g);
+
+/// Number of connected components among live nodes.
+[[nodiscard]] std::size_t component_count(const DynamicGraph& g);
+
+/// Is `set` an independent set of g? (Every member must be a live node.)
+[[nodiscard]] bool is_independent_set(const DynamicGraph& g,
+                                      const std::unordered_set<NodeId>& set);
+
+/// Is `set` a *maximal* independent set of g?
+[[nodiscard]] bool is_maximal_independent_set(const DynamicGraph& g,
+                                              const std::unordered_set<NodeId>& set);
+
+/// Is `matching` (edges as node pairs) a valid matching of g?
+[[nodiscard]] bool is_matching(const DynamicGraph& g,
+                               const std::vector<std::pair<NodeId, NodeId>>& matching);
+
+/// Is `matching` maximal (no g-edge has both endpoints unmatched)?
+[[nodiscard]] bool is_maximal_matching(
+    const DynamicGraph& g, const std::vector<std::pair<NodeId, NodeId>>& matching);
+
+/// Is `color` (indexed by node id; only live nodes consulted) a proper coloring?
+[[nodiscard]] bool is_proper_coloring(const DynamicGraph& g,
+                                      const std::vector<NodeId>& color);
+
+}  // namespace dmis::graph

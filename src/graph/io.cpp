@@ -1,0 +1,55 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dmis::graph {
+
+void write_edge_list(std::ostream& os, const DynamicGraph& g) {
+  os << "n " << g.id_bound() << '\n';
+  auto edges = g.edges();
+  for (const auto& [u, v] : edges) os << "e " << u << ' ' << v << '\n';
+}
+
+DynamicGraph read_edge_list(std::istream& is) {
+  DynamicGraph g;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char kind = 0;
+    ss >> kind;
+    if (kind == 'n') {
+      NodeId count = 0;
+      ss >> count;
+      DMIS_ASSERT_MSG(!ss.fail(), "malformed node-count line");
+      while (g.id_bound() < count) (void)g.add_node();
+    } else if (kind == 'e') {
+      NodeId u = 0;
+      NodeId v = 0;
+      ss >> u >> v;
+      DMIS_ASSERT_MSG(!ss.fail(), "malformed edge line");
+      DMIS_ASSERT_MSG(g.has_node(u) && g.has_node(v), "edge references unknown node");
+      g.add_edge(u, v);
+    } else {
+      DMIS_ASSERT_MSG(false, "unknown record kind in edge list");
+    }
+  }
+  return g;
+}
+
+std::string to_dot(const DynamicGraph& g, const std::unordered_set<NodeId>& highlight) {
+  std::ostringstream os;
+  os << "graph G {\n  node [shape=circle];\n";
+  for (const NodeId v : g.nodes()) {
+    os << "  " << v;
+    if (highlight.contains(v)) os << " [style=filled fillcolor=gold]";
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dmis::graph

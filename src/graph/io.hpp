@@ -1,0 +1,27 @@
+// Plain-text graph serialization.
+//
+// Format (one record per line, '#' comments allowed):
+//   n <count>        declare nodes 0 … count−1
+//   e <u> <v>        edge
+// Round-trips through DynamicGraph; used by examples and by tests that pin
+// down fixtures. `to_dot` renders Graphviz with an optional MIS highlight.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::graph {
+
+void write_edge_list(std::ostream& os, const DynamicGraph& g);
+
+/// Parses the format above; aborts the process on malformed input (fixtures
+/// are trusted, this is not an untrusted-input parser).
+[[nodiscard]] DynamicGraph read_edge_list(std::istream& is);
+
+[[nodiscard]] std::string to_dot(const DynamicGraph& g,
+                                 const std::unordered_set<NodeId>& highlight = {});
+
+}  // namespace dmis::graph

@@ -1,0 +1,61 @@
+#include "graph/line_graph.hpp"
+
+#include <algorithm>
+
+namespace dmis::graph {
+
+LineGraphResult build_line_graph(const DynamicGraph& g) {
+  LineGraphResult result;
+  std::unordered_map<std::uint64_t, NodeId> edge_to_line;
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());  // deterministic node numbering
+  for (const auto& [u, v] : edges) {
+    const NodeId id = result.line.add_node();
+    edge_to_line.emplace(edge_key(u, v), id);
+    result.line_to_edge.emplace_back(u, v);
+  }
+  for (const auto& [u, v] : edges) {
+    const NodeId self = edge_to_line.at(edge_key(u, v));
+    for (const NodeId endpoint : {u, v}) {
+      for (const NodeId w : g.neighbors(endpoint)) {
+        const NodeId other = edge_to_line.at(edge_key(endpoint, w));
+        if (other != self) result.line.add_edge(self, other);
+      }
+    }
+  }
+  return result;
+}
+
+NodeId LineGraphMap::add_graph_edge(NodeId u, NodeId v) {
+  DMIS_ASSERT_MSG(!has_graph_edge(u, v), "edge already mapped");
+  const NodeId id = line_.add_node();
+  edge_to_line_.emplace(edge_key(u, v), id);
+  if (line_to_edge_.size() <= id) line_to_edge_.resize(id + 1);
+  line_to_edge_[id] = {u, v};
+  for (const NodeId endpoint : {u, v})
+    for (const NodeId other : incidence_[endpoint]) line_.add_edge(id, other);
+  incidence_[u].push_back(id);
+  incidence_[v].push_back(id);
+  return id;
+}
+
+NodeId LineGraphMap::remove_graph_edge(NodeId u, NodeId v) {
+  const auto it = edge_to_line_.find(edge_key(u, v));
+  DMIS_ASSERT_MSG(it != edge_to_line_.end(), "edge not mapped");
+  const NodeId id = it->second;
+  edge_to_line_.erase(it);
+  for (const NodeId endpoint : {u, v}) {
+    auto& list = incidence_[endpoint];
+    list.erase(std::find(list.begin(), list.end(), id));
+  }
+  line_.remove_node(id);
+  return id;
+}
+
+std::vector<NodeId> LineGraphMap::incident_line_nodes(NodeId v) const {
+  const auto it = incidence_.find(v);
+  if (it == incidence_.end()) return {};
+  return it->second;
+}
+
+}  // namespace dmis::graph

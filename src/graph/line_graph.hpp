@@ -1,0 +1,75 @@
+// Line-graph construction and incremental maintenance.
+//
+// The paper (§5, composability of history-independent algorithms) obtains a
+// dynamic maximal-matching algorithm by running the dynamic MIS algorithm on
+// the line graph L(G): nodes of L(G) are edges of G, adjacent iff they share
+// an endpoint. A matching in G is exactly an independent set in L(G), and a
+// *maximal* matching is a *maximal* independent set.
+//
+// LineGraphMap maintains the G → L(G) correspondence under G's topology
+// changes and reports which L(G)-changes each G-change translates into, so a
+// dynamic structure over L(G) (derived::DynamicMatching) can be driven
+// change-by-change.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::graph {
+
+/// One-shot construction of L(G). Line-node ids are assigned in edge-list
+/// order; `line_to_edge[i]` maps a line node back to its G-edge.
+struct LineGraphResult {
+  DynamicGraph line;
+  std::vector<std::pair<NodeId, NodeId>> line_to_edge;
+};
+
+[[nodiscard]] LineGraphResult build_line_graph(const DynamicGraph& g);
+
+/// Incremental G → L(G) mapping.
+///
+/// Owns the line graph; callers mutate it *only* through these methods. Each
+/// method returns the information needed to mirror the change into a dynamic
+/// structure living on the line graph.
+class LineGraphMap {
+ public:
+  /// Registers a G-edge: creates its line node (with edges to all line nodes
+  /// of G-edges sharing an endpoint) and returns the new line node id.
+  NodeId add_graph_edge(NodeId u, NodeId v);
+
+  /// Unregisters a G-edge: removes its line node. Returns the removed id.
+  NodeId remove_graph_edge(NodeId u, NodeId v);
+
+  /// Line nodes of all G-edges incident to G-node v (v's deletion in G is the
+  /// deletion of these line nodes, in any order).
+  [[nodiscard]] std::vector<NodeId> incident_line_nodes(NodeId v) const;
+
+  [[nodiscard]] const DynamicGraph& line() const noexcept { return line_; }
+
+  [[nodiscard]] bool has_graph_edge(NodeId u, NodeId v) const {
+    return edge_to_line_.contains(edge_key(u, v));
+  }
+
+  [[nodiscard]] NodeId line_node_of(NodeId u, NodeId v) const {
+    const auto it = edge_to_line_.find(edge_key(u, v));
+    DMIS_ASSERT(it != edge_to_line_.end());
+    return it->second;
+  }
+
+  /// G-edge represented by a line node.
+  [[nodiscard]] std::pair<NodeId, NodeId> edge_of(NodeId line_node) const {
+    DMIS_ASSERT(line_node < line_to_edge_.size());
+    return line_to_edge_[line_node];
+  }
+
+ private:
+  DynamicGraph line_;
+  std::unordered_map<std::uint64_t, NodeId> edge_to_line_;
+  std::vector<std::pair<NodeId, NodeId>> line_to_edge_;
+  // incidence_[g_node] = line nodes of currently-present edges at g_node.
+  std::unordered_map<NodeId, std::vector<NodeId>> incidence_;
+};
+
+}  // namespace dmis::graph

@@ -1,0 +1,60 @@
+#include "sim/async_network.hpp"
+
+#include <algorithm>
+
+namespace dmis::sim {
+
+namespace {
+// Directed link key (from, to) for the FIFO clock.
+std::uint64_t link_key(graph::NodeId from, graph::NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+void AsyncNetwork::schedule(graph::NodeId to, graph::NodeId from, const Message& msg,
+                            std::uint64_t depth) {
+  const std::uint64_t delay = 1 + rng_.below(max_delay_);
+  std::uint64_t at = now_ + delay;
+  // FIFO per directed link: never deliver before an earlier send on the link.
+  auto& clock = link_clock_[link_key(from, to)];
+  at = std::max(at, clock + 1);
+  clock = at;
+  queue_.push({at, seq_++, to, {from, msg}, depth});
+}
+
+void AsyncNetwork::broadcast(graph::NodeId v, const Message& msg, std::uint32_t bits) {
+  DMIS_ASSERT(comm_.has_node(v));
+  ++cost_.broadcasts;
+  cost_.messages += comm_.degree(v);
+  cost_.bits += bits;
+  for (const graph::NodeId u : comm_.neighbors(v))
+    schedule(u, v, msg, current_depth_ + 1);
+}
+
+void AsyncNetwork::inject(graph::NodeId v, graph::NodeId from, const Message& msg) {
+  const std::uint64_t saved = current_depth_;
+  current_depth_ = 0;
+  schedule(v, from, msg, 0);
+  current_depth_ = saved;
+}
+
+std::uint64_t AsyncNetwork::run(AsyncProtocol& proto, std::uint64_t max_events) {
+  std::uint64_t handled = 0;
+  std::uint64_t max_depth = 0;
+  while (!queue_.empty()) {
+    DMIS_ASSERT_MSG(handled < max_events, "async protocol failed to quiesce");
+    const Event event = queue_.top();
+    queue_.pop();
+    ++handled;
+    now_ = std::max(now_, event.time);
+    if (!comm_.has_node(event.to)) continue;  // receiver retired in flight
+    max_depth = std::max(max_depth, event.depth);
+    current_depth_ = event.depth;
+    proto.on_message(event.to, event.delivery, *this);
+  }
+  current_depth_ = 0;
+  cost_.rounds += max_depth;
+  return max_depth;
+}
+
+}  // namespace dmis::sim

@@ -1,0 +1,93 @@
+// Asynchronous broadcast network simulator.
+//
+// The paper's asynchronous model measures "rounds" as the longest path of
+// communication (§1.1): the maximum, over all causal chains of messages, of
+// the chain length. The simulator is a discrete-event queue in which each
+// point-to-point delivery gets an arbitrary finite delay from a scheduler
+// (seeded-random by default; FIFO per link is preserved so a later state
+// announcement never overtakes an earlier one on the same link). Every
+// delivery carries the causal depth of the chain that produced it; the
+// maximum observed depth is the async round complexity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "sim/cost_report.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace dmis::sim {
+
+class AsyncNetwork;
+
+class AsyncProtocol {
+ public:
+  virtual ~AsyncProtocol() = default;
+
+  /// A single delivery (or environment notification) arriving at `v`.
+  virtual void on_message(graph::NodeId v, const Delivery& delivery,
+                          AsyncNetwork& net) = 0;
+};
+
+class AsyncNetwork {
+ public:
+  /// `max_delay` ≥ 1: each delivery is postponed by 1 … max_delay ticks,
+  /// chosen by the seeded scheduler (1 makes the schedule FIFO-deterministic).
+  explicit AsyncNetwork(std::uint64_t seed, std::uint64_t max_delay = 8)
+      : rng_(seed), max_delay_(max_delay) {
+    DMIS_ASSERT(max_delay_ >= 1);
+  }
+
+  [[nodiscard]] graph::DynamicGraph& comm() noexcept { return comm_; }
+  [[nodiscard]] const graph::DynamicGraph& comm() const noexcept { return comm_; }
+
+  /// Broadcast from `v` to all current neighbors; each copy is scheduled
+  /// independently. Must only be called from inside on_message (the causal
+  /// depth of the triggering delivery is extended) or via inject().
+  void broadcast(graph::NodeId v, const Message& msg, std::uint32_t bits);
+
+  /// Environment stimulus at `v` (topology-change notification). Starts a
+  /// causal chain of depth 0; not accounted as a broadcast.
+  void inject(graph::NodeId v, graph::NodeId from, const Message& msg);
+
+  /// Drain the event queue. Returns the maximum causal depth observed (the
+  /// async round complexity), also accumulated into cost().rounds.
+  std::uint64_t run(AsyncProtocol& proto, std::uint64_t max_events = 10'000'000);
+
+  [[nodiscard]] const CostReport& cost() const noexcept { return cost_; }
+  void reset_cost() noexcept { cost_ = CostReport{}; }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  // tiebreak: keeps the schedule deterministic
+    graph::NodeId to;
+    Delivery delivery;
+    std::uint64_t depth;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule(graph::NodeId to, graph::NodeId from, const Message& msg,
+                std::uint64_t depth);
+
+  graph::DynamicGraph comm_;
+  util::Rng rng_;
+  std::uint64_t max_delay_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // FIFO guarantee: next free slot per directed link.
+  std::map<std::uint64_t, std::uint64_t> link_clock_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t current_depth_ = 0;  // depth of the delivery being handled
+  CostReport cost_;
+};
+
+}  // namespace dmis::sim

@@ -1,0 +1,21 @@
+#include "sim/cost_report.hpp"
+
+namespace dmis::sim {
+
+CostReport& CostReport::operator+=(const CostReport& other) noexcept {
+  rounds += other.rounds;
+  broadcasts += other.broadcasts;
+  messages += other.messages;
+  bits += other.bits;
+  adjustments += other.adjustments;
+  return *this;
+}
+
+std::string CostReport::to_string() const {
+  return "rounds=" + std::to_string(rounds) +
+         " broadcasts=" + std::to_string(broadcasts) +
+         " messages=" + std::to_string(messages) + " bits=" + std::to_string(bits) +
+         " adjustments=" + std::to_string(adjustments);
+}
+
+}  // namespace dmis::sim

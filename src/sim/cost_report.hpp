@@ -1,0 +1,25 @@
+// Per-topology-change cost accounting, matching the paper's three complexity
+// measures (§2): adjustment-complexity (outputs changed), round-complexity
+// (rounds until the system is stable; in the asynchronous model, the longest
+// causal chain of communication) and broadcast-complexity (total 1-hop
+// broadcasts). We additionally track point-to-point message deliveries and
+// total payload bits, for the O(1)-bit refinement of §1.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmis::sim {
+
+struct CostReport {
+  std::uint64_t rounds = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t messages = 0;  ///< broadcasts × (receiver count at send time)
+  std::uint64_t bits = 0;      ///< accounted payload bits over all broadcasts
+  std::uint64_t adjustments = 0;
+
+  CostReport& operator+=(const CostReport& other) noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace dmis::sim

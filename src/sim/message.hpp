@@ -1,0 +1,36 @@
+// Wire format of the simulated network.
+//
+// The paper's model (§2) allows O(log n)-bit broadcast messages. All
+// protocols in this repository encode their messages into this one small
+// POD — a discriminator plus two 64-bit words — and declare the *accounted*
+// size in bits explicitly when broadcasting, because the complexity results
+// distinguish, e.g., a full priority announcement (O(log n) bits) from a
+// constant-size state-change announcement (O(1) bits, §1.1's bit-complexity
+// refinement).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::sim {
+
+struct Message {
+  std::uint8_t kind = 0;  ///< protocol-defined discriminator
+  std::uint64_t a = 0;    ///< payload word (e.g. a priority key)
+  std::uint64_t b = 0;    ///< payload word (e.g. an encoded state)
+};
+
+/// A message together with its sender, as seen by a receiving node.
+struct Delivery {
+  graph::NodeId from = graph::kInvalidNode;
+  Message msg;
+};
+
+/// Conventional accounted message sizes (bits). `kLogNBits` stands for the
+/// paper's O(log n) bound on message length; protocols that only announce a
+/// constant-size state transition use `kStateBits`.
+inline constexpr std::uint32_t kLogNBits = 64;
+inline constexpr std::uint32_t kStateBits = 2;
+
+}  // namespace dmis::sim

@@ -1,0 +1,66 @@
+#include "sim/sync_network.hpp"
+
+#include <algorithm>
+
+namespace dmis::sim {
+
+void SyncNetwork::broadcast(graph::NodeId v, const Message& msg, std::uint32_t bits) {
+  DMIS_ASSERT(comm_.has_node(v));
+  outbox_.push_back({v, msg});
+  ++cost_.broadcasts;
+  cost_.messages += comm_.degree(v);
+  cost_.bits += bits;
+}
+
+void SyncNetwork::wake(graph::NodeId v) { woken_.push_back(v); }
+
+void SyncNetwork::notify(graph::NodeId v, graph::NodeId from, const Message& msg) {
+  pending_notifications_[v].push_back({from, msg});
+}
+
+std::uint64_t SyncNetwork::run(SyncProtocol& proto, std::uint64_t max_rounds) {
+  std::uint64_t rounds = 0;
+  while (!outbox_.empty() || !woken_.empty() || !pending_notifications_.empty()) {
+    DMIS_ASSERT_MSG(rounds < max_rounds, "protocol failed to quiesce");
+    ++rounds;
+    current_round_ = rounds;
+
+    // Deliver last round's broadcasts to the *current* neighbors of each
+    // sender, plus any environment notifications, building per-node inboxes.
+    std::map<graph::NodeId, std::vector<Delivery>> inboxes;
+    for (const auto& out : outbox_) {
+      if (!comm_.has_node(out.from)) continue;  // sender retired mid-flight
+      for (const graph::NodeId u : comm_.neighbors(out.from))
+        inboxes[u].push_back({out.from, out.msg});
+    }
+    outbox_.clear();
+    for (auto& [v, deliveries] : pending_notifications_)
+      for (auto& d : deliveries) inboxes[v].push_back(d);
+    pending_notifications_.clear();
+
+    std::vector<graph::NodeId> schedule;
+    schedule.reserve(inboxes.size() + woken_.size());
+    for (const auto& [v, _] : inboxes) schedule.push_back(v);
+    schedule.insert(schedule.end(), woken_.begin(), woken_.end());
+    woken_.clear();
+    std::sort(schedule.begin(), schedule.end());
+    schedule.erase(std::unique(schedule.begin(), schedule.end()), schedule.end());
+
+    static const std::vector<Delivery> kEmptyInbox;
+    for (const graph::NodeId v : schedule) {
+      if (!comm_.has_node(v)) continue;  // retired while messages were in flight
+      const auto it = inboxes.find(v);
+      auto& inbox = it == inboxes.end() ? const_cast<std::vector<Delivery>&>(kEmptyInbox)
+                                        : it->second;
+      if (it != inboxes.end())
+        std::sort(inbox.begin(), inbox.end(),
+                  [](const Delivery& a, const Delivery& b) { return a.from < b.from; });
+      proto.on_round(v, inbox, *this);
+    }
+  }
+  cost_.rounds += rounds;
+  last_rounds_ = rounds;
+  return rounds;
+}
+
+}  // namespace dmis::sim

@@ -1,0 +1,91 @@
+// Synchronous broadcast network simulator (the paper's primary model, §2).
+//
+// Time is divided into rounds. In each round every node receives the
+// broadcasts its neighbors issued in the previous round, performs local
+// computation, and may broadcast one message heard by all of its current
+// neighbors. The simulator only schedules nodes that have a stimulus (an
+// incoming message, a system notification, or a self-requested wake-up) —
+// silent nodes cannot act, which both matches the model and keeps the cost of
+// simulating an O(1)-activity recovery independent of n.
+//
+// The network owns the *communication* topology. It can differ transiently
+// from the logical graph: a gracefully deleted node stays in the
+// communication graph until the recovery quiesces (§2), while an abrupt
+// deletion removes it immediately and the neighbors merely get a system
+// notification of the retirement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "sim/cost_report.hpp"
+#include "sim/message.hpp"
+
+namespace dmis::sim {
+
+class SyncNetwork;
+
+/// Protocol logic run at each scheduled node each round.
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+
+  /// `inbox` holds everything delivered to `v` this round, sorted by sender.
+  /// The protocol may call net.broadcast(v, …) and net.wake(…).
+  virtual void on_round(graph::NodeId v, const std::vector<Delivery>& inbox,
+                        SyncNetwork& net) = 0;
+};
+
+class SyncNetwork {
+ public:
+  /// The communication graph; drivers mutate it through comm().
+  [[nodiscard]] graph::DynamicGraph& comm() noexcept { return comm_; }
+  [[nodiscard]] const graph::DynamicGraph& comm() const noexcept { return comm_; }
+
+  /// Queue a broadcast from `v`, delivered to all of v's neighbors at the
+  /// start of the next round. `bits` is the accounted payload size.
+  void broadcast(graph::NodeId v, const Message& msg, std::uint32_t bits);
+
+  /// Ensure `v` is scheduled next round even without incoming messages
+  /// (used for protocol timers such as Algorithm 2's two-round wait).
+  void wake(graph::NodeId v);
+
+  /// Out-of-band notification from the environment (e.g. "your neighbor was
+  /// abruptly deleted", "an edge to w appeared"). Delivered next round with
+  /// sender `from`; not accounted as a broadcast.
+  void notify(graph::NodeId v, graph::NodeId from, const Message& msg);
+
+  /// Run `proto` until quiescence (no pending messages, wakes or
+  /// notifications). Returns the number of rounds executed and accumulates
+  /// all costs into cost(). Aborts if `max_rounds` is exceeded (protocol bug).
+  std::uint64_t run(SyncProtocol& proto, std::uint64_t max_rounds = 1'000'000);
+
+  [[nodiscard]] const CostReport& cost() const noexcept { return cost_; }
+  void reset_cost() noexcept { cost_ = CostReport{}; }
+
+  /// Rounds executed by the most recent run().
+  [[nodiscard]] std::uint64_t last_rounds() const noexcept { return last_rounds_; }
+
+  /// Index of the round currently executing (1-based, resets per run()).
+  /// Protocol timers such as Algorithm 2's two-round wait read this.
+  [[nodiscard]] std::uint64_t round() const noexcept { return current_round_; }
+
+ private:
+  struct Outgoing {
+    graph::NodeId from;
+    Message msg;
+  };
+
+  graph::DynamicGraph comm_;
+  std::vector<Outgoing> outbox_;
+  // Pending out-of-band deliveries, keyed by receiver.
+  std::map<graph::NodeId, std::vector<Delivery>> pending_notifications_;
+  std::vector<graph::NodeId> woken_;
+  CostReport cost_;
+  std::uint64_t last_rounds_ = 0;
+  std::uint64_t current_round_ = 0;
+};
+
+}  // namespace dmis::sim

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion machinery.
+//
+// The library maintains nontrivial invariants (the MIS invariant, protocol
+// state-machine legality, graph consistency). Violations indicate programmer
+// error, not recoverable conditions, so per the C++ Core Guidelines (E.12,
+// I.6) we terminate loudly rather than throw. DMIS_ASSERT stays enabled in
+// release builds: every bench run doubles as a correctness run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmis::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "DMIS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dmis::util
+
+#define DMIS_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::dmis::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define DMIS_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::dmis::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace dmis::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "?";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    Entry entry;
+    if (eq != std::string::npos) {
+      entry.name = arg.substr(0, eq);
+      entry.value = arg.substr(eq + 1);
+    } else {
+      entry.name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        entry.value = argv[++i];
+      } else {
+        entry.value = "true";  // bare boolean flag
+      }
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+const std::string* Cli::lookup(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry.name == name) {
+      entry.used = true;
+      return &entry.value;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t Cli::flag_int(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  help_.push_back({name, std::to_string(def), help});
+  const std::string* raw = lookup(name);
+  return raw != nullptr ? std::strtoll(raw->c_str(), nullptr, 10) : def;
+}
+
+double Cli::flag_double(const std::string& name, double def, const std::string& help) {
+  help_.push_back({name, std::to_string(def), help});
+  const std::string* raw = lookup(name);
+  return raw != nullptr ? std::strtod(raw->c_str(), nullptr) : def;
+}
+
+std::string Cli::flag_string(const std::string& name, std::string def,
+                             const std::string& help) {
+  help_.push_back({name, def, help});
+  const std::string* raw = lookup(name);
+  return raw != nullptr ? *raw : def;
+}
+
+bool Cli::flag_bool(const std::string& name, bool def, const std::string& help) {
+  help_.push_back({name, def ? "true" : "false", help});
+  const std::string* raw = lookup(name);
+  if (raw == nullptr) return def;
+  return *raw == "true" || *raw == "1" || *raw == "yes";
+}
+
+void Cli::finish() const {
+  if (help_requested_) {
+    std::printf("usage: %s [--flag=value ...]\n", program_.c_str());
+    for (const auto& line : help_)
+      std::printf("  --%-24s (default %s)  %s\n", line.name.c_str(),
+                  line.def.c_str(), line.help.c_str());
+    std::exit(0);
+  }
+  for (const auto& entry : entries_) {
+    if (!entry.used) {
+      std::fprintf(stderr, "unknown flag: --%s (see --help)\n", entry.name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace dmis::util

@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace dmis::util {
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace dmis::util

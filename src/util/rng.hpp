@@ -1,0 +1,128 @@
+// Deterministic, seedable random number generation.
+//
+// All randomness in the library flows through Rng so that every experiment,
+// test and bench is exactly reproducible from a 64-bit seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded via splitmix64 — both are public
+// domain algorithms, reimplemented here so the library has no external
+// dependencies and identical output on every platform (std::mt19937 would do,
+// but its distributions are implementation-defined).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dmis::util {
+
+/// One step of the splitmix64 generator; also used standalone as a mixing
+/// function for deriving independent child seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can be handed to <algorithm>
+/// facilities, but the member helpers below are preferred: they are exactly
+/// reproducible across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound == 0 is a programmer error.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Debiased multiply-shift (Lemire). The retry loop is vanishingly rare.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double real01() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return real01() < p; }
+
+  /// One uniformly random bit (used by the lazy bit-priority scheme).
+  bool next_bit() noexcept { return (next_u64() >> 63) != 0; }
+
+  /// Fisher–Yates shuffle, reproducible across platforms.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// Derive an independent child generator; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    std::uint64_t s = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A uniformly random permutation of {0, …, n−1}.
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::uint32_t n, Rng& rng);
+
+}  // namespace dmis::util

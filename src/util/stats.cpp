@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace dmis::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const noexcept {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void Histogram::add(std::int64_t value) noexcept { add(value, 1); }
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) noexcept {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const noexcept {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [value, freq] : buckets_)
+    acc += static_cast<double>(value) * static_cast<double>(freq);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min() const noexcept {
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max() const noexcept {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (const auto& [value, freq] : buckets_) {
+    seen += static_cast<double>(freq);
+    if (seen >= target) return value;
+  }
+  return buckets_.rbegin()->first;
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  for (const auto& [value, freq] : buckets_) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(value) + ':' + std::to_string(freq);
+  }
+  return out;
+}
+
+double total_variation(const Histogram& a, const Histogram& b) {
+  if (a.total() == 0 || b.total() == 0) return a.total() == b.total() ? 0.0 : 1.0;
+  std::set<std::int64_t> support;
+  for (const auto& [v, _] : a.buckets()) support.insert(v);
+  for (const auto& [v, _] : b.buckets()) support.insert(v);
+  double acc = 0.0;
+  for (const auto v : support) acc += std::fabs(a.fraction(v) - b.fraction(v));
+  return 0.5 * acc;
+}
+
+double chi_square_two_sample(const Histogram& a, const Histogram& b,
+                             std::size_t* dof_out) {
+  DMIS_ASSERT_MSG(a.total() > 0 && b.total() > 0,
+                  "chi-square needs non-empty samples");
+  std::set<std::int64_t> support;
+  for (const auto& [v, _] : a.buckets()) support.insert(v);
+  for (const auto& [v, _] : b.buckets()) support.insert(v);
+
+  const double na = static_cast<double>(a.total());
+  const double nb = static_cast<double>(b.total());
+  double stat = 0.0;
+  std::size_t cells = 0;
+  for (const auto v : support) {
+    const double ca = static_cast<double>(a.count(v));
+    const double cb = static_cast<double>(b.count(v));
+    const double pooled = (ca + cb) / (na + nb);
+    const double ea = pooled * na;
+    const double eb = pooled * nb;
+    // Cells with tiny expectation make the statistic unstable; the standard
+    // remedy is to skip (equivalently, merge) them.
+    if (ea + eb < 5.0) continue;
+    stat += (ca - ea) * (ca - ea) / ea + (cb - eb) * (cb - eb) / eb;
+    ++cells;
+  }
+  if (dof_out != nullptr) *dof_out = cells > 1 ? cells - 1 : 1;
+  return stat;
+}
+
+double chi_square_critical_001(std::size_t dof) {
+  DMIS_ASSERT(dof >= 1);
+  // Wilson–Hilferty: chi²_k(p) ≈ k (1 − 2/(9k) + z_p sqrt(2/(9k)))³ with
+  // z_{0.999} ≈ 3.0902.
+  const double k = static_cast<double>(dof);
+  const double z = 3.0902;
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+}  // namespace dmis::util

@@ -1,0 +1,84 @@
+// Statistics utilities used by tests and bench harnesses: online moments,
+// histograms over integer outcomes, and the distribution-comparison measures
+// (total-variation distance, Pearson chi-square) that back the
+// history-independence experiments (paper §5, Definition 14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmis::util {
+
+/// Welford online accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of a normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * sem(); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Frequency histogram over integer-valued outcomes.
+class Histogram {
+ public:
+  void add(std::int64_t value) noexcept;
+  void add(std::int64_t value, std::uint64_t weight) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const noexcept;
+  [[nodiscard]] double fraction(std::int64_t value) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept;
+  /// Smallest v such that at least q of the mass is ≤ v (0 ≤ q ≤ 1).
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Render as "value:count value:count …" for logs and test diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Total-variation distance between two empirical distributions (each a
+/// histogram over the same outcome space); in [0, 1].
+[[nodiscard]] double total_variation(const Histogram& a, const Histogram& b);
+
+/// Pearson chi-square statistic comparing two empirical samples, treating the
+/// pooled distribution as the expectation (a two-sample homogeneity test).
+/// Also reports the degrees of freedom through `dof_out` if non-null.
+[[nodiscard]] double chi_square_two_sample(const Histogram& a, const Histogram& b,
+                                           std::size_t* dof_out = nullptr);
+
+/// Upper-tail critical value of the chi-square distribution at significance
+/// 0.001, via the Wilson–Hilferty normal approximation. Used for coarse
+/// statistical assertions in tests (distributions should *not* differ).
+[[nodiscard]] double chi_square_critical_001(std::size_t dof);
+
+}  // namespace dmis::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace dmis::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return std::string(buf);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DMIS_ASSERT(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  DMIS_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+  DMIS_ASSERT_MSG(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell_pm(double mean, double halfwidth, int precision) {
+  return cell(format_double(mean, precision) + " ± " +
+              format_double(halfwidth, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << text << std::string(widths[c] - text.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (const auto w : widths) os << ' ' << std::string(w, '-') << " |";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void print_section(std::ostream& os, const std::string& title, const Table& table) {
+  os << "\n## " << title << "\n\n";
+  table.print(os);
+  os << '\n';
+}
+
+}  // namespace dmis::util

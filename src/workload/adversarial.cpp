@@ -1,0 +1,56 @@
+#include "workload/adversarial.hpp"
+
+#include "graph/generators.hpp"
+
+namespace dmis::workload {
+
+BipartiteDeletionSequence bipartite_deletion_sequence(NodeId k, bool abrupt) {
+  BipartiteDeletionSequence seq;
+  seq.build = grow_trace(graph::complete_bipartite(k, k));
+  for (NodeId i = 0; i < k; ++i)
+    seq.deletions.push_back(GraphOp::remove_node(i, abrupt));
+  return seq;
+}
+
+Trace star_center_first(NodeId n) {
+  Trace trace;
+  trace.push_back(GraphOp::add_node());  // center = node 0
+  for (NodeId v = 1; v < n; ++v) trace.push_back(GraphOp::add_node({0}));
+  return trace;
+}
+
+Trace three_paths_middle_first(NodeId paths) {
+  // Path i occupies nodes 4i … 4i+3 as a–b–c–d; insert all four nodes, then
+  // edge b–c first (the "middle" edge), then the outer edges.
+  Trace trace;
+  for (NodeId i = 0; i < paths; ++i)
+    for (int j = 0; j < 4; ++j) trace.push_back(GraphOp::add_node());
+  for (NodeId i = 0; i < paths; ++i) {
+    const NodeId base = 4 * i;
+    trace.push_back(GraphOp::add_edge(base + 1, base + 2));
+    trace.push_back(GraphOp::add_edge(base, base + 1));
+    trace.push_back(GraphOp::add_edge(base + 2, base + 3));
+  }
+  return trace;
+}
+
+Trace bipartite_minus_pm_alternating(NodeId k) {
+  // Left node i has final id 2i, right node j has final id 2j+1; edge
+  // (left i, right j) for all i ≠ j, added as soon as both endpoints exist.
+  Trace trace;
+  for (NodeId step = 0; step < 2 * k; ++step) {
+    const bool is_left = (step % 2) == 0;
+    const NodeId index = step / 2;  // which u_i / v_j this is
+    std::vector<NodeId> neighbors;
+    for (NodeId other = 0; other < step; ++other) {
+      const bool other_left = (other % 2) == 0;
+      if (other_left == is_left) continue;
+      const NodeId other_index = other / 2;
+      if (other_index != index) neighbors.push_back(other);
+    }
+    trace.push_back(GraphOp::add_node(std::move(neighbors)));
+  }
+  return trace;
+}
+
+}  // namespace dmis::workload

@@ -1,0 +1,32 @@
+// Adversarial change sequences from the paper's lower-bound and §5 example
+// constructions.
+#pragma once
+
+#include "graph/dynamic_graph.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::workload {
+
+/// §1.1 lower bound: start from K_{k,k} (built by the returned `build`
+/// trace) and delete the left side node by node (`deletions`). For any
+/// deterministic algorithm some deletion forces ≥ k adjustments.
+struct BipartiteDeletionSequence {
+  Trace build;      ///< constructs K_{k,k}
+  Trace deletions;  ///< deletes nodes 0 … k−1 in order
+};
+[[nodiscard]] BipartiteDeletionSequence bipartite_deletion_sequence(NodeId k,
+                                                                    bool abrupt = false);
+
+/// §5 Example 1 adversary: grow a star center-first (the order that pins the
+/// natural history-dependent algorithm to MIS = {center}).
+[[nodiscard]] Trace star_center_first(NodeId n);
+
+/// §5 Example 2 adversary: grow disjoint 3-edge paths middle-edge-first (the
+/// order that pins natural greedy matching to one edge per path).
+[[nodiscard]] Trace three_paths_middle_first(NodeId paths);
+
+/// §5 Example 3 adversary: grow K_{k,k} minus a perfect matching alternating
+/// sides (u1, v1, u2, v2, …) — first-fit coloring then needs k colors.
+[[nodiscard]] Trace bipartite_minus_pm_alternating(NodeId k);
+
+}  // namespace dmis::workload

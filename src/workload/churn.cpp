@@ -1,0 +1,83 @@
+#include "workload/churn.hpp"
+
+namespace dmis::workload {
+
+NodeId ChurnGenerator::random_node() {
+  const std::vector<NodeId> nodes = g_.nodes();
+  DMIS_ASSERT(!nodes.empty());
+  return nodes[rng_.below(nodes.size())];
+}
+
+bool ChurnGenerator::random_edge(NodeId& u, NodeId& v) {
+  const auto edges = g_.edges();
+  if (edges.empty()) return false;
+  const auto& [a, b] = edges[rng_.below(edges.size())];
+  u = a;
+  v = b;
+  return true;
+}
+
+bool ChurnGenerator::random_non_edge(NodeId& u, NodeId& v) {
+  if (g_.node_count() < 2) return false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId a = random_node();
+    const NodeId b = random_node();
+    if (a != b && !g_.has_edge(a, b)) {
+      u = a;
+      v = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+GraphOp ChurnGenerator::next() {
+  for (;;) {
+    const double roll = rng_.real01();
+    if (roll < config_.p_add_edge) {
+      NodeId u = 0;
+      NodeId v = 0;
+      if (!random_non_edge(u, v)) continue;
+      GraphOp op = GraphOp::add_edge(u, v);
+      g_.add_edge(u, v);
+      return op;
+    }
+    if (roll < config_.p_add_edge + config_.p_remove_edge) {
+      NodeId u = 0;
+      NodeId v = 0;
+      if (!random_edge(u, v)) continue;
+      GraphOp op = GraphOp::remove_edge(u, v, rng_.chance(config_.p_abrupt));
+      g_.remove_edge(u, v);
+      return op;
+    }
+    if (roll < config_.p_add_edge + config_.p_remove_edge + config_.p_add_node) {
+      std::vector<NodeId> neighbors;
+      const std::vector<NodeId> pool = g_.nodes();
+      for (std::uint32_t i = 0; i < config_.attach_degree && !pool.empty(); ++i) {
+        const NodeId candidate = pool[rng_.below(pool.size())];
+        bool fresh = true;
+        for (const NodeId existing : neighbors) fresh &= existing != candidate;
+        if (fresh) neighbors.push_back(candidate);
+      }
+      GraphOp op = rng_.chance(config_.p_unmute) ? GraphOp::unmute_node(neighbors)
+                                                 : GraphOp::add_node(neighbors);
+      const NodeId v = g_.add_node();
+      for (const NodeId u : op.neighbors) g_.add_edge(v, u);
+      return op;
+    }
+    if (g_.node_count() <= 1) continue;  // keep the graph non-trivial
+    const NodeId v = random_node();
+    GraphOp op = GraphOp::remove_node(v, rng_.chance(config_.p_abrupt));
+    g_.remove_node(v);
+    return op;
+  }
+}
+
+Trace ChurnGenerator::generate(std::size_t count) {
+  Trace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) trace.push_back(next());
+  return trace;
+}
+
+}  // namespace dmis::workload

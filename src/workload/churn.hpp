@@ -1,0 +1,61 @@
+// Random churn workloads: sequences of topology changes against an evolving
+// graph, as a dynamic-network driver for tests and benches.
+//
+// The paper's guarantees are per-change and hold for *any* change sequence
+// under an oblivious adversary; the churn generator provides a natural
+// "average" workload (random edge/node insertions and deletions with
+// configurable mix) to measure expectations over many changes, while
+// adversarial.hpp provides the worst-case sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::workload {
+
+struct ChurnConfig {
+  double p_add_edge = 0.35;
+  double p_remove_edge = 0.35;
+  double p_add_node = 0.15;
+  double p_remove_node = 0.15;
+  /// New nodes attach to this many uniformly random existing nodes.
+  std::uint32_t attach_degree = 3;
+  /// Deletions are abrupt with this probability (else graceful).
+  double p_abrupt = 0.5;
+  /// Node insertions arrive as unmutes with this probability.
+  double p_unmute = 0.0;
+};
+
+/// Generates a churn trace against an explicit evolving graph so every op is
+/// valid at its position (edges to remove exist, nodes to delete are live).
+class ChurnGenerator {
+ public:
+  ChurnGenerator(graph::DynamicGraph initial, ChurnConfig config, std::uint64_t seed)
+      : g_(std::move(initial)), config_(config), rng_(seed) {}
+
+  /// Produce the next valid random op and apply it to the internal graph.
+  [[nodiscard]] GraphOp next();
+
+  /// Produce a whole trace of `count` ops.
+  [[nodiscard]] Trace generate(std::size_t count);
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+
+ private:
+  [[nodiscard]] NodeId random_node();
+  /// A uniformly random present edge, or nullopt-like failure via bool.
+  bool random_edge(NodeId& u, NodeId& v);
+  /// A uniformly random absent pair (rejection sampling; false if the graph
+  /// is too dense to find one quickly).
+  bool random_non_edge(NodeId& u, NodeId& v);
+
+  graph::DynamicGraph g_;
+  ChurnConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace dmis::workload

@@ -1,0 +1,35 @@
+#include "workload/sliding_window.hpp"
+
+namespace dmis::workload {
+
+std::vector<GraphOp> SlidingWindowStream::tick() {
+  std::vector<GraphOp> ops;
+  ++now_;
+  while (!live_.empty() && live_.front().expires_at <= now_) {
+    const LiveEdge e = live_.front();
+    live_.pop_front();
+    g_.remove_edge(e.u, e.v);
+    ops.push_back(GraphOp::remove_edge(e.u, e.v));
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto u = static_cast<NodeId>(rng_.below(n_));
+    const auto v = static_cast<NodeId>(rng_.below(n_));
+    if (u == v || g_.has_edge(u, v)) continue;
+    g_.add_edge(u, v);
+    live_.push_back({u, v, now_ + window_});
+    ops.push_back(GraphOp::add_edge(u, v));
+    break;
+  }
+  return ops;
+}
+
+Trace SlidingWindowStream::generate(std::size_t count) {
+  Trace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto ops = tick();
+    trace.insert(trace.end(), ops.begin(), ops.end());
+  }
+  return trace;
+}
+
+}  // namespace dmis::workload

@@ -1,0 +1,47 @@
+// Sliding-window edge stream: edges arrive and expire after a fixed window,
+// modeling temporal graphs (interaction networks, connection logs) — each
+// tick produces one insertion plus the expiry deletions that fall due.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::workload {
+
+class SlidingWindowStream {
+ public:
+  /// `n` fixed nodes; each arriving edge lives for `window` ticks.
+  SlidingWindowStream(NodeId n, std::size_t window, std::uint64_t seed)
+      : n_(n), window_(window), rng_(seed), g_(n) {
+    DMIS_ASSERT(n >= 2 && window >= 1);
+  }
+
+  /// Ops for one tick: expiries first, then one fresh random edge (if a
+  /// non-edge exists). Ops are already applied to the internal graph.
+  [[nodiscard]] std::vector<GraphOp> tick();
+
+  /// Concatenate `count` ticks into a single trace.
+  [[nodiscard]] Trace generate(std::size_t count);
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
+
+ private:
+  struct LiveEdge {
+    NodeId u;
+    NodeId v;
+    std::uint64_t expires_at;
+  };
+
+  NodeId n_;
+  std::size_t window_;
+  util::Rng rng_;
+  graph::DynamicGraph g_;
+  std::deque<LiveEdge> live_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace dmis::workload

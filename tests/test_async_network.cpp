@@ -1,0 +1,124 @@
+// Unit tests for the asynchronous simulator: causal-depth tracking, per-link
+// FIFO, cost accounting, determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/async_network.hpp"
+
+namespace {
+
+using namespace dmis::sim;
+using dmis::graph::NodeId;
+
+/// Relays a token along a path: node v forwards to its higher neighbor.
+class ChainProtocol final : public AsyncProtocol {
+ public:
+  std::vector<NodeId> order;
+
+  void on_message(NodeId v, const Delivery&, AsyncNetwork& net) override {
+    if (seen_.contains(v)) return;
+    seen_[v] = true;
+    order.push_back(v);
+    net.broadcast(v, {1, 0, 0}, kLogNBits);
+  }
+
+ private:
+  std::map<NodeId, bool> seen_;
+};
+
+TEST(AsyncNetwork, CausalDepthEqualsChainLength) {
+  AsyncNetwork net(/*seed=*/1, /*max_delay=*/5);
+  net.comm() = dmis::graph::path(6);
+  ChainProtocol proto;
+  net.inject(0, 0, {1, 0, 0});
+  const auto depth = net.run(proto);
+  // The token must traverse 5 hops; the last hop's broadcast echoes back,
+  // giving depth 6.
+  EXPECT_EQ(depth, 6U);
+  EXPECT_EQ(proto.order.front(), 0U);
+  EXPECT_EQ(proto.order.back(), 5U);
+}
+
+TEST(AsyncNetwork, BroadcastCosts) {
+  AsyncNetwork net(2);
+  net.comm() = dmis::graph::star(5);
+  ChainProtocol proto;
+  net.inject(0, 0, {1, 0, 0});
+  net.run(proto);
+  EXPECT_EQ(net.cost().broadcasts, 5U);       // every node fires once
+  EXPECT_EQ(net.cost().messages, 4U + 4U);    // center->leaves + leaves->center
+  EXPECT_EQ(net.cost().bits, 5U * kLogNBits);
+}
+
+/// Records arrival order of message payloads at node 1.
+class SequenceProtocol final : public AsyncProtocol {
+ public:
+  std::vector<std::uint64_t> payloads;
+
+  void on_message(NodeId v, const Delivery& d, AsyncNetwork&) override {
+    if (v == 1) payloads.push_back(d.msg.a);
+  }
+};
+
+/// Sends `count` messages 0..count-1 from node 0, then checks FIFO at node 1.
+class BurstProtocol final : public AsyncProtocol {
+ public:
+  std::vector<std::uint64_t> payloads;
+
+  void on_message(NodeId v, const Delivery& d, AsyncNetwork& net) override {
+    if (v == 0 && d.msg.kind == 9) {
+      for (std::uint64_t i = 0; i < 20; ++i) net.broadcast(0, {1, i, 0}, 8);
+      return;
+    }
+    if (v == 1) payloads.push_back(d.msg.a);
+  }
+};
+
+TEST(AsyncNetwork, PerLinkFifoPreserved) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AsyncNetwork net(seed, /*max_delay=*/7);
+    net.comm() = dmis::graph::path(2);
+    BurstProtocol proto;
+    net.inject(0, 0, {9, 0, 0});
+    net.run(proto);
+    ASSERT_EQ(proto.payloads.size(), 20U);
+    for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(proto.payloads[i], i);
+  }
+}
+
+TEST(AsyncNetwork, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    AsyncNetwork net(seed, 9);
+    net.comm() = dmis::graph::cycle(8);
+    ChainProtocol proto;
+    net.inject(0, 0, {1, 0, 0});
+    net.run(proto);
+    return proto.order;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(AsyncNetwork, DeliveryToRetiredNodeDropped) {
+  AsyncNetwork net(3);
+  net.comm() = dmis::graph::path(3);
+  ChainProtocol proto;
+  net.inject(2, 2, {1, 0, 0});
+  net.comm().remove_node(1);  // retire before the flood reaches it
+  net.run(proto);
+  EXPECT_EQ(proto.order, (std::vector<NodeId>{2}));
+}
+
+TEST(AsyncNetwork, InjectIsFree) {
+  AsyncNetwork net(4);
+  net.comm() = dmis::graph::path(2);
+  SequenceProtocol proto;
+  net.inject(1, 0, {1, 42, 0});
+  net.run(proto);
+  EXPECT_EQ(net.cost().broadcasts, 0U);
+  EXPECT_EQ(proto.payloads, (std::vector<std::uint64_t>{42}));
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Unit tests for batch (simultaneous) updates — the §6 multi-change
+// extension. A batch must land on exactly the same structure as applying
+// its ops one at a time (same priorities ⇒ same greedy MIS of the final
+// graph), while never paying *more* adjustments than the sequential route.
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "core/greedy_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::core;
+
+TEST(Batch, EmptyBatchIsNoOp) {
+  CascadeEngine engine(1);
+  (void)engine.add_node();
+  const auto result = apply_batch(engine, {});
+  EXPECT_EQ(result.report.adjustments, 0U);
+  EXPECT_EQ(result.report.evaluated, 0U);
+  engine.verify();
+}
+
+TEST(Batch, SingleOpMatchesDirectCall) {
+  CascadeEngine direct(7);
+  CascadeEngine batched(7);
+  const NodeId a1 = direct.add_node();
+  const NodeId b1 = direct.add_node();
+  const auto r1 = apply_batch(batched, {BatchOp::add_node(), BatchOp::add_node()});
+  ASSERT_EQ(r1.new_nodes.size(), 2U);
+
+  const auto direct_rep = direct.add_edge(a1, b1);
+  const auto batch_rep =
+      apply_batch(batched, {BatchOp::add_edge(r1.new_nodes[0], r1.new_nodes[1])});
+  EXPECT_EQ(direct_rep.adjustments, batch_rep.report.adjustments);
+  for (const NodeId v : direct.graph().nodes())
+    EXPECT_EQ(direct.in_mis(v), batched.in_mis(v));
+}
+
+TEST(Batch, FinalStateEqualsSequential) {
+  dmis::util::Rng rng(3);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CascadeEngine sequential(seed);
+    CascadeEngine batched(seed);
+    for (int i = 0; i < 20; ++i) {
+      (void)sequential.add_node();
+    }
+    (void)apply_batch(batched, std::vector<BatchOp>(20, BatchOp::add_node()));
+
+    // Build a random batch of edge toggles + node ops against a mirror.
+    dmis::graph::DynamicGraph mirror(20);
+    std::vector<BatchOp> batch;
+    for (int i = 0; i < 15; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(20));
+      const auto v = static_cast<NodeId>(rng.below(20));
+      if (u == v || !mirror.has_node(u) || !mirror.has_node(v)) continue;
+      if (mirror.has_edge(u, v)) {
+        mirror.remove_edge(u, v);
+        batch.push_back(BatchOp::remove_edge(u, v));
+      } else {
+        mirror.add_edge(u, v);
+        batch.push_back(BatchOp::add_edge(u, v));
+      }
+    }
+
+    // Sequential application of the identical ops.
+    for (const auto& op : batch) {
+      if (op.kind == BatchOp::Kind::kAddEdge) sequential.add_edge(op.u, op.v);
+      else sequential.remove_edge(op.u, op.v);
+    }
+    (void)apply_batch(batched, batch);
+
+    batched.verify();
+    ASSERT_TRUE(sequential.graph() == batched.graph());
+    for (const NodeId v : sequential.graph().nodes())
+      ASSERT_EQ(sequential.in_mis(v), batched.in_mis(v)) << "seed " << seed;
+  }
+}
+
+TEST(Batch, DeletionsInsideBatch) {
+  CascadeEngine engine(11);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(engine.add_node());
+  for (int i = 0; i + 1 < 10; ++i) engine.add_edge(ids[i], ids[i + 1]);
+
+  // Delete two nodes and rewire around them in one shot.
+  const auto result = apply_batch(
+      engine, {BatchOp::remove_node(ids[3]), BatchOp::remove_node(ids[7]),
+               BatchOp::add_edge(ids[2], ids[4]), BatchOp::add_edge(ids[6], ids[8]),
+               BatchOp::add_node({ids[0], ids[9]})});
+  engine.verify();
+  EXPECT_FALSE(engine.graph().has_node(ids[3]));
+  EXPECT_TRUE(engine.graph().has_edge(ids[2], ids[4]));
+  EXPECT_EQ(result.new_nodes.size(), 1U);
+  EXPECT_TRUE(dmis::graph::is_maximal_independent_set(engine.graph(),
+                                                      engine.mis_set()));
+}
+
+TEST(Batch, SeedDeletedLaterInBatchIsSkipped) {
+  CascadeEngine engine(13);
+  const NodeId a = engine.add_node();
+  const NodeId b = engine.add_node();
+  const NodeId c = engine.add_node();
+  engine.add_edge(a, b);
+  // The edge toggle seeds one endpoint; that endpoint then disappears.
+  const auto result = apply_batch(
+      engine, {BatchOp::remove_edge(a, b), BatchOp::remove_node(b)});
+  engine.verify();
+  EXPECT_TRUE(engine.in_mis(a));
+  EXPECT_TRUE(engine.in_mis(c));
+  EXPECT_FALSE(engine.graph().has_node(b));
+  (void)result;
+}
+
+TEST(Batch, MatchesOracleUnderFuzz) {
+  dmis::util::Rng rng(17);
+  CascadeEngine engine(99);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 25; ++i) live.push_back(engine.add_node());
+  for (int round = 0; round < 40; ++round) {
+    std::vector<BatchOp> batch;
+    dmis::graph::DynamicGraph mirror = engine.graph();
+    const int k = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < k; ++i) {
+      const double roll = rng.real01();
+      if (roll < 0.4) {
+        const auto u = live[rng.below(live.size())];
+        const auto v = live[rng.below(live.size())];
+        if (u != v && mirror.has_node(u) && mirror.has_node(v) &&
+            !mirror.has_edge(u, v)) {
+          mirror.add_edge(u, v);
+          batch.push_back(BatchOp::add_edge(u, v));
+        }
+      } else if (roll < 0.7) {
+        const auto edges = mirror.edges();
+        if (!edges.empty()) {
+          const auto& [u, v] = edges[rng.below(edges.size())];
+          mirror.remove_edge(u, v);
+          batch.push_back(BatchOp::remove_edge(u, v));
+        }
+      } else if (roll < 0.85 && live.size() > 5) {
+        const std::size_t index = rng.below(live.size());
+        if (mirror.has_node(live[index])) {
+          mirror.remove_node(live[index]);
+          batch.push_back(BatchOp::remove_node(live[index]));
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+        }
+      } else {
+        batch.push_back(BatchOp::add_node({live[rng.below(live.size())]}));
+      }
+    }
+    const auto result = apply_batch(engine, batch);
+    live.insert(live.end(), result.new_nodes.begin(), result.new_nodes.end());
+    engine.verify();
+    EXPECT_TRUE(dmis::graph::is_maximal_independent_set(engine.graph(),
+                                                        engine.mis_set()));
+  }
+}
+
+TEST(Batch, CorrelatedBatchCheaperThanSequential) {
+  // Insert a hub and all its spokes at once: sequential application pays
+  // for intermediate configurations the batch never materializes. Compare
+  // total adjustments over many seeds.
+  dmis::util::OnlineStats sequential_cost;
+  dmis::util::OnlineStats batch_cost;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    CascadeEngine seq(seed);
+    for (int i = 0; i < 12; ++i) (void)seq.add_node();
+    std::uint64_t seq_total = 0;
+    const NodeId hub = seq.add_node();
+    seq_total += seq.last_report().adjustments;
+    for (NodeId v = 0; v < 12; ++v) {
+      seq.add_edge(hub, v);
+      seq_total += seq.last_report().adjustments;
+    }
+
+    CascadeEngine bat(seed);
+    for (int i = 0; i < 12; ++i) (void)bat.add_node();
+    std::vector<NodeId> spokes;
+    for (NodeId v = 0; v < 12; ++v) spokes.push_back(v);
+    const auto result = apply_batch(bat, {BatchOp::add_node(spokes)});
+
+    sequential_cost.add(static_cast<double>(seq_total));
+    batch_cost.add(static_cast<double>(result.report.adjustments));
+    for (const NodeId v : seq.graph().nodes())
+      ASSERT_EQ(seq.in_mis(v), bat.in_mis(v));
+  }
+  EXPECT_LE(batch_cost.mean(), sequential_cost.mean());
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Unit tests for the lazy-bit priority scheme (§1.1's O(1)-bit refinement).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bit_priority.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::core;
+
+TEST(BitPriority, StreamsAreDeterministic) {
+  const BitPriority a(42, 7);
+  const BitPriority b(42, 7);
+  for (std::uint64_t i = 0; i < 128; ++i) EXPECT_EQ(a.bit(i), b.bit(i));
+}
+
+TEST(BitPriority, StreamsDifferAcrossNodes) {
+  const BitPriority a(42, 1);
+  const BitPriority b(42, 2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) same += a.bit(i) == b.bit(i) ? 1 : 0;
+  EXPECT_GT(same, 64);   // random agreement ≈ 128
+  EXPECT_LT(same, 192);  // but not identical
+}
+
+TEST(BitPriority, CompareIsAntisymmetric) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const BitPriority a(seed, 10);
+    const BitPriority b(seed, 20);
+    const auto ab = compare_bit_priorities(a, b);
+    const auto ba = compare_bit_priorities(b, a);
+    EXPECT_NE(ab.less, ba.less);
+    EXPECT_EQ(ab.bits_revealed, ba.bits_revealed);
+  }
+}
+
+TEST(BitPriority, CompareIsTransitive) {
+  const std::uint64_t seed = 99;
+  std::vector<BitPriority> nodes;
+  for (dmis::graph::NodeId v = 0; v < 12; ++v) nodes.emplace_back(seed, v);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (i == j) continue;
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        if (k == i || k == j) continue;
+        if (compare_bit_priorities(nodes[i], nodes[j]).less &&
+            compare_bit_priorities(nodes[j], nodes[k]).less) {
+          EXPECT_TRUE(compare_bit_priorities(nodes[i], nodes[k]).less);
+        }
+      }
+    }
+  }
+}
+
+TEST(BitPriority, ExpectedBitsPerComparisonIsConstant) {
+  // Two independent uniform streams differ at a Geometric(1/2) position:
+  // E[revealed] = 2 · E[position] = 4 bits per comparison.
+  dmis::util::OnlineStats bits;
+  std::uint64_t pair_index = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    for (dmis::graph::NodeId v = 0; v < 20; v += 2) {
+      const BitPriority a(seed, v);
+      const BitPriority b(seed, v + 1);
+      bits.add(static_cast<double>(compare_bit_priorities(a, b).bits_revealed));
+      ++pair_index;
+    }
+  }
+  EXPECT_NEAR(bits.mean(), 4.0, 0.5);
+  EXPECT_GE(pair_index, 400U);
+}
+
+TEST(PairwiseBitOrderTest, ConsistentWithOneShotComparison) {
+  PairwiseBitOrder order(7);
+  for (dmis::graph::NodeId u = 0; u < 10; ++u) {
+    for (dmis::graph::NodeId v = 0; v < 10; ++v) {
+      if (u == v) continue;
+      const BitPriority a(7, u);
+      const BitPriority b(7, v);
+      EXPECT_EQ(order.before(u, v), compare_bit_priorities(a, b).less);
+    }
+  }
+}
+
+TEST(PairwiseBitOrderTest, RepeatedComparisonsAreFree) {
+  PairwiseBitOrder order(11);
+  (void)order.before(1, 2);
+  const auto after_first = order.total_bits();
+  (void)order.before(1, 2);
+  (void)order.before(2, 1);
+  EXPECT_EQ(order.total_bits(), after_first);
+}
+
+TEST(PairwiseBitOrderTest, PrefixSharingAmortizes) {
+  // Comparing node 0 against k others costs at most the deepest prefix from
+  // node 0's side plus each peer's own prefix — far below 4k/2 from scratch
+  // on the node-0 side if prefixes repeat, and revealed() is monotone.
+  PairwiseBitOrder order(13);
+  std::uint64_t last_revealed = 0;
+  for (dmis::graph::NodeId v = 1; v <= 30; ++v) {
+    (void)order.before(0, v);
+    EXPECT_GE(order.revealed(0), last_revealed);
+    last_revealed = order.revealed(0);
+    EXPECT_GE(order.revealed(v), 1U);
+  }
+  EXPECT_EQ(order.revealed(99), 0U);
+}
+
+}  // namespace

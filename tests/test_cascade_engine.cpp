@@ -1,0 +1,120 @@
+// Unit tests for CascadeEngine, the production sequential engine.
+#include <gtest/gtest.h>
+
+#include "core/cascade_engine.hpp"
+#include "core/greedy_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dmis::core;
+
+TEST(CascadeEngine, PathBasics) {
+  CascadeEngine engine(0);
+  for (NodeId v = 0; v < 4; ++v) engine.priorities().set_key(v, v);
+  (void)engine.add_node();
+  (void)engine.add_node({0});
+  (void)engine.add_node({1});
+  (void)engine.add_node({2});
+  EXPECT_TRUE(engine.in_mis(0));
+  EXPECT_FALSE(engine.in_mis(1));
+  EXPECT_TRUE(engine.in_mis(2));
+  EXPECT_FALSE(engine.in_mis(3));
+  engine.verify();
+}
+
+TEST(CascadeEngine, ConstructFromGraphMatchesOracle) {
+  dmis::util::Rng rng(3);
+  const auto g = dmis::graph::erdos_renyi(100, 0.05, rng);
+  CascadeEngine engine(g, 42);
+  PriorityMap oracle_pri(42);
+  const auto oracle = greedy_mis(g, oracle_pri);
+  for (const NodeId v : g.nodes()) EXPECT_EQ(engine.in_mis(v), oracle[v]);
+}
+
+TEST(CascadeEngine, EdgeInsertCascadeChain) {
+  // Chain where one insertion flips alternating memberships down the path.
+  CascadeEngine engine(0);
+  for (NodeId v = 0; v < 6; ++v) engine.priorities().set_key(v, v);
+  (void)engine.add_node();          // 0
+  (void)engine.add_node();          // 1 (isolated M)
+  (void)engine.add_node({1});       // 2
+  (void)engine.add_node({2});       // 3
+  (void)engine.add_node({3});       // 4
+  (void)engine.add_node({4});       // 5
+  // Memberships: 0:M 1:M 2:out 3:M 4:out 5:M.
+  const auto rep = engine.add_edge(0, 1);
+  // 1 leaves, 2 joins, 3 leaves, 4 joins, 5 leaves.
+  EXPECT_EQ(rep.adjustments, 5U);
+  EXPECT_EQ(rep.changed, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  engine.verify();
+}
+
+TEST(CascadeEngine, AdjustmentsMatchMembershipDiff) {
+  dmis::util::Rng rng(9);
+  CascadeEngine engine(17);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 40; ++i) live.push_back(engine.add_node());
+  for (int step = 0; step < 400; ++step) {
+    const auto before = engine.membership();
+    std::uint64_t reported = 0;
+    const double roll = rng.real01();
+    if (roll < 0.5) {
+      const NodeId u = live[rng.below(live.size())];
+      const NodeId v = live[rng.below(live.size())];
+      if (u == v || engine.graph().has_edge(u, v)) continue;
+      reported = engine.add_edge(u, v).adjustments;
+    } else {
+      const auto edges = engine.graph().edges();
+      if (edges.empty()) continue;
+      const auto& [u, v] = edges[rng.below(edges.size())];
+      reported = engine.remove_edge(u, v).adjustments;
+    }
+    const auto after = engine.membership();
+    std::uint64_t diff = 0;
+    for (std::size_t v = 0; v < after.size(); ++v)
+      diff += (v < before.size() && before[v]) != after[v] ? 1 : 0;
+    EXPECT_EQ(reported, diff);
+  }
+}
+
+TEST(CascadeEngine, EvaluatedAtLeastAdjustments) {
+  CascadeEngine engine(21);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 20; ++i)
+    live.push_back(engine.add_node(i > 0 ? std::vector<NodeId>{live.back()}
+                                         : std::vector<NodeId>{}));
+  dmis::util::Rng rng(5);
+  for (int step = 0; step < 100; ++step) {
+    const NodeId u = live[rng.below(live.size())];
+    const NodeId v = live[rng.below(live.size())];
+    if (u == v) continue;
+    const auto rep = engine.graph().has_edge(u, v) ? engine.remove_edge(u, v)
+                                                   : engine.add_edge(u, v);
+    EXPECT_GE(rep.evaluated, rep.adjustments);
+  }
+}
+
+TEST(CascadeEngine, RemoveNodeSkipsNonMembers) {
+  CascadeEngine engine(0);
+  for (NodeId v = 0; v < 3; ++v) engine.priorities().set_key(v, v);
+  (void)engine.add_node();
+  (void)engine.add_node({0});
+  (void)engine.add_node({1});
+  const auto rep = engine.remove_node(1);  // non-member
+  EXPECT_EQ(rep.adjustments, 0U);
+  EXPECT_EQ(rep.evaluated, 0U);
+  engine.verify();
+}
+
+TEST(CascadeEngine, MisSetMatchesMembership) {
+  dmis::util::Rng rng(13);
+  const auto g = dmis::graph::erdos_renyi(50, 0.1, rng);
+  CascadeEngine engine(g, 7);
+  const auto set = engine.mis_set();
+  for (const NodeId v : g.nodes()) EXPECT_EQ(set.contains(v), engine.in_mis(v));
+  EXPECT_TRUE(dmis::graph::is_maximal_independent_set(g, set));
+}
+
+}  // namespace

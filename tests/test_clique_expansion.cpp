@@ -1,0 +1,63 @@
+// Unit tests for the coloring reduction's clique-expansion map.
+#include <gtest/gtest.h>
+
+#include "graph/clique_expansion.hpp"
+
+namespace {
+
+using namespace dmis::graph;
+
+TEST(CliqueExpansion, NodeBecomesClique) {
+  CliqueExpansionMap map(4);
+  const auto ids = map.add_graph_node(0);
+  EXPECT_EQ(ids.size(), 4U);
+  EXPECT_EQ(map.expansion().node_count(), 4U);
+  EXPECT_EQ(map.expansion().edge_count(), 6U);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.copy(0, i), ids[i]);
+    EXPECT_EQ(map.owner(ids[i]), (std::pair<NodeId, NodeId>{0, i}));
+  }
+}
+
+TEST(CliqueExpansion, EdgeBecomesMatching) {
+  CliqueExpansionMap map(3);
+  map.add_graph_node(0);
+  map.add_graph_node(1);
+  const auto pairs = map.add_graph_edge(0, 1);
+  EXPECT_EQ(pairs.size(), 3U);
+  // 2 cliques of C(3,2)=3 edges each + 3 matching edges.
+  EXPECT_EQ(map.expansion().edge_count(), 9U);
+  for (NodeId i = 0; i < 3; ++i)
+    EXPECT_TRUE(map.expansion().has_edge(map.copy(0, i), map.copy(1, i)));
+  EXPECT_FALSE(map.expansion().has_edge(map.copy(0, 0), map.copy(1, 1)));
+}
+
+TEST(CliqueExpansion, RemoveEdgeRestores) {
+  CliqueExpansionMap map(3);
+  map.add_graph_node(0);
+  map.add_graph_node(1);
+  map.add_graph_edge(0, 1);
+  map.remove_graph_edge(0, 1);
+  EXPECT_EQ(map.expansion().edge_count(), 6U);
+}
+
+TEST(CliqueExpansion, RemoveNodeDropsClique) {
+  CliqueExpansionMap map(3);
+  map.add_graph_node(0);
+  map.add_graph_node(1);
+  map.add_graph_edge(0, 1);
+  map.remove_graph_edge(0, 1);
+  const auto removed = map.remove_graph_node(0);
+  EXPECT_EQ(removed.size(), 3U);
+  EXPECT_EQ(map.expansion().node_count(), 3U);
+  EXPECT_FALSE(map.has_graph_node(0));
+  EXPECT_TRUE(map.has_graph_node(1));
+}
+
+TEST(CliqueExpansionDeath, DoubleExpandRejected) {
+  CliqueExpansionMap map(2);
+  map.add_graph_node(0);
+  EXPECT_DEATH((void)map.add_graph_node(0), "already expanded");
+}
+
+}  // namespace

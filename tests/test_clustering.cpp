@@ -1,0 +1,136 @@
+// Unit tests for correlation clustering: pivot assignment, the cost
+// objective, the brute-force optimum, and the 3-approximation property.
+#include <gtest/gtest.h>
+
+#include "clustering/brute_force.hpp"
+#include "clustering/correlation.hpp"
+#include "core/greedy_mis.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::clustering;
+using dmis::core::greedy_mis;
+using dmis::core::PriorityMap;
+
+TEST(PivotAssignment, MisNodesAreTheirOwnPivot) {
+  dmis::util::Rng rng(1);
+  const auto g = dmis::graph::erdos_renyi(40, 0.1, rng);
+  PriorityMap pri(2);
+  const auto mis = greedy_mis(g, pri);
+  const auto cluster = pivot_assignment(g, pri, mis);
+  for (const NodeId v : g.nodes()) {
+    if (mis[v]) {
+      EXPECT_EQ(cluster[v], v);
+    } else {
+      // Pivot is an MIS neighbor with minimal priority.
+      EXPECT_TRUE(mis[cluster[v]]);
+      EXPECT_TRUE(g.has_edge(v, cluster[v]));
+      for (const NodeId u : g.neighbors(v)) {
+        if (mis[u]) {
+          EXPECT_FALSE(pri.before(u, cluster[v]));
+        }
+      }
+    }
+  }
+}
+
+TEST(CorrelationCost, HandComputedCases) {
+  // Triangle in one cluster: cost 0.
+  const auto triangle = dmis::graph::complete(3);
+  EXPECT_EQ(correlation_cost(triangle, {0, 0, 0}), 0U);
+  // Triangle split 2+1: two cut edges.
+  EXPECT_EQ(correlation_cost(triangle, {0, 0, 1}), 2U);
+  // Path 0-1-2 in one cluster: one missing pair (0,2).
+  const auto p3 = dmis::graph::path(3);
+  EXPECT_EQ(correlation_cost(p3, {0, 0, 0}), 1U);
+  // Path split {0,1},{2}: one cut edge.
+  EXPECT_EQ(correlation_cost(p3, {0, 0, 2}), 1U);
+  // All singletons on the path: both edges cut.
+  EXPECT_EQ(correlation_cost(p3, {0, 1, 2}), 2U);
+}
+
+TEST(CorrelationCost, SingletonsCostEqualsEdgeCount) {
+  dmis::util::Rng rng(5);
+  const auto g = dmis::graph::erdos_renyi(20, 0.3, rng);
+  std::vector<NodeId> singletons(g.id_bound());
+  for (const NodeId v : g.nodes()) singletons[v] = v;
+  EXPECT_EQ(correlation_cost(g, singletons), g.edge_count());
+}
+
+TEST(GroupClusters, PartitionsAllNodes) {
+  dmis::util::Rng rng(7);
+  const auto g = dmis::graph::erdos_renyi(30, 0.15, rng);
+  PriorityMap pri(8);
+  const auto mis = greedy_mis(g, pri);
+  const auto cluster = pivot_assignment(g, pri, mis);
+  const auto groups = group_clusters(g, cluster);
+  std::size_t total = 0;
+  for (const auto& [pivot, members] : groups) {
+    EXPECT_TRUE(mis[pivot]);
+    total += members.size();
+  }
+  EXPECT_EQ(total, g.node_count());
+}
+
+TEST(BruteForce, KnownOptima) {
+  // Complete graph: one cluster, cost 0.
+  EXPECT_EQ(optimal_correlation_cost(dmis::graph::complete(5)), 0U);
+  // Empty graph: singletons, cost 0.
+  EXPECT_EQ(optimal_correlation_cost(dmis::graph::DynamicGraph(5)), 0U);
+  // Path on 3 nodes: best is 1 (either merge all or cut one edge).
+  EXPECT_EQ(optimal_correlation_cost(dmis::graph::path(3)), 1U);
+  // Triangle plus pendant: cluster the triangle, singleton the pendant = 1.
+  auto g = dmis::graph::complete(3);
+  const auto d = g.add_node();
+  g.add_edge(0, d);
+  EXPECT_EQ(optimal_correlation_cost(g), 1U);
+  // Two disjoint triangles: 0.
+  dmis::graph::DynamicGraph two(6);
+  for (NodeId base : {0U, 3U})
+    for (NodeId i = 0; i < 3; ++i)
+      for (NodeId j = i + 1; j < 3; ++j) two.add_edge(base + i, base + j);
+  EXPECT_EQ(optimal_correlation_cost(two), 0U);
+}
+
+TEST(BruteForce, NeverAboveAnyCandidate) {
+  dmis::util::Rng rng(9);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto g = dmis::graph::erdos_renyi(8, 0.4, rng);
+    const auto opt = optimal_correlation_cost(g);
+    PriorityMap pri(seed);
+    const auto mis = greedy_mis(g, pri);
+    EXPECT_LE(opt, correlation_cost(g, pivot_assignment(g, pri, mis)));
+  }
+}
+
+TEST(BruteForceDeath, TooLargeRejected) {
+  EXPECT_DEATH((void)optimal_correlation_cost(dmis::graph::complete(13)),
+               "too large");
+}
+
+TEST(ThreeApproximation, ExpectedPivotCostWithinThreeTimesOpt) {
+  // Ailon et al.: E[pivot cost] ≤ 3·OPT. Average over many priority seeds
+  // on small random graphs where OPT is computable exactly.
+  dmis::util::Rng rng(11);
+  for (int instance = 0; instance < 6; ++instance) {
+    const auto g = dmis::graph::erdos_renyi(9, 0.25 + 0.1 * instance, rng);
+    const auto opt = optimal_correlation_cost(g);
+    dmis::util::OnlineStats cost;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      PriorityMap pri(seed * 13 + 1);
+      const auto mis = greedy_mis(g, pri);
+      cost.add(static_cast<double>(
+          correlation_cost(g, pivot_assignment(g, pri, mis))));
+    }
+    if (opt == 0) {
+      EXPECT_LT(cost.mean(), 0.5);
+    } else {
+      EXPECT_LE(cost.mean(),
+                3.0 * static_cast<double>(opt) + 4.0 * cost.sem());
+    }
+  }
+}
+
+}  // namespace

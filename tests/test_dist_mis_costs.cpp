@@ -1,0 +1,173 @@
+// Cost-behavior tests for Algorithm 2 (Theorem 7 / Lemmas 9, 10, 13):
+// expected O(1) rounds for every change type, O(1) broadcasts for edge
+// changes / graceful deletion / unmute, O(d) for insertion, and the bounded
+// re-triggering of abrupt node deletion. Statistical assertions use generous
+// slack: they distinguish O(1) from growing-with-n, not exact constants.
+#include <gtest/gtest.h>
+
+#include "core/dist_mis.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::core;
+using dmis::util::OnlineStats;
+
+struct CostStats {
+  OnlineStats rounds;
+  OnlineStats broadcasts;
+  OnlineStats adjustments;
+};
+
+TEST(DistMisCosts, EdgeInsertionConstantOnAverage) {
+  CostStats stats;
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    dmis::util::Rng rng(seed);
+    const auto g = dmis::graph::random_avg_degree(120, 6.0, rng);
+    DistMis mis(g, seed * 7 + 1);
+    NodeId u = static_cast<NodeId>(rng.below(120));
+    NodeId v = static_cast<NodeId>(rng.below(120));
+    if (u == v || mis.graph().has_edge(u, v)) continue;
+    const auto result = mis.insert_edge(u, v);
+    mis.verify();
+    stats.rounds.add(static_cast<double>(result.cost.rounds));
+    stats.broadcasts.add(static_cast<double>(result.cost.broadcasts));
+    stats.adjustments.add(static_cast<double>(result.cost.adjustments));
+  }
+  EXPECT_LE(stats.adjustments.mean(), 1.2);
+  EXPECT_LE(stats.rounds.mean(), 12.0);
+  EXPECT_LE(stats.broadcasts.mean(), 10.0);
+}
+
+TEST(DistMisCosts, AdjustmentsMatchSequentialDiff) {
+  // The distributed adjustment counter must equal the oracle membership
+  // diff, for every change type.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    dmis::util::Rng rng(seed + 500);
+    const auto g = dmis::graph::random_avg_degree(30, 4.0, rng);
+    DistMis mis(g, seed);
+
+    auto snapshot = [&mis] {
+      std::vector<bool> out(mis.graph().id_bound(), false);
+      for (const NodeId v : mis.graph().nodes()) out[v] = mis.in_mis(v);
+      return out;
+    };
+    auto diff_count = [](const std::vector<bool>& a, const std::vector<bool>& b) {
+      std::uint64_t d = 0;
+      const std::size_t n = std::max(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool x = i < a.size() && a[i];
+        const bool y = i < b.size() && b[i];
+        d += x != y ? 1 : 0;
+      }
+      return d;
+    };
+
+    for (int step = 0; step < 25; ++step) {
+      const auto before = snapshot();
+      const NodeId u = static_cast<NodeId>(rng.below(mis.graph().id_bound()));
+      const NodeId v = static_cast<NodeId>(rng.below(mis.graph().id_bound()));
+      DistMis::ChangeResult result;
+      if (!mis.graph().has_node(u) || !mis.graph().has_node(v)) continue;
+      if (rng.chance(0.2)) {
+        // Deletions remove the node's output; compare over survivors only.
+        auto pre = before;
+        pre[u] = false;
+        const auto mode =
+            rng.chance(0.5) ? DeletionMode::kGraceful : DeletionMode::kAbrupt;
+        result = mis.remove_node(u, mode);
+        EXPECT_EQ(result.cost.adjustments, diff_count(pre, snapshot()));
+        mis.verify();
+        continue;
+      }
+      if (u == v) continue;
+      if (mis.graph().has_edge(u, v)) result = mis.remove_edge(u, v);
+      else result = mis.insert_edge(u, v);
+      EXPECT_EQ(result.cost.adjustments, diff_count(before, snapshot()));
+      mis.verify();
+    }
+  }
+}
+
+TEST(DistMisCosts, RoundsDoNotGrowWithN) {
+  // O(1) expected rounds: the mean over random edge insertions should be
+  // essentially flat as n grows by 16x.
+  auto mean_rounds = [](NodeId n) {
+    OnlineStats rounds;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+      dmis::util::Rng rng(seed * 3 + 1);
+      const auto g = dmis::graph::random_avg_degree(n, 6.0, rng);
+      DistMis mis(g, seed);
+      const NodeId u = static_cast<NodeId>(rng.below(n));
+      const NodeId v = static_cast<NodeId>(rng.below(n));
+      if (u == v || mis.graph().has_edge(u, v)) continue;
+      rounds.add(static_cast<double>(mis.insert_edge(u, v).cost.rounds));
+    }
+    return rounds.mean();
+  };
+  const double small = mean_rounds(60);
+  const double large = mean_rounds(960);
+  EXPECT_LE(large, small + 4.0);
+}
+
+TEST(DistMisCosts, GracefulNodeDeletionConstantBroadcasts) {
+  OnlineStats broadcasts;
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    dmis::util::Rng rng(seed + 77);
+    const auto g = dmis::graph::random_avg_degree(100, 6.0, rng);
+    DistMis mis(g, seed);
+    const NodeId victim = static_cast<NodeId>(rng.below(100));
+    const auto result = mis.remove_node(victim, DeletionMode::kGraceful);
+    mis.verify();
+    broadcasts.add(static_cast<double>(result.cost.broadcasts));
+  }
+  EXPECT_LE(broadcasts.mean(), 8.0);
+}
+
+TEST(DistMisCosts, AbruptDeletionBroadcastsBoundedByDegreeTerm) {
+  // Lemma 13: O(min{log n, d(v*)}) expected broadcasts. For a bounded-degree
+  // victim the broadcast count must stay small even when n is large.
+  OnlineStats broadcasts;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    dmis::util::Rng rng(seed + 13);
+    auto g = dmis::graph::random_avg_degree(400, 4.0, rng);
+    DistMis mis(g, seed);
+    const NodeId victim = static_cast<NodeId>(rng.below(400));
+    const auto result = mis.remove_node(victim, DeletionMode::kAbrupt);
+    mis.verify();
+    broadcasts.add(static_cast<double>(result.cost.broadcasts));
+  }
+  EXPECT_LE(broadcasts.mean(), 12.0);
+}
+
+TEST(DistMisCosts, UnmuteConstantBroadcasts) {
+  OnlineStats broadcasts;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    dmis::util::Rng rng(seed + 21);
+    const auto g = dmis::graph::random_avg_degree(100, 5.0, rng);
+    DistMis mis(g, seed);
+    std::vector<NodeId> neighbors;
+    for (NodeId v = 0; v < 100; v += 17) neighbors.push_back(v);
+    const auto result = mis.unmute_node(neighbors);
+    mis.verify();
+    broadcasts.add(static_cast<double>(result.cost.broadcasts));
+  }
+  EXPECT_LE(broadcasts.mean(), 8.0);
+}
+
+TEST(DistMisCosts, StateChangeBitsAreConstantSize)
+{
+  // Recovery traffic after the O(log n)-bit introductions uses O(1)-bit
+  // messages: for an edge insertion, total bits ≤ 2·log n-ish intro bits
+  // plus a constant-bit tail.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    DistMis mis(dmis::graph::DynamicGraph(2), seed);
+    const auto result = mis.insert_edge(0, 1);
+    EXPECT_EQ(result.cost.bits,
+              2 * dmis::sim::kLogNBits +
+                  (result.cost.broadcasts - 2) * dmis::sim::kStateBits);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for DynamicClustering: the incremental pivot assignment must
+// always equal a fresh assignment, and the cost tracks the maintained MIS.
+#include <gtest/gtest.h>
+
+#include "clustering/dynamic_clustering.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace dmis::clustering;
+
+TEST(DynamicClustering, SingletonsAtStart) {
+  DynamicClustering dc(1);
+  const NodeId a = dc.add_node();
+  const NodeId b = dc.add_node();
+  EXPECT_EQ(dc.cluster_of(a), a);
+  EXPECT_EQ(dc.cluster_of(b), b);
+  EXPECT_EQ(dc.cost(), 0U);
+}
+
+TEST(DynamicClustering, EdgeMergesIntoPivot) {
+  DynamicClustering dc(2);
+  const NodeId a = dc.add_node();
+  const NodeId b = dc.add_node();
+  dc.add_edge(a, b);
+  dc.verify();
+  // One of them is the MIS pivot; both share its cluster.
+  EXPECT_EQ(dc.cluster_of(a), dc.cluster_of(b));
+  EXPECT_EQ(dc.cost(), 0U);
+}
+
+TEST(DynamicClustering, RemoveEdgeSplits) {
+  DynamicClustering dc(3);
+  const NodeId a = dc.add_node();
+  const NodeId b = dc.add_node();
+  dc.add_edge(a, b);
+  dc.remove_edge(a, b);
+  dc.verify();
+  EXPECT_NE(dc.cluster_of(a), dc.cluster_of(b));
+}
+
+TEST(DynamicClustering, IncrementalMatchesFreshUnderChurn) {
+  DynamicClustering dc(5);
+  dmis::util::Rng rng(7);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 20; ++i) live.push_back(dc.add_node());
+  for (int step = 0; step < 250; ++step) {
+    const double roll = rng.real01();
+    if (roll < 0.4) {
+      const NodeId u = live[rng.below(live.size())];
+      const NodeId v = live[rng.below(live.size())];
+      if (u != v && !dc.graph().has_edge(u, v)) dc.add_edge(u, v);
+    } else if (roll < 0.7) {
+      const auto edges = dc.graph().edges();
+      if (!edges.empty()) {
+        const auto& [u, v] = edges[rng.below(edges.size())];
+        dc.remove_edge(u, v);
+      }
+    } else if (roll < 0.85 || live.size() < 4) {
+      std::vector<NodeId> neighbors;
+      for (const NodeId cand : live)
+        if (rng.chance(0.2)) neighbors.push_back(cand);
+      live.push_back(dc.add_node(neighbors));
+    } else {
+      const std::size_t index = rng.below(live.size());
+      dc.remove_node(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    dc.verify();  // incremental assignment == fresh pivot assignment
+  }
+}
+
+TEST(DynamicClustering, ReassignmentsAreLocal) {
+  // A change far from a node should not reassign it: run churn on a long
+  // path's far end and check the near end's cluster never moves.
+  DynamicClustering dc(11);
+  std::vector<NodeId> chain;
+  chain.push_back(dc.add_node());
+  for (int i = 1; i < 30; ++i)
+    chain.push_back(dc.add_node({chain.back()}));
+  const NodeId sentinel = chain.front();
+  const NodeId anchor = dc.cluster_of(sentinel);
+  for (int step = 0; step < 10; ++step) {
+    dc.add_node({chain[25 + step % 4]});
+    dc.verify();
+    EXPECT_EQ(dc.cluster_of(sentinel), anchor);
+  }
+}
+
+TEST(DynamicClustering, CostDecreasesWhenClusterCompletes) {
+  // Path 0-1-2 clustered around the pivot has cost ≥ 1 when all three
+  // share a cluster; closing the triangle removes the missing pair.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    DynamicClustering dc(seed);
+    const NodeId a = dc.add_node();
+    const NodeId b = dc.add_node({a});
+    const NodeId c = dc.add_node({b});
+    if (dc.cluster_of(a) != dc.cluster_of(c)) continue;  // need one cluster
+    const auto before = dc.cost();
+    dc.add_edge(a, c);
+    dc.verify();
+    EXPECT_LT(dc.cost(), before);
+    return;
+  }
+  FAIL() << "no seed produced a single-cluster path";
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Unit tests for graph::DynamicGraph — the mutation/query contract every
+// engine depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace {
+
+using dmis::graph::DynamicGraph;
+using dmis::graph::edge_key;
+using dmis::graph::NodeId;
+
+TEST(EdgeKey, OrderInsensitive) {
+  EXPECT_EQ(edge_key(3, 7), edge_key(7, 3));
+  EXPECT_NE(edge_key(3, 7), edge_key(3, 8));
+}
+
+TEST(DynamicGraph, StartsEmpty) {
+  DynamicGraph g;
+  EXPECT_EQ(g.node_count(), 0U);
+  EXPECT_EQ(g.edge_count(), 0U);
+  EXPECT_EQ(g.id_bound(), 0U);
+}
+
+TEST(DynamicGraph, PreSizedConstructor) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.node_count(), 5U);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_TRUE(g.has_node(v));
+  EXPECT_FALSE(g.has_node(5));
+}
+
+TEST(DynamicGraph, AddNodeAssignsSequentialIds) {
+  DynamicGraph g;
+  EXPECT_EQ(g.add_node(), 0U);
+  EXPECT_EQ(g.add_node(), 1U);
+  EXPECT_EQ(g.add_node(), 2U);
+}
+
+TEST(DynamicGraph, IdsNeverReused) {
+  DynamicGraph g(3);
+  g.remove_node(1);
+  EXPECT_EQ(g.add_node(), 3U);
+  EXPECT_FALSE(g.has_node(1));
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_EQ(g.id_bound(), 4U);
+}
+
+TEST(DynamicGraph, AddEdgeSymmetric) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 1U);
+  EXPECT_EQ(g.degree(2), 0U);
+}
+
+TEST(DynamicGraph, DuplicateEdgeRejected) {
+  DynamicGraph g(2);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+}
+
+TEST(DynamicGraph, RemoveEdge) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_EQ(g.degree(1), 1U);
+}
+
+TEST(DynamicGraph, RemoveNodeDropsIncidentEdges) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.remove_node(0);
+  EXPECT_FALSE(g.has_node(0));
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.degree(1), 1U);
+  EXPECT_EQ(g.degree(2), 1U);
+  EXPECT_EQ(g.degree(3), 0U);
+}
+
+TEST(DynamicGraph, NeighborsMatchEdges) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  auto n0 = g.neighbors(0);
+  std::sort(n0.begin(), n0.end());
+  EXPECT_EQ(n0, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(DynamicGraph, NodesListsLiveOnly) {
+  DynamicGraph g(4);
+  g.remove_node(2);
+  EXPECT_EQ(g.nodes(), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(DynamicGraph, EdgesRoundTrip) {
+  DynamicGraph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(3, 1);
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<std::pair<NodeId, NodeId>>{{0, 2}, {1, 3}}));
+}
+
+TEST(DynamicGraph, EqualityIgnoresConstructionOrder) {
+  DynamicGraph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  DynamicGraph b(3);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(a == b);
+  b.remove_edge(0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicGraph, CopyIsIndependent) {
+  DynamicGraph a(3);
+  a.add_edge(0, 1);
+  DynamicGraph b = a;
+  b.add_edge(1, 2);
+  EXPECT_EQ(a.edge_count(), 1U);
+  EXPECT_EQ(b.edge_count(), 2U);
+}
+
+TEST(DynamicGraphDeath, SelfLoopRejected) {
+  DynamicGraph g(2);
+  EXPECT_DEATH((void)g.add_edge(1, 1), "self-loops");
+}
+
+TEST(DynamicGraphDeath, EdgeToMissingNodeRejected) {
+  DynamicGraph g(2);
+  EXPECT_DEATH((void)g.add_edge(0, 5), "has_node");
+}
+
+TEST(DynamicGraphDeath, RemoveMissingNodeRejected) {
+  DynamicGraph g(2);
+  g.remove_node(0);
+  EXPECT_DEATH(g.remove_node(0), "has_node");
+}
+
+TEST(DynamicGraph, LargeRandomConsistency) {
+  DynamicGraph g(200);
+  // Deterministic pseudo-random edge pattern; verify counts stay consistent.
+  std::size_t expected = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v = u + 1; v < 200; v += (u % 7) + 2) {
+      if (g.add_edge(u, v)) ++expected;
+    }
+  }
+  EXPECT_EQ(g.edge_count(), expected);
+  std::size_t degree_sum = 0;
+  for (const NodeId v : g.nodes()) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * expected);
+}
+
+}  // namespace

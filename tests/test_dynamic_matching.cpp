@@ -1,0 +1,125 @@
+// Unit tests for DynamicMatching (dynamic MIS on the line graph).
+#include <gtest/gtest.h>
+
+#include "derived/dynamic_matching.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::derived;
+
+TEST(DynamicMatching, SingleEdgeIsMatched) {
+  DynamicMatching m(1);
+  const NodeId a = m.add_node();
+  const NodeId b = m.add_node();
+  m.add_edge(a, b);
+  EXPECT_TRUE(m.is_matched_edge(a, b));
+  EXPECT_TRUE(m.is_matched_node(a));
+  EXPECT_EQ(m.matching_size(), 1U);
+  m.verify();
+}
+
+TEST(DynamicMatching, TriangleMatchesOneEdge) {
+  DynamicMatching m(2);
+  for (int i = 0; i < 3; ++i) (void)m.add_node();
+  m.add_edge(0, 1);
+  m.add_edge(1, 2);
+  m.add_edge(2, 0);
+  EXPECT_EQ(m.matching_size(), 1U);
+  m.verify();
+}
+
+TEST(DynamicMatching, RemoveMatchedEdgeRepairs) {
+  DynamicMatching m(3);
+  for (int i = 0; i < 4; ++i) (void)m.add_node();
+  for (NodeId v = 0; v + 1 < 4; ++v) m.add_edge(v, v + 1);
+  m.verify();
+  // Remove whichever edge is matched; maximality must be restored.
+  for (const auto& [u, v] : m.matching()) {
+    m.remove_edge(u, v);
+    break;
+  }
+  m.verify();
+}
+
+TEST(DynamicMatching, RemoveNodeDecomposesIntoEdgeDeletions) {
+  DynamicMatching m(4);
+  for (int i = 0; i < 6; ++i) (void)m.add_node();
+  m.add_edge(0, 1);
+  m.add_edge(0, 2);
+  m.add_edge(0, 3);
+  m.add_edge(3, 4);
+  m.add_edge(4, 5);
+  m.remove_node(0);
+  EXPECT_EQ(m.graph().node_count(), 5U);
+  EXPECT_EQ(m.graph().edge_count(), 2U);
+  m.verify();
+}
+
+TEST(DynamicMatching, ChurnKeepsMaximalMatching) {
+  DynamicMatching m(5);
+  dmis::util::Rng rng(9);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 16; ++i) live.push_back(m.add_node());
+  for (int step = 0; step < 200; ++step) {
+    const double roll = rng.real01();
+    if (roll < 0.45) {
+      const NodeId u = live[rng.below(live.size())];
+      const NodeId v = live[rng.below(live.size())];
+      if (u != v && !m.graph().has_edge(u, v)) m.add_edge(u, v);
+    } else if (roll < 0.8) {
+      const auto edges = m.graph().edges();
+      if (!edges.empty()) {
+        const auto& [u, v] = edges[rng.below(edges.size())];
+        m.remove_edge(u, v);
+      }
+    } else if (live.size() > 4 && roll < 0.9) {
+      const std::size_t index = rng.below(live.size());
+      m.remove_node(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    } else {
+      live.push_back(m.add_node());
+    }
+    m.verify();
+  }
+}
+
+TEST(DynamicMatching, ThreePathsExpectationIs5NOver12) {
+  // §5 Example 2: on n/4 disjoint 3-edge paths the random-greedy matching
+  // has expected size 5n/12 (2 edges w.p. 2/3, 1 edge w.p. 1/3 per path).
+  const NodeId paths = 30;
+  dmis::util::OnlineStats size;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    DynamicMatching m(seed * 7 + 3);
+    for (NodeId i = 0; i < 4 * paths; ++i) (void)m.add_node();
+    for (NodeId i = 0; i < paths; ++i) {
+      const NodeId base = 4 * i;
+      m.add_edge(base, base + 1);
+      m.add_edge(base + 1, base + 2);
+      m.add_edge(base + 2, base + 3);
+    }
+    size.add(static_cast<double>(m.matching_size()));
+  }
+  const double n = 4.0 * paths;
+  EXPECT_NEAR(size.mean(), 5.0 * n / 12.0, 4.0 * size.sem() + 0.5);
+}
+
+TEST(DynamicMatching, AdjustmentsStaySmallOnAverage) {
+  dmis::util::OnlineStats adjustments;
+  DynamicMatching m(11);
+  dmis::util::Rng rng(13);
+  for (int i = 0; i < 40; ++i) (void)m.add_node();
+  for (int step = 0; step < 300; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.below(40));
+    const NodeId v = static_cast<NodeId>(rng.below(40));
+    if (u == v) continue;
+    if (m.graph().has_edge(u, v)) m.remove_edge(u, v);
+    else m.add_edge(u, v);
+    adjustments.add(static_cast<double>(m.last_adjustments()));
+  }
+  EXPECT_LE(adjustments.mean(), 1.5);
+}
+
+}  // namespace

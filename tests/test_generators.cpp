@@ -1,0 +1,146 @@
+// Unit tests for graph generators, including the paper's §5 constructions.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dmis::graph;
+using dmis::util::Rng;
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(1);
+  const auto empty = erdos_renyi(50, 0.0, rng);
+  EXPECT_EQ(empty.edge_count(), 0U);
+  const auto full = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(full.edge_count(), 190U);
+}
+
+TEST(Generators, ErdosRenyiDensityNearP) {
+  Rng rng(2);
+  const NodeId n = 300;
+  const double p = 0.05;
+  const auto g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 0.2 * expected);
+}
+
+TEST(Generators, GnmExactCount) {
+  Rng rng(3);
+  const auto g = gnm(100, 250, rng);
+  EXPECT_EQ(g.node_count(), 100U);
+  EXPECT_EQ(g.edge_count(), 250U);
+}
+
+TEST(Generators, GnmCapsAtCompleteGraph) {
+  Rng rng(4);
+  const auto g = gnm(5, 1000, rng);
+  EXPECT_EQ(g.edge_count(), 10U);
+}
+
+TEST(Generators, RandomAvgDegree) {
+  Rng rng(5);
+  const auto g = random_avg_degree(200, 6.0, rng);
+  EXPECT_EQ(g.edge_count(), 600U);
+  EXPECT_NEAR(degree_summary(g).average, 6.0, 1e-9);
+}
+
+TEST(Generators, Star) {
+  const auto g = star(10);
+  EXPECT_EQ(g.edge_count(), 9U);
+  EXPECT_EQ(g.degree(0), 9U);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1U);
+}
+
+TEST(Generators, PathAndCycle) {
+  const auto p = path(6);
+  EXPECT_EQ(p.edge_count(), 5U);
+  EXPECT_EQ(p.degree(0), 1U);
+  EXPECT_EQ(p.degree(3), 2U);
+  const auto c = cycle(6);
+  EXPECT_EQ(c.edge_count(), 6U);
+  for (const NodeId v : c.nodes()) EXPECT_EQ(c.degree(v), 2U);
+}
+
+TEST(Generators, Complete) {
+  const auto g = complete(7);
+  EXPECT_EQ(g.edge_count(), 21U);
+  for (const NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 6U);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const auto g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7U);
+  EXPECT_EQ(g.edge_count(), 12U);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 4U);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3U);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Generators, BipartiteMinusPerfectMatching) {
+  const NodeId k = 5;
+  const auto g = bipartite_minus_perfect_matching(k);
+  EXPECT_EQ(g.node_count(), 2 * k);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(k) * (k - 1));
+  for (NodeId i = 0; i < k; ++i) {
+    EXPECT_FALSE(g.has_edge(i, k + i));  // the removed matching
+    for (NodeId j = 0; j < k; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(g.has_edge(i, k + j));
+      }
+    }
+  }
+}
+
+TEST(Generators, DisjointThreeEdgePaths) {
+  const auto g = disjoint_three_edge_paths(4);
+  EXPECT_EQ(g.node_count(), 16U);
+  EXPECT_EQ(g.edge_count(), 12U);
+  EXPECT_EQ(component_count(g), 4U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 2U);
+}
+
+TEST(Generators, Grid) {
+  const auto g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12U);
+  EXPECT_EQ(g.edge_count(), 3U * 3 + 2U * 4);  // horizontal + vertical
+  EXPECT_EQ(component_count(g), 1U);
+}
+
+TEST(Generators, BarabasiAlbert) {
+  Rng rng(6);
+  const auto g = barabasi_albert(100, 3, rng);
+  EXPECT_EQ(g.node_count(), 100U);
+  // Seed clique C(4,2)=6 edges plus 3 per subsequent node.
+  EXPECT_EQ(g.edge_count(), 6U + 96U * 3U);
+  EXPECT_EQ(component_count(g), 1U);
+  // Preferential attachment should create a heavy-degree head.
+  EXPECT_GE(degree_summary(g).maximum, 10U);
+}
+
+TEST(Generators, WattsStrogatz) {
+  Rng rng(7);
+  const auto g = watts_strogatz(100, 6, 0.1, rng);
+  EXPECT_EQ(g.node_count(), 100U);
+  // Rewiring can only drop an edge when the fresh endpoint collides, so the
+  // edge count stays close to nk/2.
+  EXPECT_GE(g.edge_count(), 280U);
+  EXPECT_LE(g.edge_count(), 300U);
+  EXPECT_EQ(component_count(g), 1U);
+  // beta = 0 keeps the exact ring lattice.
+  Rng rng2(8);
+  const auto lattice = watts_strogatz(50, 4, 0.0, rng2);
+  EXPECT_EQ(lattice.edge_count(), 100U);
+  for (const NodeId v : lattice.nodes()) EXPECT_EQ(lattice.degree(v), 4U);
+}
+
+TEST(Generators, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_TRUE(erdos_renyi(80, 0.1, a) == erdos_renyi(80, 0.1, b));
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Unit tests for graph measurements and the solution validators that back
+// every correctness assertion in the suite.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dmis::graph;
+
+TEST(GraphStats, DegreeSummary) {
+  const auto g = star(5);
+  const auto s = degree_summary(g);
+  EXPECT_DOUBLE_EQ(s.average, 8.0 / 5.0);
+  EXPECT_EQ(s.maximum, 4U);
+  EXPECT_EQ(s.minimum, 1U);
+}
+
+TEST(GraphStats, DegreeHistogram) {
+  const auto g = star(5);
+  const auto h = degree_histogram(g);
+  EXPECT_EQ(h.count(1), 4U);
+  EXPECT_EQ(h.count(4), 1U);
+}
+
+TEST(GraphStats, ComponentCount) {
+  DynamicGraph g(6);
+  EXPECT_EQ(component_count(g), 6U);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(component_count(g), 4U);
+  g.add_edge(1, 2);
+  EXPECT_EQ(component_count(g), 3U);
+  g.remove_node(4);
+  EXPECT_EQ(component_count(g), 2U);
+}
+
+TEST(Validators, IndependentSet) {
+  const auto g = path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_independent_set(g, {0, 2}));
+  EXPECT_TRUE(is_independent_set(g, {}));
+  EXPECT_FALSE(is_independent_set(g, {0, 1}));
+  EXPECT_FALSE(is_independent_set(g, {7}));  // not a node
+}
+
+TEST(Validators, MaximalIndependentSet) {
+  const auto g = path(4);
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 2}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {1, 3}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 3}));
+  EXPECT_FALSE(is_maximal_independent_set(g, {0}));     // 2,3 undominated
+  EXPECT_FALSE(is_maximal_independent_set(g, {0, 1}));  // not independent
+}
+
+TEST(Validators, MaximalIndependentSetOnStar) {
+  const auto g = star(6);
+  EXPECT_TRUE(is_maximal_independent_set(g, {0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {1, 2, 3, 4, 5}));
+  EXPECT_FALSE(is_maximal_independent_set(g, {1, 2}));
+}
+
+TEST(Validators, Matching) {
+  const auto g = path(5);  // edges 01 12 23 34
+  EXPECT_TRUE(is_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_matching(g, {{0, 1}, {1, 2}}));  // shares node 1
+  EXPECT_FALSE(is_matching(g, {{0, 2}}));          // not an edge
+}
+
+TEST(Validators, MaximalMatching) {
+  const auto g = path(5);
+  EXPECT_TRUE(is_maximal_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_TRUE(is_maximal_matching(g, {{1, 2}, {3, 4}}));
+  EXPECT_FALSE(is_maximal_matching(g, {{0, 1}}));  // 2-3 both free
+}
+
+TEST(Validators, ProperColoring) {
+  const auto g = cycle(4);
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1, 0, 0}));
+  const auto odd = cycle(5);
+  EXPECT_FALSE(is_proper_coloring(odd, {0, 1, 0, 1, 0}));
+  EXPECT_TRUE(is_proper_coloring(odd, {0, 1, 0, 1, 2}));
+}
+
+TEST(Validators, ColoringVectorTooShortFails) {
+  const auto g = path(3);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1}));
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Unit tests for GreedyMatchingEngine, including output equality with the
+// line-graph route (both simulate random greedy on L(G); with identical
+// priority draws they must produce the identical matching).
+#include <gtest/gtest.h>
+
+#include "derived/dynamic_matching.hpp"
+#include "derived/greedy_matching.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dmis::derived;
+
+TEST(GreedyMatching, SingleEdgeMatches) {
+  GreedyMatchingEngine m(1);
+  const NodeId a = m.add_node();
+  const NodeId b = m.add_node();
+  m.add_edge(a, b);
+  EXPECT_TRUE(m.is_matched_edge(a, b));
+  EXPECT_EQ(m.last_report().adjustments, 1U);
+  m.verify();
+}
+
+TEST(GreedyMatching, PathAlternates) {
+  GreedyMatchingEngine m(2);
+  for (int i = 0; i < 5; ++i) (void)m.add_node();
+  for (NodeId v = 0; v + 1 < 5; ++v) m.add_edge(v, v + 1);
+  m.verify();
+  EXPECT_GE(m.matching_size(), 1U);
+  EXPECT_LE(m.matching_size(), 2U);
+}
+
+TEST(GreedyMatching, RemoveMatchedEdgeRepairs) {
+  GreedyMatchingEngine m(3);
+  for (int i = 0; i < 6; ++i) (void)m.add_node();
+  for (NodeId v = 0; v + 1 < 6; ++v) m.add_edge(v, v + 1);
+  const auto matched = m.matching();
+  ASSERT_FALSE(matched.empty());
+  m.remove_edge(matched.front().first, matched.front().second);
+  m.verify();
+}
+
+TEST(GreedyMatching, RemoveNodeDropsIncidentEdges) {
+  GreedyMatchingEngine m(4);
+  for (int i = 0; i < 5; ++i) (void)m.add_node();
+  m.add_edge(0, 1);
+  m.add_edge(0, 2);
+  m.add_edge(0, 3);
+  m.add_edge(3, 4);
+  m.remove_node(0);
+  m.verify();
+  EXPECT_EQ(m.graph().edge_count(), 1U);
+  EXPECT_TRUE(m.is_matched_edge(3, 4));
+}
+
+TEST(GreedyMatching, EqualsLineGraphRouteUnderChurn) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    GreedyMatchingEngine direct(seed);
+    DynamicMatching via_line(seed);
+    dmis::util::Rng rng(seed + 100);
+    std::vector<NodeId> live;
+    for (int i = 0; i < 14; ++i) {
+      live.push_back(direct.add_node());
+      (void)via_line.add_node();
+    }
+    for (int step = 0; step < 150; ++step) {
+      const double roll = rng.real01();
+      if (roll < 0.5) {
+        const auto u = live[rng.below(live.size())];
+        const auto v = live[rng.below(live.size())];
+        if (u == v || direct.graph().has_edge(u, v)) continue;
+        direct.add_edge(u, v);
+        via_line.add_edge(u, v);
+      } else if (roll < 0.85) {
+        const auto edges = direct.graph().edges();
+        if (edges.empty()) continue;
+        const auto& [u, v] = edges[rng.below(edges.size())];
+        direct.remove_edge(u, v);
+        via_line.remove_edge(u, v);
+      } else {
+        continue;  // node removal orders differ between the two routes
+      }
+      ASSERT_TRUE(direct.graph() == via_line.graph());
+      for (const auto& [u, v] : direct.graph().edges())
+        ASSERT_EQ(direct.is_matched_edge(u, v), via_line.is_matched_edge(u, v))
+            << "seed " << seed << " step " << step;
+    }
+    direct.verify();
+    via_line.verify();
+  }
+}
+
+TEST(GreedyMatching, MaximalUnderHeavyChurn) {
+  GreedyMatchingEngine m(9);
+  dmis::util::Rng rng(11);
+  std::vector<NodeId> live;
+  for (int i = 0; i < 18; ++i) live.push_back(m.add_node());
+  for (int step = 0; step < 300; ++step) {
+    const double roll = rng.real01();
+    if (roll < 0.45) {
+      const auto u = live[rng.below(live.size())];
+      const auto v = live[rng.below(live.size())];
+      if (u != v && !m.graph().has_edge(u, v)) m.add_edge(u, v);
+    } else if (roll < 0.8) {
+      const auto edges = m.graph().edges();
+      if (!edges.empty()) {
+        const auto& [u, v] = edges[rng.below(edges.size())];
+        m.remove_edge(u, v);
+      }
+    } else if (roll < 0.9 && live.size() > 5) {
+      const std::size_t index = rng.below(live.size());
+      m.remove_node(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    } else {
+      live.push_back(m.add_node());
+    }
+    m.verify();
+  }
+}
+
+TEST(GreedyMatching, AdjustmentsMatchLineGraphRoute) {
+  GreedyMatchingEngine direct(21);
+  DynamicMatching via_line(21);
+  dmis::util::Rng rng(23);
+  for (int i = 0; i < 20; ++i) {
+    (void)direct.add_node();
+    (void)via_line.add_node();
+  }
+  for (int step = 0; step < 150; ++step) {
+    const auto u = static_cast<NodeId>(rng.below(20));
+    const auto v = static_cast<NodeId>(rng.below(20));
+    if (u == v) continue;
+    if (direct.graph().has_edge(u, v)) {
+      direct.remove_edge(u, v);
+      via_line.remove_edge(u, v);
+    } else {
+      direct.add_edge(u, v);
+      via_line.add_edge(u, v);
+    }
+    EXPECT_EQ(direct.last_report().adjustments, via_line.last_adjustments());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests for the random-greedy oracle and the MIS invariant checker.
+#include <gtest/gtest.h>
+
+#include "core/greedy_mis.hpp"
+#include "core/invariant.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dmis::core;
+using dmis::graph::DynamicGraph;
+
+TEST(GreedyMis, PinnedOrderOnPath) {
+  // Path 0-1-2-3 with π = id: greedy picks 0 and 2.
+  const auto g = dmis::graph::path(4);
+  PriorityMap pri(0);
+  for (NodeId v = 0; v < 4; ++v) pri.set_key(v, v);
+  const auto mis = greedy_mis(g, pri);
+  EXPECT_TRUE(mis[0]);
+  EXPECT_FALSE(mis[1]);
+  EXPECT_TRUE(mis[2]);
+  EXPECT_FALSE(mis[3]);
+}
+
+TEST(GreedyMis, CenterFirstStar) {
+  const auto g = dmis::graph::star(6);
+  PriorityMap pri(0);
+  for (NodeId v = 0; v < 6; ++v) pri.set_key(v, v);  // center lowest
+  const auto mis = greedy_mis_set(g, pri);
+  EXPECT_EQ(mis, (std::unordered_set<NodeId>{0}));
+}
+
+TEST(GreedyMis, LeafFirstStar) {
+  const auto g = dmis::graph::star(6);
+  PriorityMap pri(0);
+  pri.set_key(0, 100);  // center last
+  for (NodeId v = 1; v < 6; ++v) pri.set_key(v, v);
+  const auto mis = greedy_mis_set(g, pri);
+  EXPECT_EQ(mis, (std::unordered_set<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(GreedyMis, AlwaysMaximalIndependent) {
+  dmis::util::Rng rng(17);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto g = dmis::graph::erdos_renyi(60, 0.08, rng);
+    PriorityMap pri(seed);
+    const auto set = greedy_mis_set(g, pri);
+    EXPECT_TRUE(dmis::graph::is_maximal_independent_set(g, set));
+  }
+}
+
+TEST(GreedyMis, SatisfiesInvariant) {
+  dmis::util::Rng rng(19);
+  const auto g = dmis::graph::erdos_renyi(80, 0.05, rng);
+  PriorityMap pri(23);
+  const auto mis = greedy_mis(g, pri);
+  EXPECT_TRUE(invariant_holds(g, pri, mis, nullptr));
+}
+
+TEST(GreedyMis, SkipsDeadNodes) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_node(0);
+  PriorityMap pri(29);
+  const auto mis = greedy_mis(g, pri);
+  EXPECT_FALSE(mis[0]);
+  EXPECT_TRUE(dmis::graph::is_maximal_independent_set(g, greedy_mis_set(g, pri)));
+}
+
+TEST(Invariant, DetectsViolations) {
+  const auto g = dmis::graph::path(3);
+  PriorityMap pri(0);
+  for (NodeId v = 0; v < 3; ++v) pri.set_key(v, v);
+  // Correct: {0, 2}.
+  EXPECT_TRUE(invariant_holds(g, pri, {true, false, true}, nullptr));
+  // Node 1 in M next to lower node 0 in M.
+  NodeId violator = 99;
+  EXPECT_FALSE(invariant_holds(g, pri, {true, true, false}, &violator));
+  EXPECT_EQ(violator, 1U);
+  // Node 2 missing from M although its lower neighbor is out.
+  EXPECT_FALSE(invariant_holds(g, pri, {true, false, false}, &violator));
+  EXPECT_EQ(violator, 2U);
+  // Empty set: node 0 should be in M.
+  EXPECT_FALSE(invariant_holds(g, pri, {false, false, false}, &violator));
+  EXPECT_EQ(violator, 0U);
+}
+
+TEST(Invariant, ReportsPiSmallestViolator) {
+  const auto g = dmis::graph::path(5);
+  PriorityMap pri(0);
+  for (NodeId v = 0; v < 5; ++v) pri.set_key(v, v);
+  // All-out configuration: every even node violates; 0 is π-smallest.
+  NodeId violator = 99;
+  EXPECT_FALSE(invariant_holds(g, pri, {false, false, false, false, false}, &violator));
+  EXPECT_EQ(violator, 0U);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// History independence (Definition 14), tested at two strengths:
+//
+//  1. Exact, per-seed: for a fixed priority seed, the maintained MIS after
+//     *any* construction history of a graph G equals the MIS after any other
+//     history of G (both equal greedy(G, π)). This holds for all four engine
+//     paths, including the distributed ones routed through every protocol
+//     branch.
+//  2. Distributional: over random seeds, the output distribution (MIS size
+//     histogram, per-node membership frequencies) induced by different
+//     histories is statistically indistinguishable.
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+using namespace dmis::core;
+using dmis::workload::GraphOp;
+using dmis::workload::Trace;
+
+/// History A: grow edges in sorted order. History B: build a supergraph
+/// with clutter, then delete the clutter back out.
+struct TwoHistories {
+  Trace a;
+  Trace b;
+};
+
+TwoHistories histories_of_er_graph(std::uint64_t seed) {
+  dmis::util::Rng rng(seed);
+  const auto g = dmis::graph::erdos_renyi(18, 0.2, rng);
+  TwoHistories h;
+  h.a = dmis::workload::grow_trace(g);
+
+  // History B: insert all nodes, all final edges in reverse, plus clutter
+  // edges that are later removed (some gracefully, some abruptly).
+  for (dmis::graph::NodeId v = 0; v < g.id_bound(); ++v)
+    h.b.push_back(GraphOp::add_node());
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  std::vector<std::pair<dmis::graph::NodeId, dmis::graph::NodeId>> clutter;
+  for (dmis::graph::NodeId v = 1; v < g.id_bound(); ++v) {
+    const dmis::graph::NodeId u = static_cast<dmis::graph::NodeId>(rng.below(v));
+    if (!g.has_edge(u, v) && u != v) clutter.emplace_back(u, v);
+  }
+  for (const auto& [u, v] : clutter) h.b.push_back(GraphOp::add_edge(u, v));
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it)
+    h.b.push_back(GraphOp::add_edge(it->first, it->second));
+  bool abrupt = false;
+  for (const auto& [u, v] : clutter) {
+    h.b.push_back(GraphOp::remove_edge(u, v, abrupt));
+    abrupt = !abrupt;
+  }
+  return h;
+}
+
+class HistoryPathTest : public ::testing::TestWithParam<EnginePath> {};
+
+TEST_P(HistoryPathTest, ExactEqualityAcrossHistories) {
+  const EnginePath path = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto h = histories_of_er_graph(seed);
+    ASSERT_TRUE(dmis::workload::materialize(h.a) == dmis::workload::materialize(h.b));
+    const auto via_a = replay_membership(h.a, 777 + seed, path);
+    const auto via_b = replay_membership(h.b, 777 + seed, path);
+    EXPECT_EQ(via_a, via_b) << "history changed the output, path "
+                            << static_cast<int>(path) << ", seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, HistoryPathTest,
+                         ::testing::Values(EnginePath::kCascade,
+                                           EnginePath::kTemplate,
+                                           EnginePath::kDistributedSync,
+                                           EnginePath::kDistributedAsync));
+
+TEST(HistoryIndependence, AllPathsAgreeWithEachOther) {
+  const auto h = histories_of_er_graph(9);
+  const auto cascade = replay_membership(h.a, 123, EnginePath::kCascade);
+  EXPECT_EQ(cascade, replay_membership(h.b, 123, EnginePath::kTemplate));
+  EXPECT_EQ(cascade, replay_membership(h.b, 123, EnginePath::kDistributedSync));
+  EXPECT_EQ(cascade, replay_membership(h.a, 123, EnginePath::kDistributedAsync));
+}
+
+TEST(HistoryIndependence, DistributionsMatchAcrossHistories) {
+  const auto h = histories_of_er_graph(4);
+  const auto da = collect_distribution(h.a, 5000, 400, EnginePath::kCascade);
+  const auto db = collect_distribution(h.b, 9000, 400, EnginePath::kCascade);
+  // Disjoint seed ranges: the two samples are independent, so only the
+  // distributions — not the draws — can match.
+  EXPECT_LT(max_frequency_gap(da, db), 0.15);
+  std::size_t dof = 0;
+  const double stat =
+      dmis::util::chi_square_two_sample(da.mis_size, db.mis_size, &dof);
+  EXPECT_LT(stat, dmis::util::chi_square_critical_001(dof));
+}
+
+TEST(HistoryIndependence, AdversaryCannotBiasTheStar) {
+  // §5 Example 1: however the star was built, the center is the lone MIS
+  // node with probability exactly 1/n.
+  const dmis::graph::NodeId n = 12;
+  const Trace center_first = dmis::workload::star_center_first(n);
+  Trace leaves_first;
+  for (dmis::graph::NodeId v = 0; v < n; ++v)
+    leaves_first.push_back(GraphOp::add_node());
+  for (dmis::graph::NodeId v = 1; v < n; ++v)
+    leaves_first.push_back(GraphOp::add_edge(0, v));
+
+  const auto da = collect_distribution(center_first, 100, 2400, EnginePath::kCascade);
+  const auto db = collect_distribution(leaves_first, 7000, 2400, EnginePath::kCascade);
+  const double expected_center = 1.0 / n;
+  EXPECT_NEAR(da.member_frequency(0), expected_center, 0.02);
+  EXPECT_NEAR(db.member_frequency(0), expected_center, 0.02);
+  // MIS size is 1 w.p. 1/n and n−1 otherwise.
+  EXPECT_NEAR(da.mis_size.fraction(1), expected_center, 0.02);
+  EXPECT_NEAR(da.mis_size.fraction(n - 1), 1.0 - expected_center, 0.02);
+}
+
+TEST(HistoryIndependence, DeletionHistoriesToo) {
+  // Build K_{k,k}, delete the left side: final graph = k isolated right
+  // nodes; output must be all right nodes in MIS regardless of history.
+  const auto seq = dmis::workload::bipartite_deletion_sequence(5);
+  Trace full = seq.build;
+  full.insert(full.end(), seq.deletions.begin(), seq.deletions.end());
+  const auto membership = replay_membership(full, 31, EnginePath::kDistributedSync);
+  for (dmis::graph::NodeId v = 5; v < 10; ++v) EXPECT_TRUE(membership[v]);
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Unit tests for graph serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace dmis::graph;
+
+TEST(GraphIo, RoundTrip) {
+  dmis::util::Rng rng(5);
+  const auto g = erdos_renyi(40, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const auto back = read_edge_list(ss);
+  EXPECT_TRUE(g == back);
+}
+
+TEST(GraphIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss("# header\n\nn 3\n# mid\ne 0 2\n");
+  const auto g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, DotContainsStructure) {
+  const auto g = path(3);
+  const std::string dot = to_dot(g, {1});
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);
+}
+
+TEST(GraphIoDeath, MalformedEdgeRejected) {
+  std::stringstream ss("n 2\ne 0\n");
+  EXPECT_DEATH((void)read_edge_list(ss), "malformed");
+}
+
+TEST(GraphIoDeath, UnknownRecordRejected) {
+  std::stringstream ss("x 1 2\n");
+  EXPECT_DEATH((void)read_edge_list(ss), "unknown record");
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Unit tests for line-graph construction and incremental maintenance.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/line_graph.hpp"
+
+namespace {
+
+using namespace dmis::graph;
+
+TEST(LineGraph, PathBecomesShorterPath) {
+  const auto g = path(4);  // edges 01,12,23 -> L(G) is a path on 3 nodes
+  const auto lg = build_line_graph(g);
+  EXPECT_EQ(lg.line.node_count(), 3U);
+  EXPECT_EQ(lg.line.edge_count(), 2U);
+}
+
+TEST(LineGraph, TriangleIsSelfLine) {
+  const auto g = cycle(3);
+  const auto lg = build_line_graph(g);
+  EXPECT_EQ(lg.line.node_count(), 3U);
+  EXPECT_EQ(lg.line.edge_count(), 3U);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  const auto g = star(5);  // 4 edges all sharing the center
+  const auto lg = build_line_graph(g);
+  EXPECT_EQ(lg.line.node_count(), 4U);
+  EXPECT_EQ(lg.line.edge_count(), 6U);
+}
+
+TEST(LineGraph, BackMapIsConsistent) {
+  const auto g = path(4);
+  const auto lg = build_line_graph(g);
+  for (NodeId i = 0; i < lg.line.node_count(); ++i) {
+    const auto [u, v] = lg.line_to_edge[i];
+    EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST(LineGraphMap, IncrementalMatchesStatic) {
+  dmis::util::Rng rng(7);
+  const auto g = erdos_renyi(30, 0.15, rng);
+  LineGraphMap map;
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [u, v] : edges) map.add_graph_edge(u, v);
+  const auto statically = build_line_graph(g);
+  EXPECT_TRUE(map.line() == statically.line);
+}
+
+TEST(LineGraphMap, RemovalDropsNode) {
+  LineGraphMap map;
+  map.add_graph_edge(0, 1);
+  const NodeId mid = map.add_graph_edge(1, 2);
+  map.add_graph_edge(2, 3);
+  EXPECT_EQ(map.line().node_count(), 3U);
+  EXPECT_EQ(map.remove_graph_edge(1, 2), mid);
+  EXPECT_EQ(map.line().node_count(), 2U);
+  EXPECT_EQ(map.line().edge_count(), 0U);
+  EXPECT_FALSE(map.has_graph_edge(1, 2));
+}
+
+TEST(LineGraphMap, IncidentLineNodes) {
+  LineGraphMap map;
+  const NodeId a = map.add_graph_edge(0, 1);
+  const NodeId b = map.add_graph_edge(1, 2);
+  map.add_graph_edge(3, 4);
+  auto incident = map.incident_line_nodes(1);
+  std::sort(incident.begin(), incident.end());
+  EXPECT_EQ(incident, (std::vector<NodeId>{a, b}));
+  EXPECT_TRUE(map.incident_line_nodes(9).empty());
+}
+
+TEST(LineGraphMap, EdgeOfInverse) {
+  LineGraphMap map;
+  const NodeId id = map.add_graph_edge(4, 2);
+  const auto [u, v] = map.edge_of(id);
+  EXPECT_EQ(edge_key(u, v), edge_key(2, 4));
+  EXPECT_EQ(map.line_node_of(2, 4), id);
+}
+
+TEST(LineGraphMapDeath, DuplicateEdgeRejected) {
+  LineGraphMap map;
+  map.add_graph_edge(0, 1);
+  EXPECT_DEATH((void)map.add_graph_edge(1, 0), "already mapped");
+}
+
+}  // namespace

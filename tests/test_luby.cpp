@@ -1,0 +1,93 @@
+// Unit tests for the Luby static-MIS baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/luby.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dmis::baselines;
+
+std::unordered_set<NodeId> to_set(const dmis::graph::DynamicGraph& g,
+                                  const std::vector<bool>& membership) {
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : g.nodes())
+    if (membership[v]) out.insert(v);
+  return out;
+}
+
+TEST(Luby, EmptyGraph) {
+  const dmis::graph::DynamicGraph g;
+  const auto result = luby_mis(g, 1);
+  EXPECT_EQ(result.cost.rounds, 0U);
+}
+
+TEST(Luby, IsolatedNodesAllJoin) {
+  const dmis::graph::DynamicGraph g(10);
+  const auto result = luby_mis(g, 2);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_TRUE(result.in_mis[v]);
+}
+
+TEST(Luby, ProducesMaximalIndependentSet) {
+  dmis::util::Rng rng(3);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto g = dmis::graph::erdos_renyi(80, 0.08, rng);
+    const auto result = luby_mis(g, seed);
+    EXPECT_TRUE(dmis::graph::is_maximal_independent_set(g, to_set(g, result.in_mis)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Luby, WorksOnDenseAndSparseExtremes) {
+  const auto k = dmis::graph::complete(30);
+  const auto r1 = luby_mis(k, 5);
+  EXPECT_EQ(to_set(k, r1.in_mis).size(), 1U);
+
+  const auto p = dmis::graph::path(50);
+  const auto r2 = luby_mis(p, 7);
+  EXPECT_TRUE(dmis::graph::is_maximal_independent_set(p, to_set(p, r2.in_mis)));
+}
+
+TEST(Luby, DeterministicPerSeed) {
+  dmis::util::Rng rng(11);
+  const auto g = dmis::graph::erdos_renyi(60, 0.1, rng);
+  EXPECT_EQ(luby_mis(g, 42).in_mis, luby_mis(g, 42).in_mis);
+}
+
+TEST(Luby, FreshRandomnessReshufflesOutput) {
+  dmis::util::Rng rng(13);
+  const auto g = dmis::graph::erdos_renyi(60, 0.1, rng);
+  const auto a = luby_mis(g, 1).in_mis;
+  const auto b = luby_mis(g, 2).in_mis;
+  std::size_t diff = 0;
+  for (NodeId v = 0; v < 60; ++v) diff += a[v] != b[v] ? 1 : 0;
+  EXPECT_GT(diff, 5U);  // no output stability across runs
+}
+
+TEST(Luby, RoundsGrowSlowly) {
+  // O(log n) whp: going from n=50 to n=1600 should add only a few phases.
+  auto mean_rounds = [](NodeId n) {
+    dmis::util::OnlineStats rounds;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      dmis::util::Rng rng(seed + 17);
+      const auto g = dmis::graph::random_avg_degree(n, 8.0, rng);
+      rounds.add(static_cast<double>(luby_mis(g, seed).cost.rounds));
+    }
+    return rounds.mean();
+  };
+  const double small = mean_rounds(50);
+  const double large = mean_rounds(1600);
+  EXPECT_LT(large, 3.0 * small);
+}
+
+TEST(Luby, BroadcastsScaleWithGraphSize) {
+  dmis::util::Rng rng(19);
+  const auto g = dmis::graph::random_avg_degree(200, 6.0, rng);
+  const auto result = luby_mis(g, 23);
+  // Every node broadcasts at least its first value plus a final state.
+  EXPECT_GE(result.cost.broadcasts, 2U * 200U);
+}
+
+}  // namespace

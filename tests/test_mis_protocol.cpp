@@ -1,0 +1,152 @@
+// Protocol-level tests for Algorithm 2's state machine: exact round and
+// broadcast counts on scripted scenarios (the two-round wait of rule 3, the
+// C→R→settle pipeline, multi-source starts), plus bookkeeping primitives.
+#include <gtest/gtest.h>
+
+#include "core/dist_mis.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace dmis::core;
+using dmis::graph::DynamicGraph;
+
+TEST(MisProtocolStates, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(NodeState::M), "M");
+  EXPECT_STREQ(to_string(NodeState::NotM), "NotM");
+  EXPECT_STREQ(to_string(NodeState::C), "C");
+  EXPECT_STREQ(to_string(NodeState::R), "R");
+  EXPECT_STREQ(to_string(NodeState::Retired), "Retired");
+  EXPECT_TRUE(settled(NodeState::M));
+  EXPECT_TRUE(settled(NodeState::Retired));
+  EXPECT_FALSE(settled(NodeState::C));
+  EXPECT_FALSE(settled(NodeState::R));
+}
+
+TEST(MisProtocolStates, CreateDestroyLifecycle) {
+  MisProtocol proto;
+  proto.create_node(3, 42, NodeState::M);
+  EXPECT_TRUE(proto.exists(3));
+  EXPECT_FALSE(proto.exists(2));
+  EXPECT_EQ(proto.state(3), NodeState::M);
+  EXPECT_TRUE(proto.in_mis(3));
+  proto.destroy_node(3);
+  EXPECT_FALSE(proto.exists(3));
+}
+
+TEST(MisProtocolTiming, EdgeInsertBetweenTwoMisNodesExactSchedule) {
+  // Round 1: both endpoints broadcast their introductions (§4.1).
+  // Round 2: introductions received; the later endpoint turns C.
+  // Round 3: C announcement received; v* still waiting (rule 3's 2 rounds).
+  // Round 4: wait elapsed, no later-ordered C → v* turns R.
+  // Round 5: all earlier neighbors settled → v* settles to M̄.
+  // Round 6: final announcement drains. Total: 6 rounds, 5 broadcasts.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DistMis mis(DynamicGraph(2), seed);
+    ASSERT_TRUE(mis.in_mis(0) && mis.in_mis(1));
+    const auto result = mis.insert_edge(0, 1);
+    EXPECT_EQ(result.cost.rounds, 6U) << "seed " << seed;
+    EXPECT_EQ(result.cost.broadcasts, 5U);
+    EXPECT_EQ(result.cost.adjustments, 1U);
+    mis.verify();
+  }
+}
+
+TEST(MisProtocolTiming, QuietEdgeInsertStopsAfterIntroductions) {
+  // Insert an edge whose later endpoint is already out of the MIS: two
+  // introduction broadcasts, no recovery.
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    DistMis mis(g, seed);
+    // Want: node 2 (isolated) in M, and the M endpoint of edge (0,1) lower
+    // than 2 — then inserting (2, that endpoint) demotes 2; instead pick
+    // the M̄ endpoint so nothing happens.
+    const NodeId quiet = mis.in_mis(0) ? 1 : 0;
+    const auto result = mis.insert_edge(quiet, 2);
+    if (mis.priorities().before(quiet, 2)) {
+      // 2 is later and keeps its M status only if quiet is not in M — true
+      // by construction, so no cascade either way.
+    }
+    EXPECT_EQ(result.cost.broadcasts, 2U) << "seed " << seed;
+    EXPECT_LE(result.cost.rounds, 3U);
+    mis.verify();
+  }
+}
+
+TEST(MisProtocolTiming, GracefulDepartureOfNonMemberIsTwoRounds) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DistMis mis(g, seed);
+    const NodeId follower = mis.in_mis(0) ? 1 : 0;
+    const auto result = mis.remove_node(follower, DeletionMode::kGraceful);
+    EXPECT_EQ(result.cost.broadcasts, 1U);  // the kLeaving announcement
+    EXPECT_EQ(result.cost.rounds, 2U);
+    EXPECT_EQ(result.cost.adjustments, 0U);
+    mis.verify();
+  }
+}
+
+TEST(MisProtocolTiming, AbruptCrashOfNonMemberIsFree) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DistMis mis(g, seed);
+    const NodeId follower = mis.in_mis(0) ? 1 : 0;
+    const auto result = mis.remove_node(follower, DeletionMode::kAbrupt);
+    EXPECT_EQ(result.cost.broadcasts, 0U);  // discovery is a system event
+    EXPECT_EQ(result.cost.adjustments, 0U);
+    mis.verify();
+  }
+}
+
+TEST(MisProtocolTiming, AbruptCrashOfLeaderPromotesAllNeighborsConcurrently) {
+  // §4.2 multi-source start: all of S_1 turns C in the first round. On a
+  // star whose center is the MIS, every leaf recovers in lockstep, so the
+  // round count stays constant while broadcasts are 3 per leaf.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    DistMis small(dmis::graph::star(5), seed);
+    if (!small.in_mis(0)) continue;
+    DistMis large(dmis::graph::star(17), seed);
+    if (!large.in_mis(0)) continue;
+
+    const auto small_result = small.remove_node(0, DeletionMode::kAbrupt);
+    const auto large_result = large.remove_node(0, DeletionMode::kAbrupt);
+    small.verify();
+    large.verify();
+    EXPECT_EQ(small_result.cost.adjustments, 4U);
+    EXPECT_EQ(large_result.cost.adjustments, 16U);
+    // Leaves are mutually non-adjacent: the recovery is embarrassingly
+    // parallel and takes the same number of rounds at both sizes.
+    EXPECT_EQ(small_result.cost.rounds, large_result.cost.rounds);
+    EXPECT_EQ(small_result.cost.broadcasts, 3U * 4U);
+    EXPECT_EQ(large_result.cost.broadcasts, 3U * 16U);
+    return;
+  }
+  FAIL() << "no seed made both star centers the MIS";
+}
+
+TEST(MisProtocolTiming, UnmuteIntoMisDemotesLaterNeighbor) {
+  // Unmute a node wired to an isolated MIS node. If the newcomer is
+  // earlier-ordered, the old node must step down through the C pipeline.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    DistMis mis(DynamicGraph(1), seed);
+    ASSERT_TRUE(mis.in_mis(0));
+    const auto result = mis.unmute_node({0});
+    mis.verify();
+    if (mis.in_mis(result.node)) {
+      // newcomer earlier: 1 hello + (C, R, M̄) from the demoted node.
+      EXPECT_EQ(result.cost.broadcasts, 4U);
+      EXPECT_EQ(result.cost.adjustments, 2U);  // newcomer in, old node out
+      EXPECT_FALSE(mis.in_mis(0));
+      return;
+    }
+    // newcomer later: single hello, nothing else.
+    EXPECT_EQ(result.cost.broadcasts, 1U);
+    EXPECT_EQ(result.cost.adjustments, 0U);
+  }
+  FAIL() << "no seed gave the newcomer the earlier priority";
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Unit tests for the "natural" history-dependent baselines and the §5
+// adversarial constructions that pin them to worst-case outputs.
+#include <gtest/gtest.h>
+
+#include "baselines/natural_greedy.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "workload/adversarial.hpp"
+
+namespace {
+
+using namespace dmis::baselines;
+
+TEST(NaturalGreedyMis, StarCenterFirstStaysWorstCase) {
+  // §5 Example 1: grow the star center-first; the natural algorithm keeps
+  // MIS = {center} forever — size 1, versus the maximum IS of size n−1.
+  NaturalGreedyMis mis;
+  const NodeId center = mis.add_node();
+  for (int i = 0; i < 30; ++i) (void)mis.add_node({center});
+  mis.verify();
+  EXPECT_EQ(mis.mis_set(), (std::unordered_set<NodeId>{center}));
+}
+
+TEST(NaturalGreedyMis, StarLeavesFirstIsBest) {
+  // The same graph grown leaves-first (center arriving last) gives the
+  // large side instead — the output is fully controlled by history.
+  NaturalGreedyMis mis;
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 10; ++i) leaves.push_back(mis.add_node());
+  const NodeId center = mis.add_node(leaves);
+  mis.verify();
+  EXPECT_EQ(mis.mis_set().size(), 10U);
+  EXPECT_FALSE(mis.in_mis(center));
+}
+
+TEST(NaturalGreedyMis, MaintainsMaximalityUnderChurn) {
+  NaturalGreedyMis mis;
+  std::vector<NodeId> live;
+  dmis::util::Rng rng(3);
+  for (int i = 0; i < 15; ++i) live.push_back(mis.add_node());
+  for (int step = 0; step < 200; ++step) {
+    const double roll = rng.real01();
+    if (roll < 0.4) {
+      const NodeId u = live[rng.below(live.size())];
+      const NodeId v = live[rng.below(live.size())];
+      if (u != v && !mis.graph().has_edge(u, v)) mis.add_edge(u, v);
+    } else if (roll < 0.7) {
+      const auto edges = mis.graph().edges();
+      if (!edges.empty()) {
+        const auto& [u, v] = edges[rng.below(edges.size())];
+        mis.remove_edge(u, v);
+      }
+    } else if (roll < 0.85 || live.size() < 3) {
+      live.push_back(mis.add_node({live[rng.below(live.size())]}));
+    } else {
+      const std::size_t index = rng.below(live.size());
+      mis.remove_node(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    mis.verify();
+  }
+}
+
+TEST(NaturalGreedyMatching, MiddleFirstThreePathsAreWorstCase) {
+  // §5 Example 2: matching the middle edge first leaves exactly one matched
+  // edge per 3-edge path: n/4 where random greedy expects 5n/12.
+  NaturalGreedyMatching matching;
+  const NodeId paths = 10;
+  for (NodeId i = 0; i < 4 * paths; ++i) (void)matching.add_node();
+  for (NodeId i = 0; i < paths; ++i) {
+    const NodeId base = 4 * i;
+    matching.add_edge(base + 1, base + 2);  // middle first
+    matching.add_edge(base, base + 1);
+    matching.add_edge(base + 2, base + 3);
+  }
+  matching.verify();
+  EXPECT_EQ(matching.matching_size(), paths);
+}
+
+TEST(NaturalGreedyMatching, OuterFirstGetsTwoPerPath) {
+  NaturalGreedyMatching matching;
+  for (NodeId i = 0; i < 8; ++i) (void)matching.add_node();
+  for (NodeId i = 0; i < 2; ++i) {
+    const NodeId base = 4 * i;
+    matching.add_edge(base, base + 1);
+    matching.add_edge(base + 2, base + 3);
+    matching.add_edge(base + 1, base + 2);
+  }
+  matching.verify();
+  EXPECT_EQ(matching.matching_size(), 4U);
+}
+
+TEST(NaturalGreedyMatching, RepairAfterDeletions) {
+  NaturalGreedyMatching matching;
+  for (NodeId i = 0; i < 6; ++i) (void)matching.add_node();
+  // Path 0-1-2-3-4-5; matching greedily: (0,1), (2,3), (4,5).
+  for (NodeId v = 0; v + 1 < 6; ++v) matching.add_edge(v, v + 1);
+  EXPECT_EQ(matching.matching_size(), 3U);
+  matching.remove_node(3);
+  matching.verify();
+  matching.remove_edge(0, 1);
+  matching.verify();
+  EXPECT_TRUE(dmis::graph::is_maximal_matching(matching.graph(), matching.matching()));
+}
+
+TEST(FirstFitColoring, AdversarialOrderNeedsManyColors) {
+  // §5 Example 3: K_{k,k} minus a perfect matching colored first-fit in the
+  // alternating arrival order needs k colors; 2 suffice.
+  const NodeId k = 8;
+  const auto trace = dmis::workload::bipartite_minus_pm_alternating(k);
+  const auto g = dmis::workload::materialize(trace);
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < 2 * k; ++v) order.push_back(v);
+  const auto colors = first_fit_coloring(g, order);
+  EXPECT_TRUE(dmis::graph::is_proper_coloring(g, colors));
+  NodeId max_color = 0;
+  for (const NodeId v : g.nodes()) max_color = std::max(max_color, colors[v]);
+  EXPECT_EQ(max_color + 1, k);
+}
+
+TEST(FirstFitColoring, GoodOrderUsesTwoColors) {
+  const NodeId k = 8;
+  const auto g = dmis::graph::bipartite_minus_perfect_matching(k);
+  // Side-by-side order: all left, then all right — first-fit 2-colors it.
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < 2 * k; ++v) order.push_back(v);
+  const auto colors = first_fit_coloring(g, order);
+  EXPECT_TRUE(dmis::graph::is_proper_coloring(g, colors));
+  NodeId max_color = 0;
+  for (const NodeId v : g.nodes()) max_color = std::max(max_color, colors[v]);
+  EXPECT_EQ(max_color + 1, 2U);
+}
+
+}  // namespace

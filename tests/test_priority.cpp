@@ -1,0 +1,61 @@
+// Unit tests for PriorityMap (the random permutation π).
+#include <gtest/gtest.h>
+
+#include "core/priority.hpp"
+
+namespace {
+
+using dmis::core::PriorityMap;
+using dmis::core::priority_before;
+
+TEST(Priority, EnsureIsStable) {
+  PriorityMap pri(1);
+  const auto k = pri.ensure(5);
+  EXPECT_EQ(pri.ensure(5), k);
+  EXPECT_EQ(pri.key(5), k);
+}
+
+TEST(Priority, SameSeedSameKeys) {
+  PriorityMap a(7);
+  PriorityMap b(7);
+  for (dmis::core::NodeId v = 0; v < 50; ++v) EXPECT_EQ(a.ensure(v), b.ensure(v));
+}
+
+TEST(Priority, BeforeIsStrictTotalOrder) {
+  PriorityMap pri(3);
+  for (dmis::core::NodeId v = 0; v < 20; ++v) pri.ensure(v);
+  for (dmis::core::NodeId a = 0; a < 20; ++a) {
+    EXPECT_FALSE(pri.before(a, a));
+    for (dmis::core::NodeId b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      EXPECT_NE(pri.before(a, b), pri.before(b, a));
+      for (dmis::core::NodeId c = 0; c < 20; ++c) {
+        if (c == a || c == b) continue;
+        if (pri.before(a, b) && pri.before(b, c)) {
+          EXPECT_TRUE(pri.before(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Priority, TieBrokenById) {
+  EXPECT_TRUE(priority_before(5, 1, 5, 2));
+  EXPECT_FALSE(priority_before(5, 2, 5, 1));
+  EXPECT_TRUE(priority_before(4, 9, 5, 1));
+}
+
+TEST(Priority, SetKeyPins) {
+  PriorityMap pri(11);
+  pri.set_key(3, 100);
+  pri.set_key(4, 50);
+  EXPECT_EQ(pri.ensure(3), 100U);  // ensure respects the pinned key
+  EXPECT_TRUE(pri.before(4, 3));
+}
+
+TEST(PriorityDeath, UnassignedKeyRejected) {
+  PriorityMap pri(13);
+  EXPECT_DEATH((void)pri.key(9), "not assigned");
+}
+
+}  // namespace

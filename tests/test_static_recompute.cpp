@@ -1,0 +1,77 @@
+// Unit tests for the static-recompute (Luby-from-scratch) baseline driver.
+#include <gtest/gtest.h>
+
+#include "baselines/static_recompute.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace dmis::baselines;
+using dmis::workload::GraphOp;
+
+std::unordered_set<NodeId> current_set(const StaticRecomputeMis& mis) {
+  std::unordered_set<NodeId> out;
+  for (const NodeId v : mis.graph().nodes())
+    if (mis.in_mis(v)) out.insert(v);
+  return out;
+}
+
+TEST(StaticRecompute, MaintainsValidMisUnderChurn) {
+  dmis::util::Rng rng(1);
+  const auto g = dmis::graph::erdos_renyi(30, 0.1, rng);
+  StaticRecomputeMis mis(g, 7);
+  EXPECT_TRUE(dmis::graph::is_maximal_independent_set(mis.graph(), current_set(mis)));
+
+  for (int step = 0; step < 30; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.below(mis.graph().id_bound()));
+    const NodeId v = static_cast<NodeId>(rng.below(mis.graph().id_bound()));
+    if (u == v || !mis.graph().has_node(u) || !mis.graph().has_node(v)) continue;
+    const auto op = mis.graph().has_edge(u, v) ? GraphOp::remove_edge(u, v)
+                                               : GraphOp::add_edge(u, v);
+    const auto cost = mis.apply(op);
+    EXPECT_GT(cost.rounds, 0U);
+    EXPECT_TRUE(
+        dmis::graph::is_maximal_independent_set(mis.graph(), current_set(mis)));
+  }
+}
+
+TEST(StaticRecompute, NodeOpsApplied) {
+  StaticRecomputeMis mis(dmis::graph::DynamicGraph(4), 3);
+  (void)mis.apply(GraphOp::add_node({0, 1}));
+  EXPECT_EQ(mis.graph().node_count(), 5U);
+  EXPECT_TRUE(mis.graph().has_edge(4, 0));
+  (void)mis.apply(GraphOp::remove_node(2));
+  EXPECT_FALSE(mis.graph().has_node(2));
+  EXPECT_TRUE(
+      dmis::graph::is_maximal_independent_set(mis.graph(), current_set(mis)));
+}
+
+TEST(StaticRecompute, PaysFullRecomputeCost) {
+  dmis::util::Rng rng(5);
+  const auto g = dmis::graph::random_avg_degree(150, 6.0, rng);
+  StaticRecomputeMis mis(g, 9);
+  const auto cost = mis.apply(GraphOp::add_edge(0, 1));
+  // The whole graph participates again: broadcasts scale with n.
+  EXPECT_GE(cost.broadcasts, 150U);
+}
+
+TEST(StaticRecompute, AdjustmentsTypicallyLarge) {
+  // Fresh randomness per run means many nodes change output even for a
+  // trivial change — the instability the dynamic algorithm eliminates.
+  dmis::util::Rng rng(7);
+  const auto g = dmis::graph::random_avg_degree(120, 6.0, rng);
+  StaticRecomputeMis mis(g, 11);
+  std::uint64_t total = 0;
+  int steps = 0;
+  for (NodeId v = 0; v + 1 < 120; v += 10) {
+    const auto op = mis.graph().has_edge(v, v + 1)
+                        ? GraphOp::remove_edge(v, v + 1)
+                        : GraphOp::add_edge(v, v + 1);
+    total += mis.apply(op).adjustments;
+    ++steps;
+  }
+  EXPECT_GT(total / static_cast<std::uint64_t>(steps), 10U);
+}
+
+}  // namespace

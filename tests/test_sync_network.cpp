@@ -1,0 +1,154 @@
+// Unit tests for the synchronous network simulator: delivery timing, cost
+// accounting, wake/notify semantics, quiescence.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "sim/sync_network.hpp"
+
+namespace {
+
+using namespace dmis::sim;
+using dmis::graph::NodeId;
+
+/// Floods a token: every node that first hears the token re-broadcasts it
+/// once. Records the round each node first heard it (BFS layering).
+class FloodProtocol final : public SyncProtocol {
+ public:
+  std::map<NodeId, std::uint64_t> heard_at;
+
+  void on_round(NodeId v, const std::vector<Delivery>& inbox,
+                SyncNetwork& net) override {
+    if (inbox.empty() || heard_at.contains(v)) return;
+    heard_at[v] = net.round();
+    net.broadcast(v, {1, 0, 0}, kLogNBits);
+  }
+};
+
+TEST(SyncNetwork, FloodTakesEccentricityRounds) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(5);
+  FloodProtocol proto;
+  net.notify(0, 0, {1, 0, 0});
+  const auto rounds = net.run(proto);
+  // Node 0 hears in round 1, node k in round k+1; one trailing round drains
+  // the final broadcast.
+  EXPECT_EQ(proto.heard_at.at(0), 1U);
+  EXPECT_EQ(proto.heard_at.at(4), 5U);
+  EXPECT_EQ(rounds, 6U);
+}
+
+TEST(SyncNetwork, BroadcastCostAccounting) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::star(4);  // center 0 with 3 leaves
+  FloodProtocol proto;
+  net.notify(0, 0, {1, 0, 0});
+  net.run(proto);
+  // Everyone hears and rebroadcasts exactly once: 4 broadcasts.
+  EXPECT_EQ(net.cost().broadcasts, 4U);
+  // Messages: center reaches 3 leaves, each leaf reaches the center.
+  EXPECT_EQ(net.cost().messages, 6U);
+  EXPECT_EQ(net.cost().bits, 4U * kLogNBits);
+}
+
+TEST(SyncNetwork, QuiescenceWithNoStimulus) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(3);
+  FloodProtocol proto;
+  EXPECT_EQ(net.run(proto), 0U);
+  EXPECT_EQ(net.cost().broadcasts, 0U);
+}
+
+/// Counts how many times it was scheduled; wakes itself `budget` times.
+class WakeProtocol final : public SyncProtocol {
+ public:
+  explicit WakeProtocol(int budget) : budget_(budget) {}
+  int scheduled = 0;
+
+  void on_round(NodeId v, const std::vector<Delivery>&, SyncNetwork& net) override {
+    ++scheduled;
+    if (--budget_ > 0) net.wake(v);
+  }
+
+ private:
+  int budget_;
+};
+
+TEST(SyncNetwork, SelfWakeRunsWithoutMessages) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(2);
+  WakeProtocol proto(3);
+  net.wake(0);
+  EXPECT_EQ(net.run(proto), 3U);
+  EXPECT_EQ(proto.scheduled, 3);
+}
+
+/// Records inbox sender order to check per-round delivery determinism.
+class RecordProtocol final : public SyncProtocol {
+ public:
+  std::vector<NodeId> senders_seen;
+
+  void on_round(NodeId, const std::vector<Delivery>& inbox, SyncNetwork&) override {
+    for (const auto& d : inbox) senders_seen.push_back(d.from);
+  }
+};
+
+TEST(SyncNetwork, InboxSortedBySender) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::star(4);
+  RecordProtocol proto;
+  // Leaves 3,1,2 all notify the center out of order.
+  net.notify(0, 3, {1, 0, 0});
+  net.notify(0, 1, {1, 0, 0});
+  net.notify(0, 2, {1, 0, 0});
+  net.run(proto);
+  EXPECT_EQ(proto.senders_seen, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(SyncNetwork, NotifyIsFree) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(2);
+  RecordProtocol proto;
+  net.notify(1, 0, {1, 0, 0});
+  net.run(proto);
+  EXPECT_EQ(net.cost().broadcasts, 0U);
+  EXPECT_EQ(net.cost().bits, 0U);
+}
+
+TEST(SyncNetwork, ResetCostClears) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(3);
+  FloodProtocol proto;
+  net.notify(0, 0, {1, 0, 0});
+  net.run(proto);
+  EXPECT_GT(net.cost().broadcasts, 0U);
+  net.reset_cost();
+  EXPECT_EQ(net.cost().broadcasts, 0U);
+  EXPECT_EQ(net.cost().rounds, 0U);
+}
+
+TEST(SyncNetwork, MessagesReachOnlyCurrentNeighbors) {
+  SyncNetwork net;
+  net.comm() = dmis::graph::path(3);  // 0-1-2
+  FloodProtocol proto;
+  net.comm().remove_edge(1, 2);
+  net.notify(0, 0, {1, 0, 0});
+  net.run(proto);
+  EXPECT_TRUE(proto.heard_at.contains(1));
+  EXPECT_FALSE(proto.heard_at.contains(2));
+}
+
+TEST(CostReport, Accumulates) {
+  CostReport a{1, 2, 3, 4, 5};
+  const CostReport b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_EQ(a.rounds, 11U);
+  EXPECT_EQ(a.broadcasts, 22U);
+  EXPECT_EQ(a.messages, 33U);
+  EXPECT_EQ(a.bits, 44U);
+  EXPECT_EQ(a.adjustments, 55U);
+  EXPECT_NE(a.to_string().find("rounds=11"), std::string::npos);
+}
+
+}  // namespace
