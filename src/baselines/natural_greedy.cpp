@@ -37,7 +37,8 @@ void NaturalGreedyMis::remove_edge(NodeId u, NodeId v) {
 }
 
 void NaturalGreedyMis::remove_node(NodeId v) {
-  const std::vector<NodeId> former = g_.neighbors(v);
+  const auto nb = g_.neighbors(v);
+  const std::vector<NodeId> former(nb.begin(), nb.end());
   const bool was_member = in_mis_[v];
   g_.remove_node(v);
   in_mis_[v] = false;
@@ -93,7 +94,8 @@ void NaturalGreedyMatching::remove_edge(NodeId u, NodeId v) {
 }
 
 void NaturalGreedyMatching::remove_node(NodeId v) {
-  const std::vector<NodeId> former = g_.neighbors(v);
+  const auto nb = g_.neighbors(v);
+  const std::vector<NodeId> former(nb.begin(), nb.end());
   const NodeId mate = partner_[v];
   g_.remove_node(v);
   partner_[v] = graph::kInvalidNode;

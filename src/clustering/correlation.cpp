@@ -4,12 +4,12 @@ namespace dmis::clustering {
 
 std::vector<NodeId> pivot_assignment(const graph::DynamicGraph& g,
                                      const core::PriorityMap& priorities,
-                                     const std::vector<bool>& in_mis) {
+                                     const core::Membership& in_mis) {
   std::vector<NodeId> cluster(g.id_bound(), graph::kInvalidNode);
-  for (const NodeId v : g.nodes()) {
+  g.for_each_node([&](NodeId v) {
     if (in_mis[v]) {
       cluster[v] = v;
-      continue;
+      return;
     }
     NodeId pivot = graph::kInvalidNode;
     for (const NodeId u : g.neighbors(v)) {
@@ -19,7 +19,7 @@ std::vector<NodeId> pivot_assignment(const graph::DynamicGraph& g,
     DMIS_ASSERT_MSG(pivot != graph::kInvalidNode,
                     "non-MIS node without MIS neighbor: set is not maximal");
     cluster[v] = pivot;
-  }
+  });
   return cluster;
 }
 
@@ -27,12 +27,12 @@ std::uint64_t correlation_cost(const graph::DynamicGraph& g,
                                const std::vector<NodeId>& cluster_of) {
   std::uint64_t cross_edges = 0;
   std::uint64_t intra_edges = 0;
-  for (const auto& [u, v] : g.edges()) {
+  g.for_each_edge([&](NodeId u, NodeId v) {
     if (cluster_of[u] == cluster_of[v]) ++intra_edges;
     else ++cross_edges;
-  }
+  });
   std::unordered_map<NodeId, std::uint64_t> sizes;
-  for (const NodeId v : g.nodes()) ++sizes[cluster_of[v]];
+  g.for_each_node([&](NodeId v) { ++sizes[cluster_of[v]]; });
   std::uint64_t intra_pairs = 0;
   for (const auto& [pivot, size] : sizes) intra_pairs += size * (size - 1) / 2;
   return cross_edges + (intra_pairs - intra_edges);
@@ -41,7 +41,7 @@ std::uint64_t correlation_cost(const graph::DynamicGraph& g,
 std::unordered_map<NodeId, std::vector<NodeId>> group_clusters(
     const graph::DynamicGraph& g, const std::vector<NodeId>& cluster_of) {
   std::unordered_map<NodeId, std::vector<NodeId>> out;
-  for (const NodeId v : g.nodes()) out[cluster_of[v]].push_back(v);
+  g.for_each_node([&](NodeId v) { out[cluster_of[v]].push_back(v); });
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
 
@@ -25,7 +26,7 @@ using graph::NodeId;
 /// node; kInvalidNode for dead ids.
 [[nodiscard]] std::vector<NodeId> pivot_assignment(const graph::DynamicGraph& g,
                                                    const core::PriorityMap& priorities,
-                                                   const std::vector<bool>& in_mis);
+                                                   const core::Membership& in_mis);
 
 /// The correlation-clustering objective for an assignment.
 [[nodiscard]] std::uint64_t correlation_cost(const graph::DynamicGraph& g,

@@ -56,7 +56,8 @@ void DynamicClustering::remove_edge(NodeId u, NodeId v) {
 
 void DynamicClustering::remove_node(NodeId v) {
   // The departed node's neighbors may have been clustered to it.
-  std::vector<NodeId> seeds = mis_.graph().neighbors(v);
+  const auto nb = mis_.graph().neighbors(v);
+  std::vector<NodeId> seeds(nb.begin(), nb.end());
   mis_.remove_node(v);
   if (v < cluster_.size()) cluster_[v] = graph::kInvalidNode;
   refresh(std::move(seeds));

@@ -110,18 +110,19 @@ AsyncMis::AsyncMis(const graph::DynamicGraph& g, std::uint64_t priority_seed,
                    std::uint64_t scheduler_seed, std::uint64_t max_delay)
     : logical_(g), priorities_(priority_seed), net_(scheduler_seed, max_delay) {
   net_.comm() = g;
-  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
-  for (const NodeId v : logical_.nodes())
-    protocol_.create_node(v, priorities_.key(v), oracle[v]);
-  for (const auto& [u, v] : logical_.edges()) {
-    protocol_.learn_neighbor(u, v, priorities_.key(v), oracle[v]);
-    protocol_.learn_neighbor(v, u, priorities_.key(u), oracle[u]);
-  }
+  const Membership oracle = greedy_mis(logical_, priorities_);
+  logical_.for_each_node([&](NodeId v) {
+    protocol_.create_node(v, priorities_.key(v), oracle[v] != 0);
+  });
+  logical_.for_each_edge([&](NodeId u, NodeId v) {
+    protocol_.learn_neighbor(u, v, priorities_.key(v), oracle[v] != 0);
+    protocol_.learn_neighbor(v, u, priorities_.key(u), oracle[u] != 0);
+  });
 }
 
 std::vector<bool> AsyncMis::snapshot() const {
   std::vector<bool> out(logical_.id_bound(), false);
-  for (const NodeId v : logical_.nodes()) out[v] = protocol_.in_mis(v);
+  logical_.for_each_node([&](NodeId v) { out[v] = protocol_.in_mis(v); });
   return out;
 }
 
@@ -184,7 +185,8 @@ AsyncMis::ChangeResult AsyncMis::unmute_node(const std::vector<NodeId>& neighbor
 
 AsyncMis::ChangeResult AsyncMis::remove_node(NodeId v) {
   DMIS_ASSERT(logical_.has_node(v));
-  const std::vector<NodeId> former = logical_.neighbors(v);
+  const auto nb = logical_.neighbors(v);
+  const std::vector<NodeId> former(nb.begin(), nb.end());
   logical_.remove_node(v);
   net_.comm().remove_node(v);
   protocol_.destroy_node(v);
@@ -194,16 +196,18 @@ AsyncMis::ChangeResult AsyncMis::remove_node(NodeId v) {
 
 std::unordered_set<NodeId> AsyncMis::mis_set() const {
   std::unordered_set<NodeId> out;
-  for (const NodeId v : logical_.nodes())
+  logical_.for_each_node([&](NodeId v) {
     if (protocol_.in_mis(v)) out.insert(v);
+  });
   return out;
 }
 
 void AsyncMis::verify() {
-  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
-  for (const NodeId v : logical_.nodes())
-    DMIS_ASSERT_MSG(protocol_.in_mis(v) == oracle[v],
+  const Membership oracle = greedy_mis(logical_, priorities_);
+  logical_.for_each_node([&](NodeId v) {
+    DMIS_ASSERT_MSG(protocol_.in_mis(v) == (oracle[v] != 0),
                     "async MIS diverged from the greedy oracle");
+  });
 }
 
 }  // namespace dmis::core

@@ -6,7 +6,10 @@ namespace dmis::core {
 
 BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) {
   BatchResult result;
-  std::vector<NodeId> seeds;
+  // Reused across batches so steady-state batch application performs no
+  // per-call allocation for the seed scratch.
+  static thread_local std::vector<NodeId> seeds;
+  seeds.clear();
 
   // Seeding rule: for every touched edge, the later-ordered endpoint (the
   // only node an edge change can break, §3); for every inserted node, the
@@ -44,7 +47,7 @@ BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) 
 
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
-  result.report = engine.repair(std::move(seeds));
+  result.report = engine.repair(seeds);
   return result;
 }
 

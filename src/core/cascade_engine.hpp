@@ -14,12 +14,42 @@
 // *lower-priority* neighbor, and the heap pops lowest priority first, so by
 // the time v pops, every lower node that could still flip has already been
 // finalized; v's evaluation reads only final values.
+//
+// Allocation-free hot path. Theorem 1 gives expected O(1) adjustments per
+// change, so the per-update constant factor is dominated by bookkeeping, not
+// algorithmic work. Every piece of per-cascade scratch is therefore hoisted
+// into the engine and reused across updates:
+//   * the binary heap lives in a member vector driven by std::push_heap /
+//     std::pop_heap (no std::priority_queue construction per update);
+//   * the dedup "done" set is an epoch stamp: hot_[v].visited == epoch_
+//     marks v finalized in the current cascade, and bumping epoch_
+//     invalidates all stamps in O(1) (with an O(n) wipe only at the 2^32−1
+//     rollover, amortized to nothing);
+//   * seeds accumulate in a member vector; report_.changed keeps capacity;
+//   * membership is a byte array (core::Membership) with an incrementally
+//     maintained counter, so mis_size() is O(1).
+// In steady state (warm capacities, no node growth) an update performs zero
+// heap allocations end to end; tests/test_update_alloc.cpp counts global
+// operator new calls to enforce this.
+//
+// Cache layout. The cascade's inner loops touch, per neighbor, that node's
+// priority key, its membership and its visited stamp. Keeping those in three
+// parallel arrays costs up to three cache misses per neighbor, so they are
+// packed into one 16-byte NodeHot record (hot_): a neighbor evaluation is a
+// single cache-line access, and the enqueue pass reuses the lines the eval
+// pass just warmed. PriorityMap stays the authority on keys — tests may pin
+// keys at any time via priorities().set_key — and the key mirror resyncs
+// lazily: PriorityMap bumps a version counter on every key write, and
+// cascade() rebuilds the mirror iff the version moved (never in steady
+// state). state_ (the Membership array returned by membership()) is
+// maintained eagerly alongside hot_[v].state; verify() cross-checks the two.
 #pragma once
 
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
 
@@ -42,15 +72,17 @@ class CascadeEngine {
   CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed);
 
   NodeId add_node(const std::vector<NodeId>& neighbors = {});
-  UpdateReport add_edge(NodeId u, NodeId v);
-  UpdateReport remove_edge(NodeId u, NodeId v);
-  UpdateReport remove_node(NodeId v);
+  const UpdateReport& add_edge(NodeId u, NodeId v);
+  const UpdateReport& remove_edge(NodeId u, NodeId v);
+  const UpdateReport& remove_node(NodeId v);
 
   [[nodiscard]] bool in_mis(NodeId v) const {
-    return v < state_.size() && state_[v];
+    return v < state_.size() && state_[v] != 0;
   }
+  /// Current MIS cardinality, maintained incrementally — O(1).
+  [[nodiscard]] std::size_t mis_size() const noexcept { return mis_size_; }
   [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
-  [[nodiscard]] std::vector<bool> membership() const { return state_; }
+  [[nodiscard]] const Membership& membership() const noexcept { return state_; }
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
   [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
@@ -72,16 +104,56 @@ class CascadeEngine {
   std::vector<NodeId> raw_remove_node(NodeId v);
   /// Run the increasing-π repair pass from `seeds`; the report becomes
   /// last_report().
-  UpdateReport repair(std::vector<NodeId> seeds);
+  const UpdateReport& repair(const std::vector<NodeId>& seeds);
+
+  // --- test hooks for the epoch-stamped visited array ---
+  [[nodiscard]] std::uint32_t debug_epoch() const noexcept { return epoch_; }
+  /// Force the epoch counter (rollover coverage); wipes all stamps so the
+  /// engine's behavior is unchanged apart from the counter value.
+  void debug_set_epoch(std::uint32_t epoch);
 
  private:
+  struct HeapEntry {
+    std::uint64_t key;
+    NodeId id;
+  };
+  /// std::push_heap comparator: "a pops after b", so the heap front is the
+  /// earliest node in π. A functor (not a function pointer) so the heap
+  /// primitives inline the comparison.
+  struct HeapAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      return priority_before(b.key, b.id, a.key, a.id);
+    }
+  };
+
+  /// Per-node hot record: everything the cascade inner loops read, in one
+  /// cache-line access (see "Cache layout" above).
+  struct NodeHot {
+    std::uint64_t key = 0;      // mirror of priorities_ (lazily resynced)
+    std::uint32_t visited = 0;  // epoch stamp; == epoch_ → done this cascade
+    std::uint8_t state = 0;     // mirror of state_ (eagerly maintained)
+  };
+
   [[nodiscard]] bool eval(NodeId v) const;
-  void cascade(std::vector<NodeId> seeds);
+  /// Repair pass over seeds_ (callers fill seeds_, then call cascade()).
+  void cascade();
+  void begin_epoch();
+  void clear_report();
+  void set_member(NodeId v, bool member);
+  void grow_node_arrays();
 
   graph::DynamicGraph g_;
   PriorityMap priorities_;
-  std::vector<bool> state_;
+  Membership state_;
+  std::size_t mis_size_ = 0;
   UpdateReport report_;
+
+  // Reused per-update scratch and the hot node table (see header comment).
+  std::vector<NodeHot> hot_;
+  std::vector<HeapEntry> heap_;
+  std::vector<NodeId> seeds_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t key_version_seen_ = ~static_cast<std::uint64_t>(0);
 };
 
 }  // namespace dmis::core

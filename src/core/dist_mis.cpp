@@ -5,16 +5,17 @@ namespace dmis::core {
 DistMis::DistMis(const graph::DynamicGraph& g, std::uint64_t seed)
     : logical_(g), priorities_(seed) {
   net_.comm() = g;
-  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
-  for (const NodeId v : logical_.nodes())
+  const Membership oracle = greedy_mis(logical_, priorities_);
+  logical_.for_each_node([&](NodeId v) {
     protocol_.create_node(v, priorities_.key(v),
                           oracle[v] ? NodeState::M : NodeState::NotM);
-  for (const auto& [u, v] : logical_.edges()) {
+  });
+  logical_.for_each_edge([&](NodeId u, NodeId v) {
     protocol_.learn_neighbor(u, v, priorities_.key(v),
                              oracle[v] ? NodeState::M : NodeState::NotM);
     protocol_.learn_neighbor(v, u, priorities_.key(u),
                              oracle[u] ? NodeState::M : NodeState::NotM);
-  }
+  });
 }
 
 DistMis::ChangeResult DistMis::run_change(NodeId node) {
@@ -87,7 +88,8 @@ DistMis::ChangeResult DistMis::remove_node(NodeId v, DeletionMode mode) {
     logical_.remove_node(v);
     net_.notify(v, v, {kSysLeave, 0, 0});
     ChangeResult result = run_change();
-    const std::vector<NodeId> former = net_.comm().neighbors(v);
+    const auto nb = net_.comm().neighbors(v);
+    const std::vector<NodeId> former(nb.begin(), nb.end());
     net_.comm().remove_node(v);
     for (const NodeId u : former) protocol_.forget_neighbor(u, v);
     protocol_.destroy_node(v);
@@ -95,7 +97,8 @@ DistMis::ChangeResult DistMis::remove_node(NodeId v, DeletionMode mode) {
   }
   // Abrupt: the node vanishes; its neighbors discover the retirement
   // (§4.2 — every locally-violated neighbor starts at C concurrently).
-  const std::vector<NodeId> former = logical_.neighbors(v);
+  const auto nb2 = logical_.neighbors(v);
+  const std::vector<NodeId> former(nb2.begin(), nb2.end());
   logical_.remove_node(v);
   net_.comm().remove_node(v);
   protocol_.destroy_node(v);
@@ -105,18 +108,19 @@ DistMis::ChangeResult DistMis::remove_node(NodeId v, DeletionMode mode) {
 
 std::unordered_set<NodeId> DistMis::mis_set() const {
   std::unordered_set<NodeId> out;
-  for (const NodeId v : logical_.nodes())
+  logical_.for_each_node([&](NodeId v) {
     if (protocol_.in_mis(v)) out.insert(v);
+  });
   return out;
 }
 
 void DistMis::verify() {
-  const std::vector<bool> oracle = greedy_mis(logical_, priorities_);
-  for (const NodeId v : logical_.nodes()) {
+  const Membership oracle = greedy_mis(logical_, priorities_);
+  logical_.for_each_node([&](NodeId v) {
     DMIS_ASSERT_MSG(settled(protocol_.state(v)), "node not settled after recovery");
     DMIS_ASSERT_MSG(protocol_.in_mis(v) == oracle[v],
                     "distributed MIS diverged from the greedy oracle");
-  }
+  });
 }
 
 }  // namespace dmis::core

@@ -70,11 +70,8 @@ class DynamicMIS {
   /// The maintained MIS as a set of node ids.
   [[nodiscard]] std::unordered_set<NodeId> mis_set() const { return engine_.mis_set(); }
 
-  [[nodiscard]] std::size_t mis_size() const {
-    std::size_t count = 0;
-    for (const NodeId v : engine_.graph().nodes()) count += engine_.in_mis(v) ? 1 : 0;
-    return count;
-  }
+  /// Current MIS cardinality — O(1) via the engine's incremental counter.
+  [[nodiscard]] std::size_t mis_size() const noexcept { return engine_.mis_size(); }
 
   /// The current graph (read-only; mutate through the methods above).
   [[nodiscard]] const graph::DynamicGraph& graph() const { return engine_.graph(); }

@@ -4,28 +4,33 @@
 
 namespace dmis::core {
 
-std::vector<bool> greedy_mis(const graph::DynamicGraph& g, PriorityMap& priorities) {
-  std::vector<NodeId> order = g.nodes();
-  for (const NodeId v : order) priorities.ensure(v);
+Membership greedy_mis(const graph::DynamicGraph& g, PriorityMap& priorities) {
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  g.for_each_node([&](NodeId v) {
+    priorities.ensure(v);
+    order.push_back(v);
+  });
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
     return priorities.before(a, b);
   });
-  std::vector<bool> in_mis(g.id_bound(), false);
+  Membership in_mis(g.id_bound(), 0);
   for (const NodeId v : order) {
     bool blocked = false;
     for (const NodeId u : g.neighbors(v))
-      blocked |= priorities.before(u, v) && in_mis[u];
-    in_mis[v] = !blocked;
+      blocked |= in_mis[u] != 0 && priorities.before(u, v);
+    in_mis[v] = blocked ? 0 : 1;
   }
   return in_mis;
 }
 
 std::unordered_set<NodeId> greedy_mis_set(const graph::DynamicGraph& g,
                                           PriorityMap& priorities) {
-  const std::vector<bool> in_mis = greedy_mis(g, priorities);
+  const Membership in_mis = greedy_mis(g, priorities);
   std::unordered_set<NodeId> out;
-  for (const NodeId v : g.nodes())
-    if (in_mis[v]) out.insert(v);
+  g.for_each_node([&](NodeId v) {
+    if (in_mis[v] != 0) out.insert(v);
+  });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
 
@@ -19,7 +20,7 @@ namespace dmis::core {
 
 /// Membership vector indexed by node id (dead ids are false). Assigns
 /// priorities to any live node that does not have one yet.
-[[nodiscard]] std::vector<bool> greedy_mis(const graph::DynamicGraph& g,
+[[nodiscard]] Membership greedy_mis(const graph::DynamicGraph& g,
                                            PriorityMap& priorities);
 
 /// Same result as a set of node ids.

@@ -3,23 +3,23 @@
 namespace dmis::core {
 
 bool invariant_holds_at(const graph::DynamicGraph& g, const PriorityMap& priorities,
-                        const std::vector<bool>& in_mis, NodeId v) {
+                        const Membership& in_mis, NodeId v) {
   bool lower_in_mis = false;
   for (const NodeId u : g.neighbors(v))
-    lower_in_mis |= priorities.before(u, v) && u < in_mis.size() && in_mis[u];
-  const bool member = v < in_mis.size() && in_mis[v];
+    lower_in_mis |= u < in_mis.size() && in_mis[u] != 0 && priorities.before(u, v);
+  const bool member = v < in_mis.size() && in_mis[v] != 0;
   return member == !lower_in_mis;
 }
 
 bool invariant_holds(const graph::DynamicGraph& g, const PriorityMap& priorities,
-                     const std::vector<bool>& in_mis, NodeId* violator) {
+                     const Membership& in_mis, NodeId* violator) {
   bool ok = true;
   NodeId worst = graph::kInvalidNode;
-  for (const NodeId v : g.nodes()) {
-    if (invariant_holds_at(g, priorities, in_mis, v)) continue;
+  g.for_each_node([&](NodeId v) {
+    if (invariant_holds_at(g, priorities, in_mis, v)) return;
     if (ok || priorities.before(v, worst)) worst = v;
     ok = false;
-  }
+  });
   if (!ok && violator != nullptr) *violator = worst;
   return ok;
 }

@@ -3,8 +3,7 @@
 // every node, M is a maximal independent set equal to the random-greedy MIS.
 #pragma once
 
-#include <vector>
-
+#include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
 
@@ -13,13 +12,13 @@ namespace dmis::core {
 /// Does the invariant hold at node v?
 [[nodiscard]] bool invariant_holds_at(const graph::DynamicGraph& g,
                                       const PriorityMap& priorities,
-                                      const std::vector<bool>& in_mis, NodeId v);
+                                      const Membership& in_mis, NodeId v);
 
 /// Does the invariant hold at every live node? If not and `violator` is
 /// non-null, reports the π-smallest violating node.
 [[nodiscard]] bool invariant_holds(const graph::DynamicGraph& g,
                                    const PriorityMap& priorities,
-                                   const std::vector<bool>& in_mis,
+                                   const Membership& in_mis,
                                    NodeId* violator = nullptr);
 
 }  // namespace dmis::core

@@ -1,0 +1,17 @@
+// Membership — the canonical MIS membership array, indexed by node id.
+//
+// One byte per node rather than std::vector<bool>: the cascade's eval loop
+// reads neighbors' membership at random offsets, and a direct byte load is
+// both faster than a masked bit probe and addressable (no proxy references).
+// Dead and never-assigned ids hold 0. Values are 0 or 1; contextual
+// conversion to bool is the intended way to read an entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmis::core {
+
+using Membership = std::vector<std::uint8_t>;
+
+}  // namespace dmis::core

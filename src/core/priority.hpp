@@ -34,12 +34,19 @@ class PriorityMap {
     if (!assigned_[v]) {
       keys_[v] = rng_.next_u64();
       assigned_[v] = true;
+      ++version_;
     }
     return keys_[v];
   }
 
   [[nodiscard]] std::uint64_t key(NodeId v) const {
     DMIS_ASSERT_MSG(v < assigned_.size() && assigned_[v], "priority not assigned");
+    return keys_[v];
+  }
+
+  /// Unchecked key read for hot loops that already guarantee assignment
+  /// (every node in an engine's graph has a priority drawn at insertion).
+  [[nodiscard]] std::uint64_t key_unchecked(NodeId v) const noexcept {
     return keys_[v];
   }
 
@@ -54,12 +61,23 @@ class PriorityMap {
     if (assigned_.size() <= v) assigned_.resize(static_cast<std::size_t>(v) + 1, false);
     keys_[v] = key_value;
     assigned_[v] = true;
+    ++version_;
   }
+
+  [[nodiscard]] bool is_assigned(NodeId v) const noexcept {
+    return v < assigned_.size() && assigned_[v] != 0;
+  }
+
+  /// Monotone counter bumped whenever any key is drawn or overridden —
+  /// lets caches of key values (CascadeEngine's hot node table) detect
+  /// staleness in O(1) instead of re-reading every key.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
  private:
   util::Rng rng_;
   std::vector<std::uint64_t> keys_;
-  std::vector<bool> assigned_;
+  std::vector<std::uint8_t> assigned_;  // byte-per-node: hot-path friendly
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace dmis::core

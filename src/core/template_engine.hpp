@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
 
@@ -87,7 +88,7 @@ class TemplateEngine {
 
   graph::DynamicGraph g_;
   PriorityMap priorities_;
-  std::vector<bool> state_;
+  Membership state_;
   TemplateReport report_;
 };
 

@@ -46,7 +46,8 @@ void DynamicColoring::remove_node(NodeId v) {
   // Peel incident edges first so the expansion never holds dangling
   // matching edges, then dissolve the clique.
   last_adjustments_ = 0;
-  const std::vector<NodeId> neighbors = g_.neighbors(v);
+  const auto nb = g_.neighbors(v);
+  const std::vector<NodeId> neighbors(nb.begin(), nb.end());
   for (const NodeId u : neighbors) {
     DMIS_ASSERT(g_.remove_edge(v, u));
     for (const auto& [a, b] : map_.remove_graph_edge(v, u)) {

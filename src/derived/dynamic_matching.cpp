@@ -12,7 +12,10 @@ NodeId DynamicMatching::add_node() {
 void DynamicMatching::add_edge(NodeId u, NodeId v) {
   DMIS_ASSERT(g_.add_edge(u, v));
   const NodeId line_node = map_.add_graph_edge(u, v);
-  const NodeId engine_node = engine_.add_node(map_.line().neighbors(line_node));
+  const NodeId engine_node = engine_.add_node([&] {
+        const auto nb = map_.line().neighbors(line_node);
+        return std::vector<graph::NodeId>(nb.begin(), nb.end());
+      }());
   DMIS_ASSERT_MSG(engine_node == line_node, "line graph and MIS engine diverged");
   last_adjustments_ = engine_.last_report().adjustments;
 }

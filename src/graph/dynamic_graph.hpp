@@ -7,16 +7,32 @@
 // edge queries and O(deg) updates, plus the inspection helpers the engines
 // and simulators need.
 //
+// Flat, cache-friendly storage — the per-update constant factor is the whole
+// game for a structure whose algorithmic cost is already expected O(1):
+//   * The edge set is a util::FlatSet (open addressing, contiguous arrays),
+//     so edge queries and updates perform no allocation in steady state.
+//   * Adjacency is an array of 64-byte AdjRecords: liveness flag, degree and
+//     up to 14 inline neighbor slots in a single cache line. Touching an
+//     endpoint (liveness check + neighbor update) is one memory access for
+//     the overwhelming majority of nodes in sparse graphs; only nodes whose
+//     degree ever exceeded the inline capacity spill to a per-node overflow
+//     vector (and stay there — hysteresis keeps churn allocation-free).
+//   * neighbors(v) returns a std::span view; nothing is materialized.
+// Prefer for_each_node / for_each_edge over nodes() / edges() in hot code —
+// the latter build a fresh vector per call.
+//
 // Node identifiers are dense indices assigned in insertion order and never
 // reused, so a NodeId is a stable handle for priorities, histories and
 // cross-structure maps (line graph, clique expansion) even across deletions.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/flat_set.hpp"
 
 namespace dmis::graph {
 
@@ -39,11 +55,16 @@ class DynamicGraph {
     for (NodeId v = 0; v < n; ++v) (void)add_node();
   }
 
+  /// Pre-size the edge table so `expected_edges` fit without rehashing
+  /// (steady-state churn then never allocates in the edge set).
+  void reserve_edges(std::size_t expected_edges) { edges_.reserve(expected_edges); }
+
   /// Insert a fresh node; returns its id (== previous id_bound()).
   NodeId add_node() {
-    const auto id = static_cast<NodeId>(alive_.size());
-    alive_.push_back(true);
+    const auto id = static_cast<NodeId>(adjacency_.size());
     adjacency_.emplace_back();
+    adjacency_.back().alive = 1;
+    overflow_.emplace_back();
     ++node_count_;
     return id;
   }
@@ -51,10 +72,10 @@ class DynamicGraph {
   /// Remove a node and all incident edges. The id is never reused.
   void remove_node(NodeId v) {
     DMIS_ASSERT(has_node(v));
-    // Copy: remove_edge mutates adjacency_[v].
-    const std::vector<NodeId> neighbors = adjacency_[v];
-    for (const NodeId u : neighbors) remove_edge(v, u);
-    alive_[v] = false;
+    // remove_edge swap-erases v's own entry, so draining from the back is
+    // safe and needs no copy of the neighbor list.
+    while (adjacency_[v].size > 0) remove_edge(v, neighbors(v).back());
+    adjacency_[v].alive = 0;
     --node_count_;
   }
 
@@ -62,22 +83,22 @@ class DynamicGraph {
   bool add_edge(NodeId u, NodeId v) {
     DMIS_ASSERT(has_node(u) && has_node(v));
     DMIS_ASSERT_MSG(u != v, "self-loops are not part of the model");
-    if (!edges_.insert(edge_key(u, v)).second) return false;
-    adjacency_[u].push_back(v);
-    adjacency_[v].push_back(u);
+    if (!edges_.insert(edge_key(u, v))) return false;
+    push_neighbor(u, v);
+    push_neighbor(v, u);
     return true;
   }
 
   /// Remove edge {u, v}; returns false if it was absent.
   bool remove_edge(NodeId u, NodeId v) {
-    if (edges_.erase(edge_key(u, v)) == 0) return false;
+    if (!edges_.erase(edge_key(u, v))) return false;
     erase_neighbor(u, v);
     erase_neighbor(v, u);
     return true;
   }
 
   [[nodiscard]] bool has_node(NodeId v) const noexcept {
-    return v < alive_.size() && alive_[v];
+    return v < adjacency_.size() && adjacency_[v].alive != 0;
   }
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept {
@@ -89,36 +110,54 @@ class DynamicGraph {
 
   /// One past the largest id ever assigned; valid ids are < id_bound().
   [[nodiscard]] NodeId id_bound() const noexcept {
-    return static_cast<NodeId>(alive_.size());
+    return static_cast<NodeId>(adjacency_.size());
   }
 
   [[nodiscard]] std::size_t degree(NodeId v) const {
     DMIS_ASSERT(has_node(v));
-    return adjacency_[v].size();
+    return adjacency_[v].size;
   }
 
-  /// Current neighbors of v (unordered). Invalidated by any mutation.
-  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const {
+  /// Current neighbors of v (unordered view). Invalidated by any mutation.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
     DMIS_ASSERT(has_node(v));
-    return adjacency_[v];
+    const AdjRecord& rec = adjacency_[v];
+    if (rec.spilled != 0) return {overflow_[v].data(), rec.size};
+    return {rec.inline_slots, rec.size};
   }
 
-  /// All live node ids, ascending.
+  /// Visit every live node id in ascending order, without materializing a
+  /// vector. `f` must not mutate the graph.
+  template <typename F>
+  void for_each_node(F&& f) const {
+    const NodeId bound = id_bound();
+    for (NodeId v = 0; v < bound; ++v)
+      if (adjacency_[v].alive != 0) f(v);
+  }
+
+  /// Visit every edge as (lo, hi), in unspecified order, without
+  /// materializing a vector. `f` must not mutate the graph.
+  template <typename F>
+  void for_each_edge(F&& f) const {
+    edges_.for_each([&f](std::uint64_t key) {
+      f(static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffULL));
+    });
+  }
+
+  /// All live node ids, ascending. Allocates; prefer for_each_node when hot.
   [[nodiscard]] std::vector<NodeId> nodes() const {
     std::vector<NodeId> out;
     out.reserve(node_count_);
-    for (NodeId v = 0; v < id_bound(); ++v)
-      if (alive_[v]) out.push_back(v);
+    for_each_node([&out](NodeId v) { out.push_back(v); });
     return out;
   }
 
-  /// All edges as (lo, hi) pairs, unordered.
+  /// All edges as (lo, hi) pairs, unordered. Allocates; prefer
+  /// for_each_edge when hot.
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const {
     std::vector<std::pair<NodeId, NodeId>> out;
     out.reserve(edges_.size());
-    for (const auto key : edges_)
-      out.emplace_back(static_cast<NodeId>(key >> 32),
-                       static_cast<NodeId>(key & 0xffffffffULL));
+    for_each_edge([&out](NodeId u, NodeId v) { out.emplace_back(u, v); });
     return out;
   }
 
@@ -128,27 +167,60 @@ class DynamicGraph {
     const NodeId bound = a.id_bound() < b.id_bound() ? b.id_bound() : a.id_bound();
     for (NodeId v = 0; v < bound; ++v)
       if (a.has_node(v) != b.has_node(v)) return false;
-    for (const auto key : a.edges_)
-      if (!b.edges_.contains(key)) return false;
-    return true;
+    bool equal = true;
+    a.edges_.for_each([&](std::uint64_t key) { equal &= b.edges_.contains(key); });
+    return equal;
   }
 
  private:
+  /// One cache line per node: liveness, degree and the first
+  /// kInlineNeighbors neighbors. Nodes whose degree ever exceeds the inline
+  /// capacity move their list to overflow_[v] permanently (spilled == 1) so
+  /// steady-state toggling around the threshold never reallocates.
+  struct AdjRecord {
+    std::uint32_t size = 0;
+    std::uint8_t alive = 0;
+    std::uint8_t spilled = 0;
+    std::uint16_t reserved = 0;
+    NodeId inline_slots[14] = {};
+  };
+  static_assert(sizeof(AdjRecord) == 64, "AdjRecord must stay one cache line");
+  static constexpr std::uint32_t kInlineNeighbors = 14;
+
+  void push_neighbor(NodeId v, NodeId target) {
+    AdjRecord& rec = adjacency_[v];
+    if (rec.spilled != 0) {
+      overflow_[v].push_back(target);
+    } else if (rec.size < kInlineNeighbors) {
+      rec.inline_slots[rec.size] = target;
+    } else {
+      // Spill: move the inline list (plus the newcomer) to the overflow
+      // vector. One-way door by design.
+      auto& list = overflow_[v];
+      list.assign(rec.inline_slots, rec.inline_slots + kInlineNeighbors);
+      list.push_back(target);
+      rec.spilled = 1;
+    }
+    ++rec.size;
+  }
+
   void erase_neighbor(NodeId v, NodeId target) {
-    auto& list = adjacency_[v];
-    for (auto& entry : list) {
-      if (entry == target) {
-        entry = list.back();
-        list.pop_back();
+    AdjRecord& rec = adjacency_[v];
+    NodeId* data = rec.spilled != 0 ? overflow_[v].data() : rec.inline_slots;
+    for (std::uint32_t i = 0; i < rec.size; ++i) {
+      if (data[i] == target) {
+        data[i] = data[rec.size - 1];
+        --rec.size;
+        if (rec.spilled != 0) overflow_[v].pop_back();
         return;
       }
     }
     DMIS_ASSERT_MSG(false, "adjacency list inconsistent with edge set");
   }
 
-  std::vector<bool> alive_;
-  std::vector<std::vector<NodeId>> adjacency_;
-  std::unordered_set<std::uint64_t> edges_;
+  std::vector<AdjRecord> adjacency_;
+  std::vector<std::vector<NodeId>> overflow_;  // only touched once spilled
+  util::FlatSet edges_;
   NodeId node_count_ = 0;
 };
 

@@ -10,19 +10,19 @@ DegreeSummary degree_summary(const DynamicGraph& g) {
   if (g.node_count() == 0) return s;
   s.minimum = ~static_cast<std::size_t>(0);
   double total = 0.0;
-  for (const NodeId v : g.nodes()) {
+  g.for_each_node([&](NodeId v) {
     const std::size_t d = g.degree(v);
     total += static_cast<double>(d);
     s.maximum = std::max(s.maximum, d);
     s.minimum = std::min(s.minimum, d);
-  }
+  });
   s.average = total / static_cast<double>(g.node_count());
   return s;
 }
 
 util::Histogram degree_histogram(const DynamicGraph& g) {
   util::Histogram h;
-  for (const NodeId v : g.nodes()) h.add(static_cast<std::int64_t>(g.degree(v)));
+  g.for_each_node([&](NodeId v) { h.add(static_cast<std::int64_t>(g.degree(v))); });
   return h;
 }
 
@@ -62,13 +62,14 @@ bool is_independent_set(const DynamicGraph& g,
 bool is_maximal_independent_set(const DynamicGraph& g,
                                 const std::unordered_set<NodeId>& set) {
   if (!is_independent_set(g, set)) return false;
-  for (const NodeId v : g.nodes()) {
-    if (set.contains(v)) continue;
+  bool maximal = true;
+  g.for_each_node([&](NodeId v) {
+    if (!maximal || set.contains(v)) return;
     bool dominated = false;
     for (const NodeId u : g.neighbors(v)) dominated |= set.contains(u);
-    if (!dominated) return false;
-  }
-  return true;
+    if (!dominated) maximal = false;
+  });
+  return maximal;
 }
 
 bool is_matching(const DynamicGraph& g,
@@ -90,17 +91,20 @@ bool is_maximal_matching(const DynamicGraph& g,
     touched.insert(u);
     touched.insert(v);
   }
-  for (const auto& [u, v] : g.edges())
-    if (!touched.contains(u) && !touched.contains(v)) return false;
-  return true;
+  bool maximal = true;
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    if (maximal && !touched.contains(u) && !touched.contains(v)) maximal = false;
+  });
+  return maximal;
 }
 
 bool is_proper_coloring(const DynamicGraph& g, const std::vector<NodeId>& color) {
-  for (const auto& [u, v] : g.edges()) {
-    if (u >= color.size() || v >= color.size()) return false;
-    if (color[u] == color[v]) return false;
-  }
-  return true;
+  bool proper = true;
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    if (!proper) return;
+    if (u >= color.size() || v >= color.size() || color[u] == color[v]) proper = false;
+  });
+  return proper;
 }
 
 }  // namespace dmis::graph

@@ -8,8 +8,7 @@ namespace dmis::graph {
 
 void write_edge_list(std::ostream& os, const DynamicGraph& g) {
   os << "n " << g.id_bound() << '\n';
-  auto edges = g.edges();
-  for (const auto& [u, v] : edges) os << "e " << u << ' ' << v << '\n';
+  g.for_each_edge([&os](NodeId u, NodeId v) { os << "e " << u << ' ' << v << '\n'; });
 }
 
 DynamicGraph read_edge_list(std::istream& is) {
@@ -42,12 +41,12 @@ DynamicGraph read_edge_list(std::istream& is) {
 std::string to_dot(const DynamicGraph& g, const std::unordered_set<NodeId>& highlight) {
   std::ostringstream os;
   os << "graph G {\n  node [shape=circle];\n";
-  for (const NodeId v : g.nodes()) {
+  g.for_each_node([&](NodeId v) {
     os << "  " << v;
     if (highlight.contains(v)) os << " [style=filled fillcolor=gold]";
     os << ";\n";
-  }
-  for (const auto& [u, v] : g.edges()) os << "  " << u << " -- " << v << ";\n";
+  });
+  g.for_each_edge([&os](NodeId u, NodeId v) { os << "  " << u << " -- " << v << ";\n"; });
   os << "}\n";
   return os.str();
 }

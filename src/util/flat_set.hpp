@@ -1,0 +1,169 @@
+// FlatSet — an open-addressing (linear-probing) hash set of 64-bit keys.
+//
+// The update hot path (DynamicGraph's edge set, queried and mutated on every
+// topology change) needs a set that is cache-friendly and allocation-free in
+// steady state. std::unordered_set allocates one node per element and chases
+// a pointer per probe; FlatSet keeps keys in a single flat array with a
+// parallel one-byte control array (empty / full / tombstone), so a lookup is
+// a hash, a mask, and a short linear scan of contiguous memory.
+//
+// Deletions leave tombstones, and insertions reuse the first tombstone on
+// their probe path, so a delete/insert toggle of the same key touches the
+// same slot forever and performs no allocation. The table rehashes only when
+// occupied slots (full + tombstones) exceed 7/8 of capacity: it doubles if
+// the live load is high, or rebuilds at the same capacity to purge
+// tombstones otherwise. With reserve() sized to the working set, steady-state
+// churn never rehashes.
+//
+// Invariant: occupied (full + tombstone) slots never exceed 7/8 of capacity,
+// so every probe chain terminates at an empty slot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmis::util {
+
+class FlatSet {
+ public:
+  FlatSet() = default;
+
+  /// Pre-size so `expected` keys fit without rehashing.
+  explicit FlatSet(std::size_t expected) { reserve(expected); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of slots (power of two; 0 before the first insert/reserve).
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    if (keys_.empty()) return false;
+    for (std::size_t i = home(key);; i = (i + 1) & mask_) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == kEmpty) return false;
+      if (c == kFull && keys_[i] == key) return true;
+    }
+  }
+
+  /// Insert `key`; returns false if it was already present.
+  bool insert(std::uint64_t key) {
+    if (occupied_ + 1 > capacity() - capacity() / 8) grow();
+    std::size_t first_tomb = kNone;
+    std::size_t i = home(key);
+    for (;; i = (i + 1) & mask_) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == kFull) {
+        if (keys_[i] == key) return false;
+      } else if (c == kTombstone) {
+        if (first_tomb == kNone) first_tomb = i;
+      } else {  // kEmpty — key is absent; place it.
+        break;
+      }
+    }
+    if (first_tomb != kNone) {
+      i = first_tomb;  // reuse the tombstone; occupancy unchanged
+    } else {
+      ++occupied_;
+    }
+    ctrl_[i] = kFull;
+    keys_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  /// Erase `key`; returns false if it was absent. Leaves a tombstone.
+  bool erase(std::uint64_t key) noexcept {
+    if (keys_.empty()) return false;
+    for (std::size_t i = home(key);; i = (i + 1) & mask_) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == kEmpty) return false;
+      if (c == kFull && keys_[i] == key) {
+        ctrl_[i] = kTombstone;
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  /// Remove every key; capacity (and thus steady-state behavior) is kept.
+  void clear() noexcept {
+    std::fill(ctrl_.begin(), ctrl_.end(), kEmpty);
+    size_ = 0;
+    occupied_ = 0;
+  }
+
+  /// Ensure `expected` keys fit without any further allocation.
+  void reserve(std::size_t expected) {
+    std::size_t want = 16;
+    // Capacity so that expected stays below the 7/8 occupancy ceiling.
+    while (want - want / 8 <= expected) want <<= 1;
+    if (want > capacity()) rehash(want);
+  }
+
+  /// Visit every key (unspecified order). Do not mutate during the walk.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (ctrl_[i] == kFull) f(keys_[i]);
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+  static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+  /// splitmix64 finalizer — full-avalanche mix so edge keys (which pack two
+  /// small node ids) spread over the table.
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] std::size_t home(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+
+  void grow() {
+    if (keys_.empty()) {
+      rehash(16);
+    } else if (size_ >= capacity() / 2) {
+      rehash(capacity() * 2);  // genuinely full — double
+    } else {
+      rehash(capacity());  // mostly tombstones — purge in place
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    DMIS_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+    keys_.assign(new_capacity, 0);
+    ctrl_.assign(new_capacity, kEmpty);
+    mask_ = new_capacity - 1;
+    occupied_ = size_;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_ctrl[i] != kFull) continue;
+      const std::uint64_t key = old_keys[i];
+      std::size_t j = home(key);
+      while (ctrl_[j] == kFull) j = (j + 1) & mask_;
+      ctrl_[j] = kFull;
+      keys_[j] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint8_t> ctrl_;
+  std::size_t size_ = 0;      // full slots
+  std::size_t occupied_ = 0;  // full + tombstone slots
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dmis::util

@@ -95,7 +95,8 @@ TEST(DynamicGraph, NeighborsMatchEdges) {
   DynamicGraph g(4);
   g.add_edge(0, 1);
   g.add_edge(0, 2);
-  auto n0 = g.neighbors(0);
+  const auto view = g.neighbors(0);
+  std::vector<NodeId> n0(view.begin(), view.end());
   std::sort(n0.begin(), n0.end());
   EXPECT_EQ(n0, (std::vector<NodeId>{1, 2}));
 }

@@ -1,0 +1,129 @@
+// Unit tests for util::FlatSet, the open-addressing edge-key set backing
+// DynamicGraph's hot path.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/flat_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dmis::util::FlatSet;
+
+TEST(FlatSet, EmptyBehaviour) {
+  FlatSet s;
+  EXPECT_EQ(s.size(), 0U);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_FALSE(s.erase(42));
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet s;
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));  // duplicate
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_TRUE(s.erase(7));
+  EXPECT_FALSE(s.erase(7));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.size(), 0U);
+}
+
+TEST(FlatSet, GrowthRehashPreservesContents) {
+  FlatSet s;
+  for (std::uint64_t k = 1; k <= 10'000; ++k) EXPECT_TRUE(s.insert(k * 977));
+  EXPECT_EQ(s.size(), 10'000U);
+  for (std::uint64_t k = 1; k <= 10'000; ++k) EXPECT_TRUE(s.contains(k * 977));
+  EXPECT_FALSE(s.contains(976));
+  // Power-of-two capacity with occupancy below the 7/8 ceiling.
+  const std::size_t cap = s.capacity();
+  EXPECT_EQ(cap & (cap - 1), 0U);
+  EXPECT_GT(cap - cap / 8, s.size());
+}
+
+TEST(FlatSet, ReserveAvoidsRehash) {
+  FlatSet s;
+  s.reserve(1000);
+  const std::size_t cap = s.capacity();
+  for (std::uint64_t k = 0; k < 1000; ++k) s.insert(k * 31 + 1);
+  EXPECT_EQ(s.capacity(), cap) << "reserve(n) must fit n keys without rehash";
+}
+
+TEST(FlatSet, TombstoneReuseKeepsCapacityStable) {
+  FlatSet s;
+  s.reserve(64);
+  for (std::uint64_t k = 0; k < 32; ++k) s.insert(k);
+  const std::size_t cap = s.capacity();
+  // Toggling the same keys forever reuses their tombstones: capacity (and
+  // thus allocation) must never change.
+  for (int round = 0; round < 100'000; ++round) {
+    const std::uint64_t k = static_cast<std::uint64_t>(round % 32);
+    EXPECT_TRUE(s.erase(k));
+    EXPECT_TRUE(s.insert(k));
+  }
+  EXPECT_EQ(s.capacity(), cap);
+  EXPECT_EQ(s.size(), 32U);
+}
+
+TEST(FlatSet, ClearKeepsCapacity) {
+  FlatSet s;
+  for (std::uint64_t k = 0; k < 500; ++k) s.insert(k ^ 0xdeadbeefULL);
+  const std::size_t cap = s.capacity();
+  s.clear();
+  EXPECT_EQ(s.size(), 0U);
+  EXPECT_EQ(s.capacity(), cap);
+  for (std::uint64_t k = 0; k < 500; ++k) EXPECT_FALSE(s.contains(k ^ 0xdeadbeefULL));
+  EXPECT_TRUE(s.insert(1));
+}
+
+TEST(FlatSet, ForEachVisitsExactlyTheContents) {
+  FlatSet s;
+  std::unordered_set<std::uint64_t> expected;
+  for (std::uint64_t k = 0; k < 777; ++k) {
+    s.insert(k * k + 3);
+    expected.insert(k * k + 3);
+  }
+  s.erase(3);          // k = 0
+  expected.erase(3);
+  std::unordered_set<std::uint64_t> seen;
+  s.for_each([&](std::uint64_t key) { EXPECT_TRUE(seen.insert(key).second); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(FlatSet, RandomizedAgainstStdUnorderedSet) {
+  FlatSet s;
+  std::unordered_set<std::uint64_t> oracle;
+  dmis::util::Rng rng(99);
+  for (int step = 0; step < 200'000; ++step) {
+    // Small key universe so erase hits often and tombstones churn hard.
+    const std::uint64_t key = rng.below(512);
+    if (rng.chance(0.5)) {
+      EXPECT_EQ(s.insert(key), oracle.insert(key).second);
+    } else {
+      EXPECT_EQ(s.erase(key), oracle.erase(key) > 0);
+    }
+    if (step % 4096 == 0) {
+      EXPECT_EQ(s.size(), oracle.size());
+      for (std::uint64_t k = 0; k < 512; ++k)
+        EXPECT_EQ(s.contains(k), oracle.contains(k));
+    }
+  }
+  EXPECT_EQ(s.size(), oracle.size());
+}
+
+TEST(FlatSet, LargeKeysNearLimits) {
+  FlatSet s;
+  const std::uint64_t big = ~0ULL - 1;  // edge keys never use the extremes,
+  EXPECT_TRUE(s.insert(big));           // but the set itself must cope
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.contains(big));
+  EXPECT_TRUE(s.erase(big));
+  EXPECT_FALSE(s.contains(big));
+  EXPECT_TRUE(s.contains(1));
+}
+
+}  // namespace
