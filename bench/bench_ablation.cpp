@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
         const auto g = graph::random_avg_degree(bn, 6.0, rng);
 
         // Draw k random edge toggles (consistent for both strategies).
-        std::vector<core::BatchOp> ops;
+        core::Batch ops;
         graph::DynamicGraph mirror = g;
         while (ops.size() < static_cast<std::size_t>(k)) {
           const auto u = static_cast<graph::NodeId>(rng.below(bn));
@@ -209,16 +209,16 @@ int main(int argc, char** argv) {
           if (u == v) continue;
           if (mirror.has_edge(u, v)) {
             mirror.remove_edge(u, v);
-            ops.push_back(core::BatchOp::remove_edge(u, v));
+            ops.remove_edge(u, v);
           } else {
             mirror.add_edge(u, v);
-            ops.push_back(core::BatchOp::add_edge(u, v));
+            ops.add_edge(u, v);
           }
         }
 
         core::CascadeEngine sequential(g, seed);
         std::uint64_t seq_total = 0;
-        for (const auto& op : ops) {
+        for (const auto& op : ops.ops()) {
           if (op.kind == core::BatchOp::Kind::kAddEdge)
             seq_total += sequential.add_edge(op.u, op.v).adjustments;
           else seq_total += sequential.remove_edge(op.u, op.v).adjustments;

@@ -1,0 +1,203 @@
+// Batch-repair throughput: serial single-cascade apply_batch vs the
+// priority-sharded parallel engine, swept over shard count × batch size.
+//
+// For every (n, batch_size) cell the same churn-batch sequence (identical
+// generator seed) is replayed from the same initial graph through the
+// serial engine and through ShardedCascadeEngine with S ∈ {1, 2, 4, 8}
+// (S = 1 measures the parallel framework's overhead with zero cross-shard
+// traffic). Only apply_batch is timed; generation is outside the clock.
+// Results append to BENCH_batch_throughput.json so successive PRs can diff
+// the trajectory; the JSON records hardware_concurrency because parallel
+// speedup is bounded by the cores the container actually grants.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/sharded_engine.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::NodeId;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  NodeId n = 0;
+  std::size_t batch_size = 0;
+  unsigned shards = 0;  // 0 == serial apply_batch
+  std::uint64_t ops = 0;
+  std::uint64_t batches = 0;
+  double seconds = 0;
+  double updates_per_sec = 0;
+  double adjustments_per_op = 0;
+};
+
+/// Edge-toggle churn on a warm graph (the regime the single-update latency
+/// bench calls "churn"); node ops are excluded so every engine's id space
+/// stays identical to the generator's.
+std::vector<core::Batch> make_batches(const graph::DynamicGraph& g,
+                                      std::size_t batch_size, std::uint64_t ops,
+                                      std::uint64_t seed) {
+  workload::ChurnConfig config;
+  config.p_add_edge = 0.5;
+  config.p_remove_edge = 0.5;
+  config.p_add_node = 0.0;
+  config.p_remove_node = 0.0;
+  workload::ChurnGenerator generator(g, config, seed);
+  return workload::churn_batches(generator, ops / batch_size, batch_size);
+}
+
+template <typename ApplyFn>
+Result run_case(NodeId n, std::size_t batch_size, unsigned shards,
+                const std::vector<core::Batch>& batches, ApplyFn&& apply) {
+  Result r;
+  r.n = n;
+  r.batch_size = batch_size;
+  r.shards = shards;
+  std::uint64_t adjustments = 0;
+  const auto t0 = Clock::now();
+  for (const core::Batch& batch : batches) {
+    adjustments += apply(batch).report.adjustments;
+    r.ops += batch.size();
+  }
+  const auto t1 = Clock::now();
+  r.batches = batches.size();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.updates_per_sec = r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0;
+  r.adjustments_per_op =
+      r.ops > 0 ? static_cast<double>(adjustments) / static_cast<double>(r.ops) : 0;
+  return r;
+}
+
+bool write_json(const std::string& path, const std::vector<Result>& results,
+                std::uint64_t ops, std::uint64_t seed, double deg) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"batch_throughput\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"ops_per_cell\": %llu, \"seed\": %llu, "
+               "\"avg_degree\": %.1f, \"hardware_concurrency\": %u},\n",
+               static_cast<unsigned long long>(ops),
+               static_cast<unsigned long long>(seed), deg,
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"n\": %u, \"batch_size\": %zu, \"engine\": \"%s\", "
+                 "\"shards\": %u, \"ops\": %llu, \"batches\": %llu, "
+                 "\"seconds\": %.6f, \"updates_per_sec\": %.0f, "
+                 "\"adjustments_per_op\": %.4f}%s\n",
+                 r.n, r.batch_size, r.shards == 0 ? "serial" : "sharded",
+                 r.shards, static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.batches), r.seconds,
+                 r.updates_per_sec, r.adjustments_per_op,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t ops = 100'000;
+  std::uint64_t seed = 42;
+  double deg = 8.0;
+  std::vector<NodeId> sizes = {100'000, 1'000'000};
+  std::vector<std::size_t> batch_sizes = {16, 256, 4096};
+  std::vector<unsigned> shard_counts = {1, 2, 4, 8};
+  std::string out = "BENCH_batch_throughput.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    const auto parse_list = [](const char* s, auto& dst, unsigned long min_value) {
+      dst.clear();
+      while (*s != '\0') {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(s, &end, 10);
+        if (end == s || parsed < min_value) return false;
+        dst.push_back(static_cast<typename std::remove_reference_t<decltype(dst)>::value_type>(parsed));
+        s = *end == ',' ? end + 1 : end;
+      }
+      return !dst.empty();
+    };
+    if (arg == "--ops") ops = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--deg") deg = std::strtod(next(), nullptr);
+    else if (arg == "--out") out = next();
+    // A node count below 2 would spin the churn generator forever (no edge
+    // to toggle), hence the floor on --sizes.
+    else if (arg == "--sizes" && parse_list(next(), sizes, 2)) continue;
+    else if (arg == "--batch-sizes" && parse_list(next(), batch_sizes, 1)) continue;
+    else if (arg == "--shards" && parse_list(next(), shard_counts, 1)) continue;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--ops N] [--seed S] [--deg D] [--sizes a,b] "
+                   "[--batch-sizes a,b] [--shards a,b] [--out F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  for (const unsigned s : shard_counts) {
+    if (s == 0 || (s & (s - 1)) != 0 || s > 64) {
+      std::fprintf(stderr, "--shards wants powers of two in [1, 64]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  for (const NodeId n : sizes) {
+    util::Rng graph_rng(seed);
+    const auto g = graph::random_avg_degree(n, deg, graph_rng);
+    for (const std::size_t batch_size : batch_sizes) {
+      const auto batches = make_batches(g, batch_size, ops, seed * 31 + batch_size);
+
+      {
+        // Untimed warmup: the first engine to run would otherwise pay every
+        // fresh-page fault for arrays the later engines recycle from the
+        // allocator, skewing the serial-vs-sharded comparison.
+        core::CascadeEngine warm(g, seed);
+        for (const core::Batch& batch : batches) (void)core::apply_batch(warm, batch);
+      }
+      {
+        core::CascadeEngine engine(g, seed);
+        const Result r = run_case(n, batch_size, 0, batches,
+                                  [&](const core::Batch& b) {
+                                    return core::apply_batch(engine, b);
+                                  });
+        results.push_back(r);
+        std::printf("serial    n=%-8u batch=%-5zu %12.0f upd/s  adj/op=%.3f\n",
+                    n, batch_size, r.updates_per_sec, r.adjustments_per_op);
+      }
+      for (const unsigned shards : shard_counts) {
+        core::ShardedCascadeEngine engine(g, seed, shards);
+        const Result r = run_case(n, batch_size, shards, batches,
+                                  [&](const core::Batch& b) {
+                                    return engine.apply_batch(b);
+                                  });
+        results.push_back(r);
+        std::printf("sharded%-2u n=%-8u batch=%-5zu %12.0f upd/s  adj/op=%.3f\n",
+                    shards, n, batch_size, r.updates_per_sec, r.adjustments_per_op);
+      }
+    }
+  }
+  return write_json(out, results, ops, seed, deg) ? 0 : 1;
+}

@@ -58,10 +58,11 @@ void NaturalGreedyMis::repair_around(const std::vector<NodeId>& candidates) {
     if (!in_mis_[w] && !has_mis_neighbor(w)) in_mis_[w] = true;
 }
 
-std::unordered_set<NodeId> NaturalGreedyMis::mis_set() const {
-  std::unordered_set<NodeId> out;
-  for (const NodeId v : g_.nodes())
-    if (in_mis_[v]) out.insert(v);
+graph::NodeSet NaturalGreedyMis::mis_set() const {
+  graph::NodeSet out;
+  g_.for_each_node([&](NodeId v) {
+    if (in_mis_[v]) out.push_back_ascending(v);
+  });
   return out;
 }
 

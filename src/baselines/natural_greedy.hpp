@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 
 namespace dmis::baselines {
 
@@ -38,7 +38,7 @@ class NaturalGreedyMis {
   [[nodiscard]] bool in_mis(NodeId v) const {
     return v < in_mis_.size() && in_mis_[v];
   }
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] graph::NodeSet mis_set() const;
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
 
   /// Abort if the maintained set is not a maximal independent set.

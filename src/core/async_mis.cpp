@@ -194,10 +194,10 @@ AsyncMis::ChangeResult AsyncMis::remove_node(NodeId v) {
   return run_change();
 }
 
-std::unordered_set<NodeId> AsyncMis::mis_set() const {
-  std::unordered_set<NodeId> out;
+graph::NodeSet AsyncMis::mis_set() const {
+  graph::NodeSet out;
   logical_.for_each_node([&](NodeId v) {
-    if (protocol_.in_mis(v)) out.insert(v);
+    if (protocol_.in_mis(v)) out.push_back_ascending(v);
   });
   return out;
 }

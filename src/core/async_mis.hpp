@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/greedy_mis.hpp"
@@ -97,7 +96,7 @@ class AsyncMis {
   ChangeResult remove_node(NodeId v);
 
   [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] graph::NodeSet mis_set() const;
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
 

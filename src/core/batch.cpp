@@ -4,13 +4,11 @@
 
 namespace dmis::core {
 
-BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) {
-  BatchResult result;
-  // Reused across batches so steady-state batch application performs no
-  // per-call allocation for the seed scratch.
-  static thread_local std::vector<NodeId> seeds;
-  seeds.clear();
+namespace detail {
 
+void apply_ops_collect_seeds(CascadeEngine& engine, const Batch& batch,
+                             std::vector<NodeId>& seeds,
+                             std::vector<NodeId>& new_nodes) {
   // Seeding rule: for every touched edge, the later-ordered endpoint (the
   // only node an edge change can break, §3); for every inserted node, the
   // node itself; for every deleted node, all of its former neighbors (the
@@ -21,7 +19,7 @@ BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) 
     seeds.push_back(engine.priorities().before(u, v) ? v : u);
   };
 
-  for (const BatchOp& op : ops) {
+  for (const BatchOp& op : batch.ops()) {
     switch (op.kind) {
       case BatchOp::Kind::kAddEdge:
         engine.raw_add_edge(op.u, op.v);
@@ -32,21 +30,32 @@ BatchResult apply_batch(CascadeEngine& engine, const std::vector<BatchOp>& ops) 
         seed_edge(op.u, op.v);
         break;
       case BatchOp::Kind::kAddNode: {
-        const NodeId v = engine.raw_add_node(op.neighbors);
-        result.new_nodes.push_back(v);
+        const NodeId v = engine.raw_add_node(batch.neighbors_of(op));
+        new_nodes.push_back(v);
         seeds.push_back(v);
         break;
       }
-      case BatchOp::Kind::kRemoveNode: {
-        const std::vector<NodeId> former = engine.raw_remove_node(op.u);
-        seeds.insert(seeds.end(), former.begin(), former.end());
+      case BatchOp::Kind::kRemoveNode:
+        // Former neighbors land directly in the seed list — no per-op
+        // temporary vector.
+        engine.raw_remove_node(op.u, seeds);
         break;
-      }
     }
   }
 
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+}  // namespace detail
+
+BatchResult apply_batch(CascadeEngine& engine, const Batch& batch) {
+  BatchResult result;
+  // Reused across batches so steady-state batch application performs no
+  // per-call allocation for the seed scratch.
+  static thread_local std::vector<NodeId> seeds;
+  seeds.clear();
+  detail::apply_ops_collect_seeds(engine, batch, seeds, result.new_nodes);
   result.report = engine.repair(seeds);
   return result;
 }

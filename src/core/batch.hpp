@@ -19,8 +19,17 @@
 // E[adjustments] ≤ k for a k-change batch by linearity — the open question
 // is whether o(k) holds; the bench gives the empirical answer for random
 // batches (clearly sublinear for correlated ones).
+//
+// Representation. A batch is built through core::Batch, which stores ops as
+// 16-byte PODs and add-node neighbor lists in one batch-owned arena: a
+// BatchOp carries an (offset, count) view into that arena instead of its own
+// std::vector, so building a 4096-op batch costs two amortized vector
+// appends total — not one heap allocation per op — and clear() + rebuild
+// reuses both buffers allocation-free in steady state.
 #pragma once
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/cascade_engine.hpp"
@@ -33,20 +42,62 @@ struct BatchOp {
   Kind kind = Kind::kAddEdge;
   NodeId u = 0;
   NodeId v = 0;
-  std::vector<NodeId> neighbors;  // kAddNode only
+  // kAddNode only: neighbors are arena[nbr_begin, nbr_begin + nbr_count);
+  // resolve with Batch::neighbors_of().
+  std::uint32_t nbr_begin = 0;
+  std::uint32_t nbr_count = 0;
+};
 
-  [[nodiscard]] static BatchOp add_edge(NodeId u, NodeId v) {
-    return {Kind::kAddEdge, u, v, {}};
+/// An ordered list of simultaneous ops plus the arena backing their
+/// neighbor lists. Ops are validated when applied, in order, against the
+/// evolving graph (an edge added earlier in the batch may be removed later,
+/// a node added earlier may be wired to later, etc.).
+class Batch {
+ public:
+  Batch() = default;
+
+  void reserve(std::size_t ops, std::size_t neighbor_slots = 0) {
+    ops_.reserve(ops);
+    if (neighbor_slots > 0) arena_.reserve(neighbor_slots);
   }
-  [[nodiscard]] static BatchOp remove_edge(NodeId u, NodeId v) {
-    return {Kind::kRemoveEdge, u, v, {}};
+
+  /// Drop all ops but keep both buffers' capacity (steady-state reuse).
+  void clear() noexcept {
+    ops_.clear();
+    arena_.clear();
   }
-  [[nodiscard]] static BatchOp add_node(std::vector<NodeId> neighbors = {}) {
-    return {Kind::kAddNode, 0, 0, std::move(neighbors)};
+
+  void add_edge(NodeId u, NodeId v) {
+    ops_.push_back({BatchOp::Kind::kAddEdge, u, v, 0, 0});
   }
-  [[nodiscard]] static BatchOp remove_node(NodeId v) {
-    return {Kind::kRemoveNode, v, v, {}};
+  void remove_edge(NodeId u, NodeId v) {
+    ops_.push_back({BatchOp::Kind::kRemoveEdge, u, v, 0, 0});
   }
+  void remove_node(NodeId v) {
+    ops_.push_back({BatchOp::Kind::kRemoveNode, v, v, 0, 0});
+  }
+  /// Insert a fresh node wired to `neighbors` (copied into the arena; the
+  /// caller's storage is not referenced after this returns).
+  void add_node(std::span<const NodeId> neighbors = {}) {
+    const auto begin = static_cast<std::uint32_t>(arena_.size());
+    arena_.insert(arena_.end(), neighbors.begin(), neighbors.end());
+    ops_.push_back({BatchOp::Kind::kAddNode, 0, 0, begin,
+                    static_cast<std::uint32_t>(neighbors.size())});
+  }
+  void add_node(std::initializer_list<NodeId> neighbors) {
+    add_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] std::span<const BatchOp> ops() const noexcept { return ops_; }
+  [[nodiscard]] std::span<const NodeId> neighbors_of(const BatchOp& op) const noexcept {
+    return {arena_.data() + op.nbr_begin, op.nbr_count};
+  }
+
+ private:
+  std::vector<BatchOp> ops_;
+  std::vector<NodeId> arena_;  // all add-node neighbor lists, back to back
 };
 
 struct BatchResult {
@@ -56,9 +107,16 @@ struct BatchResult {
 };
 
 /// Apply all ops as one simultaneous change and repair with a single
-/// cascade. Ops are validated in order against the evolving graph (an edge
-/// added earlier in the batch may be removed later, etc.).
-[[nodiscard]] BatchResult apply_batch(CascadeEngine& engine,
-                                      const std::vector<BatchOp>& ops);
+/// cascade.
+[[nodiscard]] BatchResult apply_batch(CascadeEngine& engine, const Batch& batch);
+
+namespace detail {
+/// Shared front half of every batch path (serial and sharded): apply the
+/// topology mutations through the engine's raw_* interface and emit the
+/// repair seeds (sorted, deduplicated) plus the ids of inserted nodes.
+void apply_ops_collect_seeds(CascadeEngine& engine, const Batch& batch,
+                             std::vector<NodeId>& seeds,
+                             std::vector<NodeId>& new_nodes);
+}  // namespace detail
 
 }  // namespace dmis::core

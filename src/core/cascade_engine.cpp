@@ -102,7 +102,7 @@ void CascadeEngine::cascade() {
     std::sort(report_.changed.begin(), report_.changed.end());
 }
 
-NodeId CascadeEngine::add_node(const std::vector<NodeId>& neighbors) {
+NodeId CascadeEngine::add_node(std::span<const NodeId> neighbors) {
   const NodeId v = raw_add_node(neighbors);
   seeds_.clear();
   seeds_.push_back(v);
@@ -160,7 +160,7 @@ const UpdateReport& CascadeEngine::remove_node(NodeId v) {
   return report_;
 }
 
-NodeId CascadeEngine::raw_add_node(const std::vector<NodeId>& neighbors) {
+NodeId CascadeEngine::raw_add_node(std::span<const NodeId> neighbors) {
   const NodeId v = g_.add_node();
   // If the mirror was in sync, the only key event is this node's own draw:
   // patch the one entry and stay in sync, so add_node never triggers the
@@ -185,12 +185,17 @@ void CascadeEngine::raw_remove_edge(NodeId u, NodeId v) {
 }
 
 std::vector<NodeId> CascadeEngine::raw_remove_node(NodeId v) {
+  std::vector<NodeId> former;
+  raw_remove_node(v, former);
+  return former;
+}
+
+void CascadeEngine::raw_remove_node(NodeId v, std::vector<NodeId>& former_out) {
   DMIS_ASSERT(g_.has_node(v));
   const auto nb = g_.neighbors(v);
-  std::vector<NodeId> former(nb.begin(), nb.end());
+  former_out.insert(former_out.end(), nb.begin(), nb.end());
   g_.remove_node(v);
   if (state_[v] != 0) set_member(v, false);
-  return former;
 }
 
 const UpdateReport& CascadeEngine::repair(const std::vector<NodeId>& seeds) {
@@ -204,11 +209,11 @@ void CascadeEngine::debug_set_epoch(std::uint32_t epoch) {
   epoch_ = epoch;
 }
 
-std::unordered_set<NodeId> CascadeEngine::mis_set() const {
-  std::unordered_set<NodeId> out;
+graph::NodeSet CascadeEngine::mis_set() const {
+  graph::NodeSet out;
   out.reserve(mis_size_);
   g_.for_each_node([&](NodeId v) {
-    if (state_[v] != 0) out.insert(v);
+    if (state_[v] != 0) out.push_back_ascending(v);
   });
   return out;
 }

@@ -46,12 +46,14 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 
 namespace dmis::core {
 
@@ -71,7 +73,10 @@ class CascadeEngine {
   /// initial computation is not an "update" and produces no report).
   CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed);
 
-  NodeId add_node(const std::vector<NodeId>& neighbors = {});
+  NodeId add_node(std::span<const NodeId> neighbors = {});
+  NodeId add_node(std::initializer_list<NodeId> neighbors) {
+    return add_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
   const UpdateReport& add_edge(NodeId u, NodeId v);
   const UpdateReport& remove_edge(NodeId u, NodeId v);
   const UpdateReport& remove_node(NodeId v);
@@ -81,7 +86,7 @@ class CascadeEngine {
   }
   /// Current MIS cardinality, maintained incrementally — O(1).
   [[nodiscard]] std::size_t mis_size() const noexcept { return mis_size_; }
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] graph::NodeSet mis_set() const;
   [[nodiscard]] const Membership& membership() const noexcept { return state_; }
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
@@ -97,11 +102,13 @@ class CascadeEngine {
   // invariant may have broken (batch.cpp documents the seeding rule).
 
   /// Insert a node (+ edges) without repairing. The node starts as M̄.
-  NodeId raw_add_node(const std::vector<NodeId>& neighbors);
+  NodeId raw_add_node(std::span<const NodeId> neighbors);
   void raw_add_edge(NodeId u, NodeId v);
   void raw_remove_edge(NodeId u, NodeId v);
   /// Remove a node without repairing; returns its former neighbors.
   std::vector<NodeId> raw_remove_node(NodeId v);
+  /// Same, appending the former neighbors to `former_out` (no temporary).
+  void raw_remove_node(NodeId v, std::vector<NodeId>& former_out);
   /// Run the increasing-π repair pass from `seeds`; the report becomes
   /// last_report().
   const UpdateReport& repair(const std::vector<NodeId>& seeds);
@@ -113,6 +120,11 @@ class CascadeEngine {
   void debug_set_epoch(std::uint32_t epoch);
 
  private:
+  // The sharded batch engine runs its parallel repair directly on this
+  // engine's graph/priority/state arrays (core/sharded_engine.hpp); it is
+  // the one component allowed behind the repair invariants.
+  friend class ShardedCascadeEngine;
+
   struct HeapEntry {
     std::uint64_t key;
     NodeId id;

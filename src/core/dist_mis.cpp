@@ -106,10 +106,10 @@ DistMis::ChangeResult DistMis::remove_node(NodeId v, DeletionMode mode) {
   return run_change();
 }
 
-std::unordered_set<NodeId> DistMis::mis_set() const {
-  std::unordered_set<NodeId> out;
+graph::NodeSet DistMis::mis_set() const {
+  graph::NodeSet out;
   logical_.for_each_node([&](NodeId v) {
-    if (protocol_.in_mis(v)) out.insert(v);
+    if (protocol_.in_mis(v)) out.push_back_ascending(v);
   });
   return out;
 }

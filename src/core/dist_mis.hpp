@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "core/greedy_mis.hpp"
@@ -61,7 +60,7 @@ class DistMis {
   ChangeResult remove_node(NodeId v, DeletionMode mode = DeletionMode::kGraceful);
 
   [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] graph::NodeSet mis_set() const;
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
   [[nodiscard]] const MisProtocol& protocol() const noexcept { return protocol_; }

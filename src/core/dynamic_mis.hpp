@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "core/cascade_engine.hpp"
@@ -68,7 +67,7 @@ class DynamicMIS {
   [[nodiscard]] bool in_mis(NodeId v) const { return engine_.in_mis(v); }
 
   /// The maintained MIS as a set of node ids.
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const { return engine_.mis_set(); }
+  [[nodiscard]] graph::NodeSet mis_set() const { return engine_.mis_set(); }
 
   /// Current MIS cardinality — O(1) via the engine's incremental counter.
   [[nodiscard]] std::size_t mis_size() const noexcept { return engine_.mis_size(); }

@@ -24,12 +24,12 @@ Membership greedy_mis(const graph::DynamicGraph& g, PriorityMap& priorities) {
   return in_mis;
 }
 
-std::unordered_set<NodeId> greedy_mis_set(const graph::DynamicGraph& g,
-                                          PriorityMap& priorities) {
+graph::NodeSet greedy_mis_set(const graph::DynamicGraph& g,
+                              PriorityMap& priorities) {
   const Membership in_mis = greedy_mis(g, priorities);
-  std::unordered_set<NodeId> out;
+  graph::NodeSet out;
   g.for_each_node([&](NodeId v) {
-    if (in_mis[v] != 0) out.insert(v);
+    if (in_mis[v] != 0) out.push_back_ascending(v);
   });
   return out;
 }

@@ -9,12 +9,12 @@
 // history-independence property, Definition 14, in executable form).
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 
 namespace dmis::core {
 
@@ -24,7 +24,7 @@ namespace dmis::core {
                                            PriorityMap& priorities);
 
 /// Same result as a set of node ids.
-[[nodiscard]] std::unordered_set<NodeId> greedy_mis_set(const graph::DynamicGraph& g,
-                                                        PriorityMap& priorities);
+[[nodiscard]] graph::NodeSet greedy_mis_set(const graph::DynamicGraph& g,
+                                            PriorityMap& priorities);
 
 }  // namespace dmis::core

@@ -1,0 +1,214 @@
+#include "core/sharded_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dmis::core {
+
+namespace {
+
+[[nodiscard]] constexpr bool is_pow2(unsigned x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Relaxed atomic view of one membership byte. Plain uint8_t everywhere
+/// else; during parallel rounds every cross-thread-visible state access
+/// goes through this so TSan (and the memory model) see atomics, not races.
+[[nodiscard]] inline std::atomic_ref<std::uint8_t> state_ref(std::uint8_t& b) noexcept {
+  return std::atomic_ref<std::uint8_t>(b);
+}
+
+}  // namespace
+
+ShardedCascadeEngine::ShardedCascadeEngine(const graph::DynamicGraph& g,
+                                           std::uint64_t priority_seed,
+                                           unsigned shard_count,
+                                           std::size_t frontier_capacity)
+    : engine_(g, priority_seed),
+      pool_(shard_count > 0 ? shard_count - 1 : 0),
+      shard_count_(shard_count) {
+  DMIS_ASSERT_MSG(is_pow2(shard_count) && shard_count <= 64,
+                  "shard count must be a power of two in [1, 64]");
+  unsigned log2 = 0;
+  while ((1U << log2) < shard_count) ++log2;
+  shard_shift_ = 64 - log2;  // == 64 for S == 1; shard_of_key guards that
+  shards_.resize(shard_count_);
+  rings_ = std::make_unique<util::SpscRing<NodeId>[]>(
+      static_cast<std::size_t>(shard_count_) * shard_count_);
+  spill_.resize(static_cast<std::size_t>(shard_count_) * shard_count_);
+  for (unsigned from = 0; from < shard_count_; ++from)
+    for (unsigned to = from + 1; to < shard_count_; ++to)
+      ring(from, to).init(frontier_capacity);
+}
+
+ShardedCascadeEngine::~ShardedCascadeEngine() = default;
+
+BatchResult ShardedCascadeEngine::apply_batch(const Batch& batch) {
+  BatchResult result;
+  static thread_local std::vector<NodeId> seeds;
+  seeds.clear();
+  detail::apply_ops_collect_seeds(engine_, batch, seeds, result.new_nodes);
+  repair_parallel(seeds);
+  result.report = engine_.report_;
+  return result;
+}
+
+const UpdateReport& ShardedCascadeEngine::repair(const std::vector<NodeId>& seeds) {
+  repair_parallel(seeds);
+  return engine_.report_;
+}
+
+void ShardedCascadeEngine::repair_parallel(const std::vector<NodeId>& seeds) {
+  engine_.clear_report();
+  // Round 0's epoch begin also resyncs the key mirror if priorities were
+  // pinned since the last cascade — shard assignment below reads the mirror,
+  // so this must run first.
+  engine_.begin_epoch();
+
+  const std::size_t bound = engine_.hot_.size();
+  if (pre_state_.size() < bound) {
+    pre_state_.resize(bound, 0);
+    touch_stamp_.resize(bound, 0);
+  }
+  if (++repair_stamp_ == 0) {
+    // uint32 rollover: wipe stale stamps once, then restart at 1.
+    std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0U);
+    repair_stamp_ = 1;
+  }
+
+  for (Shard& sh : shards_) {
+    sh.incoming.clear();
+    sh.evaluated = 0;
+  }
+  for (const NodeId v : seeds) {
+    DMIS_ASSERT_MSG(v < bound, "repair seed references an unknown node id");
+    shards_[shard_of_key(engine_.hot_[v].key)].incoming.push_back(v);
+  }
+
+  bool first_round = true;
+  bool pending = !seeds.empty();
+  while (pending) {
+    if (!first_round) engine_.begin_epoch();
+    first_round = false;
+    pool_.run_indexed(shard_count_, [&](unsigned s) { run_round(s); });
+    // Single-threaded between rounds: hand every spill vector to its
+    // consumer's incoming queue. Producers only touch spill during rounds
+    // and consumers never do, so the barrier fully separates the two sides
+    // (a consumer must NOT drain spill inside run_round — its producer may
+    // still be appending in the same round; only the rings tolerate that).
+    pending = false;
+    for (unsigned from = 0; from < shard_count_; ++from) {
+      for (unsigned to = from + 1; to < shard_count_; ++to) {
+        auto& spilled = spill(from, to);
+        if (!spilled.empty()) {
+          auto& inbox = shards_[to].incoming;
+          inbox.insert(inbox.end(), spilled.begin(), spilled.end());
+          spilled.clear();
+        }
+        if (!ring(from, to).empty()) pending = true;
+      }
+    }
+    for (const Shard& sh : shards_)
+      if (!sh.incoming.empty()) pending = true;
+  }
+
+  merge_round_results();
+}
+
+void ShardedCascadeEngine::run_round(unsigned s) {
+  Shard& sh = shards_[s];
+  auto& heap = sh.heap;
+  heap.clear();
+
+  CascadeEngine& e = engine_;
+  const auto enqueue = [&](NodeId v) {
+    heap.push_back({e.hot_[v].key, v});
+    std::push_heap(heap.begin(), heap.end(), HeapAfter{});
+  };
+
+  // incoming holds round-0 seeds plus any spill entries the coordinator
+  // moved here at the last barrier; only this thread (during rounds) and
+  // the coordinator (between rounds) ever touch it.
+  for (const NodeId v : sh.incoming) enqueue(v);
+  sh.incoming.clear();
+  // Drain every lower shard's frontier ring (cross-shard traffic only
+  // flows upward; see header). A producer may still be pushing this round —
+  // the SPSC ring tolerates that, and anything this pop loop misses is
+  // caught by the coordinator's pending check at the barrier.
+  for (unsigned from = 0; from < s; ++from) {
+    NodeId v = 0;
+    while (ring(from, s).try_pop(v)) enqueue(v);
+  }
+
+  const std::uint32_t epoch = e.epoch_;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), HeapAfter{});
+    const NodeId v = heap.back().id;
+    heap.pop_back();
+    if (e.hot_[v].visited == epoch) continue;  // duplicate enqueue
+    e.hot_[v].visited = epoch;
+    if (!e.g_.has_node(v)) continue;  // seeded then deleted within the batch
+    ++sh.evaluated;
+
+    const std::uint64_t kv = e.hot_[v].key;
+    // eval: v joins iff no earlier neighbor is (observed) in the MIS.
+    bool next = true;
+    for (const NodeId u : e.g_.neighbors(v)) {
+      CascadeEngine::NodeHot& h = e.hot_[u];
+      if (priority_before(h.key, u, kv, v) &&
+          state_ref(h.state).load(std::memory_order_relaxed) != 0) {
+        next = false;
+        break;
+      }
+    }
+    const bool cur = e.hot_[v].state != 0;  // owner shard: only we write it
+    if (next == cur) continue;
+
+    if (touch_stamp_[v] != repair_stamp_) {
+      touch_stamp_[v] = repair_stamp_;
+      pre_state_[v] = cur ? 1 : 0;
+      sh.touched.push_back(v);
+    }
+    const std::uint8_t next_byte = next ? 1 : 0;
+    state_ref(e.hot_[v].state).store(next_byte, std::memory_order_relaxed);
+    state_ref(e.state_[v]).store(next_byte, std::memory_order_relaxed);
+
+    for (const NodeId u : e.g_.neighbors(v)) {
+      CascadeEngine::NodeHot& h = e.hot_[u];
+      if (!priority_before(kv, v, h.key, u)) continue;  // earlier: unaffected
+      const unsigned t = shard_of_key(h.key);
+      if (t == s) {
+        // Same shard ⇒ same thread ⇒ the serial engine's pruning argument
+        // holds verbatim: after a join, a still-M̄ later neighbor merely
+        // gained one more blocker.
+        if (next && h.state == 0) continue;
+        if (h.visited != epoch) enqueue(u);
+      } else if (!ring(s, t).try_push(u)) {
+        spill(s, t).push_back(u);
+      }
+    }
+  }
+}
+
+void ShardedCascadeEngine::merge_round_results() {
+  CascadeEngine& e = engine_;
+  UpdateReport& report = e.report_;
+  std::ptrdiff_t mis_delta = 0;
+  for (Shard& sh : shards_) {
+    report.evaluated += sh.evaluated;
+    for (const NodeId v : sh.touched) {
+      const std::uint8_t post = e.state_[v];
+      if (post == pre_state_[v]) continue;  // transient flip, settled back
+      report.changed.push_back(v);
+      mis_delta += post != 0 ? 1 : -1;
+    }
+    sh.touched.clear();
+  }
+  e.mis_size_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(e.mis_size_) + mis_delta);
+  report.adjustments = report.changed.size();
+  if (report.changed.size() > 1)
+    std::sort(report.changed.begin(), report.changed.end());
+}
+
+}  // namespace dmis::core

@@ -1,0 +1,162 @@
+// ShardedCascadeEngine — parallel batch repair by priority-range sharding.
+//
+// The serial CascadeEngine repairs a batch with one increasing-π cascade on
+// one core. This engine partitions the node set into S shards by priority
+// range (shard = top log2(S) bits of the 64-bit priority key, so uniform
+// keys balance shards by construction) and repairs in parallel *rounds* on a
+// persistent util::ThreadPool: within a round every shard drains its own
+// min-π heap exactly like the serial cascade restricted to its key range,
+// and any flip whose later-ordered neighbor lives in another shard is pushed
+// onto a lock-free SPSC frontier ring (one per ordered shard pair). When a
+// ring fills, the producer appends to a spill vector that ONLY the
+// coordinator thread touches between rounds (it moves the entries into the
+// consumer's incoming queue at the barrier) — consumers must never read
+// spill mid-round, since its producer may still be appending; the rings are
+// the one structure built for concurrent push/pop. Frontier entries pushed
+// in round r are consumed in round r+1; the repair finishes when a round
+// leaves every frontier and inbox empty.
+//
+// Why this terminates and lands on the serial answer:
+//   * A node's evaluation depends only on *earlier*-π neighbors, and a
+//     flip only ever needs to re-enqueue *later*-π neighbors — so cross-
+//     shard traffic flows strictly from lower shards to higher shards.
+//   * Shard 0's nodes have all their earlier neighbors inside shard 0, so
+//     shard 0 is exactly the serial cascade on its range and is stable
+//     after round 1; inductively, shard s receives its last frontier work
+//     one round after shard s−1 stabilizes, so the loop ends within S+1
+//     rounds (Antaki–Liu–Solomon's bounded adjustment-propagation depth is
+//     what keeps the frontiers small in expectation).
+//   * Within a round a shard may read a *concurrent* lower shard's state
+//     mid-flip (relaxed atomics; never torn). Any such stale read is
+//     harmless: the observed flip re-enqueues the reader via the frontier,
+//     and its next-round evaluation sees the settled value. Cross-shard
+//     enqueues therefore skip the serial engine's "joined ⇒ only M
+//     neighbors need re-checking" pruning — the pruning reads the
+//     neighbor's state, which may be mid-change; pushing unconditionally
+//     costs a wasted evaluation instead of a missed repair.
+//
+// The final membership is the unique greedy MIS of (graph, π) — the same
+// structure for every shard count and every thread interleaving, which the
+// randomized equivalence tests pin against the serial engine. The report's
+// changed list (pre-vs-post diff, ascending) is deterministic too; only the
+// `evaluated` work counter may vary run to run, since a stale read can cost
+// an extra re-evaluation.
+//
+// Single updates stay on the serial engine (`serial()`): one change seeds
+// one cascade with expected O(1) adjustments — there is nothing to shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dmis::core {
+
+class ShardedCascadeEngine {
+ public:
+  /// `shard_count` must be a power of two in [1, 64]. `frontier_capacity`
+  /// sizes each cross-shard ring (power of two); overflow degrades to a
+  /// spill vector, so small capacities are safe (tests use them to exercise
+  /// the spill path).
+  ShardedCascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed,
+                       unsigned shard_count, std::size_t frontier_capacity = 4096);
+  ~ShardedCascadeEngine();
+
+  ShardedCascadeEngine(const ShardedCascadeEngine&) = delete;
+  ShardedCascadeEngine& operator=(const ShardedCascadeEngine&) = delete;
+
+  /// Apply all ops as one simultaneous change and repair with parallel
+  /// frontier rounds. Equivalent to core::apply_batch on the serial engine.
+  BatchResult apply_batch(const Batch& batch);
+
+  /// Parallel analogue of CascadeEngine::repair (expert interface): the
+  /// caller already mutated topology through serial().raw_* and supplies
+  /// the seed cover.
+  const UpdateReport& repair(const std::vector<NodeId>& seeds);
+
+  /// The underlying serial engine — the single-update fast path. Single
+  /// changes and batch repairs may be interleaved freely; both maintain the
+  /// same structure.
+  [[nodiscard]] CascadeEngine& serial() noexcept { return engine_; }
+  [[nodiscard]] const CascadeEngine& serial() const noexcept { return engine_; }
+
+  [[nodiscard]] unsigned shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] bool in_mis(NodeId v) const { return engine_.in_mis(v); }
+  [[nodiscard]] std::size_t mis_size() const noexcept { return engine_.mis_size(); }
+  [[nodiscard]] graph::NodeSet mis_set() const { return engine_.mis_set(); }
+  [[nodiscard]] const Membership& membership() const noexcept {
+    return engine_.membership();
+  }
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+    return engine_.graph();
+  }
+  [[nodiscard]] PriorityMap& priorities() noexcept { return engine_.priorities(); }
+  [[nodiscard]] const UpdateReport& last_report() const noexcept {
+    return engine_.last_report();
+  }
+  void verify() const { engine_.verify(); }
+
+ private:
+  // One heap-entry definition for both engines: ShardedCascadeEngine is a
+  // friend of CascadeEngine, so the serial engine's comparator (and its
+  // pop-earliest-π ordering) is reused verbatim rather than copied.
+  using HeapEntry = CascadeEngine::HeapEntry;
+  using HeapAfter = CascadeEngine::HeapAfter;
+
+  /// Per-shard working state, cache-line separated so neighbor shards do
+  /// not false-share counters.
+  struct alignas(64) Shard {
+    std::vector<HeapEntry> heap;    // min-π binary heap for the round
+    std::vector<NodeId> incoming;   // seeds + barrier-moved spill entries
+    std::vector<NodeId> touched;    // nodes whose pre-state was recorded
+    std::uint64_t evaluated = 0;
+  };
+
+  [[nodiscard]] unsigned shard_of_key(std::uint64_t key) const noexcept {
+    return shard_count_ == 1
+               ? 0U
+               : static_cast<unsigned>(key >> shard_shift_);
+  }
+  [[nodiscard]] util::SpscRing<NodeId>& ring(unsigned from, unsigned to) noexcept {
+    return rings_[from * shard_count_ + to];
+  }
+  [[nodiscard]] std::vector<NodeId>& spill(unsigned from, unsigned to) noexcept {
+    return spill_[from * shard_count_ + to];
+  }
+
+  void repair_parallel(const std::vector<NodeId>& seeds);
+  void run_round(unsigned s);
+  void merge_round_results();
+
+  CascadeEngine engine_;
+  util::ThreadPool pool_;
+  unsigned shard_count_;
+  unsigned shard_shift_;  // 64 − log2(shard_count_); unused when S == 1
+
+  std::vector<Shard> shards_;
+  std::unique_ptr<util::SpscRing<NodeId>[]> rings_;   // [from × S + to]
+  // Ring-overflow buffers, same indexing. Written by the producer shard
+  // during rounds, moved into the consumer's incoming by the coordinator
+  // between rounds — never read concurrently with the writes.
+  std::vector<std::vector<NodeId>> spill_;
+
+  // Pre-repair state of every node touched by the current repair, stamped
+  // by repair generation (same trick as the engine's visited epochs).
+  std::vector<std::uint8_t> pre_state_;
+  std::vector<std::uint32_t> touch_stamp_;
+  std::uint32_t repair_stamp_ = 0;
+};
+
+/// Free-function overload mirroring core::apply_batch(CascadeEngine&, …),
+/// so generic drivers template over the engine kind.
+[[nodiscard]] inline BatchResult apply_batch(ShardedCascadeEngine& engine,
+                                             const Batch& batch) {
+  return engine.apply_batch(batch);
+}
+
+}  // namespace dmis::core

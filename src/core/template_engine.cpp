@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/greedy_mis.hpp"
 #include "core/invariant.hpp"
@@ -154,10 +155,11 @@ void TemplateEngine::propagate(NodeId v_star, bool deleted) {
   std::sort(report_.changed.begin(), report_.changed.end());
 }
 
-std::unordered_set<NodeId> TemplateEngine::mis_set() const {
-  std::unordered_set<NodeId> out;
-  for (const NodeId v : g_.nodes())
-    if (state_[v]) out.insert(v);
+graph::NodeSet TemplateEngine::mis_set() const {
+  graph::NodeSet out;
+  g_.for_each_node([&](NodeId v) {
+    if (state_[v]) out.push_back_ascending(v);
+  });
   return out;
 }
 

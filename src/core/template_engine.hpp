@@ -31,12 +31,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "core/membership.hpp"
 #include "core/priority.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 
 namespace dmis::core {
 
@@ -71,7 +71,7 @@ class TemplateEngine {
   [[nodiscard]] bool in_mis(NodeId v) const {
     return v < state_.size() && state_[v];
   }
-  [[nodiscard]] std::unordered_set<NodeId> mis_set() const;
+  [[nodiscard]] graph::NodeSet mis_set() const;
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return g_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
   [[nodiscard]] const TemplateReport& last_report() const noexcept { return report_; }

@@ -144,6 +144,17 @@ class DynamicGraph {
     });
   }
 
+  /// Uniformly random present edge as (lo, hi) — O(1) expected via the edge
+  /// table's slot sampling, no materialized edge vector. False iff edgeless.
+  template <typename RngT>
+  [[nodiscard]] bool sample_edge(RngT& rng, NodeId& u, NodeId& v) const {
+    std::uint64_t key = 0;
+    if (!edges_.sample(rng, key)) return false;
+    u = static_cast<NodeId>(key >> 32);
+    v = static_cast<NodeId>(key & 0xffffffffULL);
+    return true;
+  }
+
   /// All live node ids, ascending. Allocates; prefer for_each_node when hot.
   [[nodiscard]] std::vector<NodeId> nodes() const {
     std::vector<NodeId> out;

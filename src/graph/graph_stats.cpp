@@ -49,8 +49,7 @@ std::size_t component_count(const DynamicGraph& g) {
   return components;
 }
 
-bool is_independent_set(const DynamicGraph& g,
-                        const std::unordered_set<NodeId>& set) {
+bool is_independent_set(const DynamicGraph& g, const NodeSet& set) {
   for (const NodeId v : set) {
     if (!g.has_node(v)) return false;
     for (const NodeId u : g.neighbors(v))
@@ -59,8 +58,7 @@ bool is_independent_set(const DynamicGraph& g,
   return true;
 }
 
-bool is_maximal_independent_set(const DynamicGraph& g,
-                                const std::unordered_set<NodeId>& set) {
+bool is_maximal_independent_set(const DynamicGraph& g, const NodeSet& set) {
   if (!is_independent_set(g, set)) return false;
   bool maximal = true;
   g.for_each_node([&](NodeId v) {
@@ -74,23 +72,32 @@ bool is_maximal_independent_set(const DynamicGraph& g,
 
 bool is_matching(const DynamicGraph& g,
                  const std::vector<std::pair<NodeId, NodeId>>& matching) {
-  std::unordered_set<NodeId> touched;
+  // Endpoint-disjointness via one sort instead of a hash set: collect every
+  // endpoint, then any duplicate shows up adjacent.
+  std::vector<NodeId> touched;
+  touched.reserve(matching.size() * 2);
   for (const auto& [u, v] : matching) {
     if (!g.has_edge(u, v)) return false;
-    if (!touched.insert(u).second) return false;
-    if (!touched.insert(v).second) return false;
+    touched.push_back(u);
+    touched.push_back(v);
   }
-  return true;
+  std::sort(touched.begin(), touched.end());
+  return std::adjacent_find(touched.begin(), touched.end()) == touched.end();
 }
 
 bool is_maximal_matching(const DynamicGraph& g,
                          const std::vector<std::pair<NodeId, NodeId>>& matching) {
   if (!is_matching(g, matching)) return false;
-  std::unordered_set<NodeId> touched;
+  // One sort instead of k sorted inserts (is_matching already proved the
+  // endpoints pairwise distinct, so no unique pass is needed).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(matching.size() * 2);
   for (const auto& [u, v] : matching) {
-    touched.insert(u);
-    touched.insert(v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
   }
+  std::sort(endpoints.begin(), endpoints.end());
+  const NodeSet touched = NodeSet::from_sorted(std::move(endpoints));
   bool maximal = true;
   g.for_each_edge([&](NodeId u, NodeId v) {
     if (maximal && !touched.contains(u) && !touched.contains(v)) maximal = false;

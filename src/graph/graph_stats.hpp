@@ -5,10 +5,10 @@
 // derived structures of §5.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 #include "util/stats.hpp"
 
 namespace dmis::graph {
@@ -27,12 +27,11 @@ struct DegreeSummary {
 [[nodiscard]] std::size_t component_count(const DynamicGraph& g);
 
 /// Is `set` an independent set of g? (Every member must be a live node.)
-[[nodiscard]] bool is_independent_set(const DynamicGraph& g,
-                                      const std::unordered_set<NodeId>& set);
+[[nodiscard]] bool is_independent_set(const DynamicGraph& g, const NodeSet& set);
 
 /// Is `set` a *maximal* independent set of g?
 [[nodiscard]] bool is_maximal_independent_set(const DynamicGraph& g,
-                                              const std::unordered_set<NodeId>& set);
+                                              const NodeSet& set);
 
 /// Is `matching` (edges as node pairs) a valid matching of g?
 [[nodiscard]] bool is_matching(const DynamicGraph& g,

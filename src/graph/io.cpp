@@ -38,7 +38,7 @@ DynamicGraph read_edge_list(std::istream& is) {
   return g;
 }
 
-std::string to_dot(const DynamicGraph& g, const std::unordered_set<NodeId>& highlight) {
+std::string to_dot(const DynamicGraph& g, const NodeSet& highlight) {
   std::ostringstream os;
   os << "graph G {\n  node [shape=circle];\n";
   g.for_each_node([&](NodeId v) {

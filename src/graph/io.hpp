@@ -9,9 +9,9 @@
 
 #include <iosfwd>
 #include <string>
-#include <unordered_set>
 
 #include "graph/dynamic_graph.hpp"
+#include "graph/node_set.hpp"
 
 namespace dmis::graph {
 
@@ -22,6 +22,6 @@ void write_edge_list(std::ostream& os, const DynamicGraph& g);
 [[nodiscard]] DynamicGraph read_edge_list(std::istream& is);
 
 [[nodiscard]] std::string to_dot(const DynamicGraph& g,
-                                 const std::unordered_set<NodeId>& highlight = {});
+                                 const NodeSet& highlight = {});
 
 }  // namespace dmis::graph

@@ -1,0 +1,94 @@
+// NodeSet — a sorted-vector set of node ids, the library's standard way to
+// hand a snapshot of "which nodes" across an API boundary.
+//
+// Per-snapshot paths (MIS sets, validator inputs, dot-render highlights) used
+// to traffic in std::unordered_set<NodeId>: one heap node per element, random
+// pointer chases per probe, nondeterministic iteration order. A NodeSet is a
+// single contiguous ascending array: membership is a binary search over warm
+// cache lines, iteration is a linear scan in id order (deterministic output
+// for renders and reports), and building from an engine costs one
+// push_back_ascending per member because every producer already walks nodes
+// in ascending id order.
+//
+// Mutating inserts/erases shift the tail (O(n)) — fine for the snapshot and
+// validator workloads this type serves; hot incremental membership stays in
+// core::Membership (byte-per-node) where it always was.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/assert.hpp"
+
+namespace dmis::graph {
+
+class NodeSet {
+ public:
+  using const_iterator = std::vector<NodeId>::const_iterator;
+
+  NodeSet() = default;
+
+  NodeSet(std::initializer_list<NodeId> ids) : ids_(ids) {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  /// Adopt a vector that is already sorted and duplicate-free.
+  [[nodiscard]] static NodeSet from_sorted(std::vector<NodeId> ids) {
+    DMIS_ASSERT_MSG(std::is_sorted(ids.begin(), ids.end()) &&
+                        std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                    "from_sorted requires strictly ascending ids");
+    NodeSet set;
+    set.ids_ = std::move(ids);
+    return set;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  void reserve(std::size_t n) { ids_.reserve(n); }
+  void clear() noexcept { ids_.clear(); }
+
+  [[nodiscard]] bool contains(NodeId v) const noexcept {
+    return std::binary_search(ids_.begin(), ids_.end(), v);
+  }
+  /// unordered_set-compatible spelling (0 or 1).
+  [[nodiscard]] std::size_t count(NodeId v) const noexcept { return contains(v); }
+
+  /// Insert `v`; returns false if it was already present. O(n) tail shift.
+  bool insert(NodeId v) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+    if (it != ids_.end() && *it == v) return false;
+    ids_.insert(it, v);
+    return true;
+  }
+
+  /// Erase `v`; returns false if it was absent. O(n) tail shift.
+  bool erase(NodeId v) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+    if (it == ids_.end() || *it != v) return false;
+    ids_.erase(it);
+    return true;
+  }
+
+  /// O(1) append for producers that emit ids in ascending order (everything
+  /// that walks for_each_node).
+  void push_back_ascending(NodeId v) {
+    DMIS_ASSERT_MSG(ids_.empty() || ids_.back() < v,
+                    "push_back_ascending requires strictly ascending ids");
+    ids_.push_back(v);
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return ids_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return ids_.end(); }
+  [[nodiscard]] const std::vector<NodeId>& ids() const noexcept { return ids_; }
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) = default;
+
+ private:
+  std::vector<NodeId> ids_;  // strictly ascending
+};
+
+}  // namespace dmis::graph

@@ -1,11 +1,24 @@
-// FlatSet — an open-addressing (linear-probing) hash set of 64-bit keys.
+// FlatSet — an open-addressing hash set of 64-bit keys with SIMD group
+// probing (Swiss-table style).
 //
 // The update hot path (DynamicGraph's edge set, queried and mutated on every
 // topology change) needs a set that is cache-friendly and allocation-free in
 // steady state. std::unordered_set allocates one node per element and chases
 // a pointer per probe; FlatSet keeps keys in a single flat array with a
-// parallel one-byte control array (empty / full / tombstone), so a lookup is
-// a hash, a mask, and a short linear scan of contiguous memory.
+// parallel one-byte control array, and probes the control array sixteen
+// slots at a time: each control byte is either kEmpty, kTombstone, or the
+// low 7 bits of the key's hash (h2), so one 16-byte vector compare finds
+// every candidate slot in a group with a single instruction. A lookup is a
+// hash, one (usually) group load, a compare-and-movemask, and at most a
+// couple of key confirmations. SSE2 on x86, NEON on arm; a portable scalar
+// loop behind -DDMIS_FLATSET_NO_SIMD keeps non-SIMD builds (and the CI leg
+// that pins the fallback) honest.
+//
+// Probing is group-linear: groups of 16 slots are scanned in sequence
+// starting from the key's home group, wrapping at the table end. A key is
+// provably absent at the first group containing an empty slot (insertions
+// never skip past an empty slot except via tombstones, which the probe does
+// not stop at).
 //
 // Deletions leave tombstones, and insertions reuse the first tombstone on
 // their probe path, so a delete/insert toggle of the same key touches the
@@ -16,16 +29,25 @@
 // churn never rehashes.
 //
 // Invariant: occupied (full + tombstone) slots never exceed 7/8 of capacity,
-// so every probe chain terminates at an empty slot.
+// so every probe chain terminates at a group with an empty slot.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+
+#if !defined(DMIS_FLATSET_NO_SIMD) && (defined(__SSE2__) || defined(_M_X64))
+#define DMIS_FLATSET_SSE2 1
+#include <emmintrin.h>
+#elif !defined(DMIS_FLATSET_NO_SIMD) && defined(__ARM_NEON)
+#define DMIS_FLATSET_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace dmis::util {
 
@@ -39,55 +61,71 @@ class FlatSet {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  /// Number of slots (power of two; 0 before the first insert/reserve).
+  /// Number of slots (power of two, multiple of 16; 0 before the first
+  /// insert/reserve).
   [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
 
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
     if (keys_.empty()) return false;
-    for (std::size_t i = home(key);; i = (i + 1) & mask_) {
-      const std::uint8_t c = ctrl_[i];
-      if (c == kEmpty) return false;
-      if (c == kFull && keys_[i] == key) return true;
+    const std::uint64_t h = mix(key);
+    const std::uint8_t h2 = to_h2(h);
+    for (std::size_t g = home_group(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupSize;
+      for (std::uint64_t m = match(ctrl, h2); m != 0; m &= m - 1) {
+        const std::size_t i = g * kGroupSize + slot_of(m);
+        if (keys_[i] == key) return true;
+      }
+      if (match(ctrl, kEmpty) != 0) return false;
     }
   }
 
   /// Insert `key`; returns false if it was already present.
   bool insert(std::uint64_t key) {
     if (occupied_ + 1 > capacity() - capacity() / 8) grow();
-    std::size_t first_tomb = kNone;
-    std::size_t i = home(key);
-    for (;; i = (i + 1) & mask_) {
-      const std::uint8_t c = ctrl_[i];
-      if (c == kFull) {
+    const std::uint64_t h = mix(key);
+    const std::uint8_t h2 = to_h2(h);
+    std::size_t target = kNone;  // first tombstone on the probe path
+    for (std::size_t g = home_group(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupSize;
+      for (std::uint64_t m = match(ctrl, h2); m != 0; m &= m - 1) {
+        const std::size_t i = g * kGroupSize + slot_of(m);
         if (keys_[i] == key) return false;
-      } else if (c == kTombstone) {
-        if (first_tomb == kNone) first_tomb = i;
-      } else {  // kEmpty — key is absent; place it.
-        break;
+      }
+      if (target == kNone) {
+        const std::uint64_t tombs = match(ctrl, kTombstone);
+        if (tombs != 0) target = g * kGroupSize + slot_of(tombs);
+      }
+      const std::uint64_t empties = match(ctrl, kEmpty);
+      if (empties != 0) {
+        // Key is absent. Land on the earliest tombstone seen, else here.
+        if (target == kNone) {
+          target = g * kGroupSize + slot_of(empties);
+          ++occupied_;
+        }
+        ctrl_[target] = h2;
+        keys_[target] = key;
+        ++size_;
+        return true;
       }
     }
-    if (first_tomb != kNone) {
-      i = first_tomb;  // reuse the tombstone; occupancy unchanged
-    } else {
-      ++occupied_;
-    }
-    ctrl_[i] = kFull;
-    keys_[i] = key;
-    ++size_;
-    return true;
   }
 
   /// Erase `key`; returns false if it was absent. Leaves a tombstone.
   bool erase(std::uint64_t key) noexcept {
     if (keys_.empty()) return false;
-    for (std::size_t i = home(key);; i = (i + 1) & mask_) {
-      const std::uint8_t c = ctrl_[i];
-      if (c == kEmpty) return false;
-      if (c == kFull && keys_[i] == key) {
-        ctrl_[i] = kTombstone;
-        --size_;
-        return true;
+    const std::uint64_t h = mix(key);
+    const std::uint8_t h2 = to_h2(h);
+    for (std::size_t g = home_group(h);; g = (g + 1) & group_mask_) {
+      const std::uint8_t* ctrl = ctrl_.data() + g * kGroupSize;
+      for (std::uint64_t m = match(ctrl, h2); m != 0; m &= m - 1) {
+        const std::size_t i = g * kGroupSize + slot_of(m);
+        if (keys_[i] == key) {
+          ctrl_[i] = kTombstone;
+          --size_;
+          return true;
+        }
       }
+      if (match(ctrl, kEmpty) != 0) return false;
     }
   }
 
@@ -100,7 +138,7 @@ class FlatSet {
 
   /// Ensure `expected` keys fit without any further allocation.
   void reserve(std::size_t expected) {
-    std::size_t want = 16;
+    std::size_t want = kGroupSize;
     // Capacity so that expected stays below the 7/8 occupancy ceiling.
     while (want - want / 8 <= expected) want <<= 1;
     if (want > capacity()) rehash(want);
@@ -110,30 +148,112 @@ class FlatSet {
   template <typename F>
   void for_each(F&& f) const {
     for (std::size_t i = 0; i < keys_.size(); ++i)
-      if (ctrl_[i] == kFull) f(keys_[i]);
+      if (is_full(ctrl_[i])) f(keys_[i]);
+  }
+
+  /// Uniformly random member key, via rejection sampling over slots (each
+  /// round is uniform over all slots, so acceptance is uniform over full
+  /// slots). `rng` must provide below(bound). Expected rounds = capacity /
+  /// size ≤ 16 at the minimum post-rehash load; the bounded loop falls back
+  /// to a linear scan from a random slot only in degenerate near-empty
+  /// tables (that fallback is the one non-uniform path, and only ever
+  /// triggers when size ≪ capacity). Returns false iff empty. O(1) expected
+  /// — workload generators sample edges every op, so no edges() vector.
+  template <typename RngT>
+  [[nodiscard]] bool sample(RngT& rng, std::uint64_t& key_out) const {
+    if (size_ == 0) return false;
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(capacity())));
+      if (is_full(ctrl_[i])) {
+        key_out = keys_[i];
+        return true;
+      }
+    }
+    const std::size_t start =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(capacity())));
+    for (std::size_t step = 0; step < capacity(); ++step) {
+      const std::size_t i = (start + step) & (capacity() - 1);
+      if (is_full(ctrl_[i])) {
+        key_out = keys_[i];
+        return true;
+      }
+    }
+    return false;  // unreachable: size_ > 0
   }
 
  private:
-  static constexpr std::uint8_t kEmpty = 0;
-  static constexpr std::uint8_t kFull = 1;
-  static constexpr std::uint8_t kTombstone = 2;
+  static constexpr std::size_t kGroupSize = 16;
+  // Sentinels have the high bit set; full slots store h2 ∈ [0, 128).
+  static constexpr std::uint8_t kEmpty = 0x80;
+  static constexpr std::uint8_t kTombstone = 0xFE;
   static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
 
+  [[nodiscard]] static constexpr bool is_full(std::uint8_t c) noexcept {
+    return (c & 0x80U) == 0;
+  }
+
   /// splitmix64 finalizer — full-avalanche mix so edge keys (which pack two
-  /// small node ids) spread over the table.
+  /// small node ids) spread over both the group index and h2.
   [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
   }
 
-  [[nodiscard]] std::size_t home(std::uint64_t key) const noexcept {
-    return static_cast<std::size_t>(mix(key)) & mask_;
+  [[nodiscard]] static constexpr std::uint8_t to_h2(std::uint64_t h) noexcept {
+    return static_cast<std::uint8_t>(h & 0x7FU);
   }
+
+  [[nodiscard]] std::size_t home_group(std::uint64_t h) const noexcept {
+    return static_cast<std::size_t>(h >> 7) & group_mask_;
+  }
+
+  // match() returns a bitmask of the slots in the 16-byte control group
+  // whose byte equals `needle`; slot_of() maps the lowest set bit back to a
+  // slot index. `m &= m - 1` advances to the next candidate. On SSE2 the
+  // mask is one bit per slot; on NEON it is one nibble per slot narrowed to
+  // one bit; the scalar fallback mirrors the SSE2 shape.
+#if defined(DMIS_FLATSET_SSE2)
+  [[nodiscard]] static std::uint64_t match(const std::uint8_t* ctrl,
+                                           std::uint8_t needle) noexcept {
+    const __m128i group = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl));
+    const __m128i eq = _mm_cmpeq_epi8(group, _mm_set1_epi8(static_cast<char>(needle)));
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned>(_mm_movemask_epi8(eq)));
+  }
+  [[nodiscard]] static std::size_t slot_of(std::uint64_t m) noexcept {
+    return static_cast<std::size_t>(std::countr_zero(m));
+  }
+#elif defined(DMIS_FLATSET_NEON)
+  [[nodiscard]] static std::uint64_t match(const std::uint8_t* ctrl,
+                                           std::uint8_t needle) noexcept {
+    const uint8x16_t group = vld1q_u8(ctrl);
+    const uint8x16_t eq = vceqq_u8(group, vdupq_n_u8(needle));
+    // Narrow each 8-bit lane to 4 bits, then keep one bit per slot.
+    const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+    const std::uint64_t nibbles = vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+    return nibbles & 0x1111111111111111ULL;
+  }
+  [[nodiscard]] static std::size_t slot_of(std::uint64_t m) noexcept {
+    return static_cast<std::size_t>(std::countr_zero(m)) / 4;
+  }
+#else
+  [[nodiscard]] static std::uint64_t match(const std::uint8_t* ctrl,
+                                           std::uint8_t needle) noexcept {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < kGroupSize; ++i)
+      m |= static_cast<std::uint64_t>(ctrl[i] == needle) << i;
+    return m;
+  }
+  [[nodiscard]] static std::size_t slot_of(std::uint64_t m) noexcept {
+    return static_cast<std::size_t>(std::countr_zero(m));
+  }
+#endif
 
   void grow() {
     if (keys_.empty()) {
-      rehash(16);
+      rehash(kGroupSize);
     } else if (size_ >= capacity() / 2) {
       rehash(capacity() * 2);  // genuinely full — double
     } else {
@@ -142,28 +262,35 @@ class FlatSet {
   }
 
   void rehash(std::size_t new_capacity) {
-    DMIS_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    DMIS_ASSERT((new_capacity & (new_capacity - 1)) == 0 &&
+                new_capacity >= kGroupSize);
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
     keys_.assign(new_capacity, 0);
     ctrl_.assign(new_capacity, kEmpty);
-    mask_ = new_capacity - 1;
+    group_mask_ = new_capacity / kGroupSize - 1;
     occupied_ = size_;
     for (std::size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_ctrl[i] != kFull) continue;
+      if (!is_full(old_ctrl[i])) continue;
       const std::uint64_t key = old_keys[i];
-      std::size_t j = home(key);
-      while (ctrl_[j] == kFull) j = (j + 1) & mask_;
-      ctrl_[j] = kFull;
-      keys_[j] = key;
+      const std::uint64_t h = mix(key);
+      for (std::size_t g = home_group(h);; g = (g + 1) & group_mask_) {
+        const std::uint64_t empties = match(ctrl_.data() + g * kGroupSize, kEmpty);
+        if (empties != 0) {
+          const std::size_t j = g * kGroupSize + slot_of(empties);
+          ctrl_[j] = to_h2(h);
+          keys_[j] = key;
+          break;
+        }
+      }
     }
   }
 
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint8_t> ctrl_;
-  std::size_t size_ = 0;      // full slots
-  std::size_t occupied_ = 0;  // full + tombstone slots
-  std::size_t mask_ = 0;
+  std::size_t size_ = 0;       // full slots
+  std::size_t occupied_ = 0;   // full + tombstone slots
+  std::size_t group_mask_ = 0; // group count − 1
 };
 
 }  // namespace dmis::util

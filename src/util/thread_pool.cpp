@@ -1,0 +1,79 @@
+#include "util/thread_pool.hpp"
+
+namespace dmis::util {
+
+ThreadPool::ThreadPool(unsigned worker_count) {
+  workers_.reserve(worker_count);
+  for (unsigned i = 0; i < worker_count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    unsigned count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    for (;;) {
+      const unsigned i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*job)(i);
+    }
+    {
+      // Every worker checks in exactly once per generation — even with no
+      // claimed index — so the caller cannot publish the next job while any
+      // worker still holds this one's state. That rules out a late-waking
+      // worker ever claiming indices (or the job pointer) of a later run.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++checked_in_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_indexed(unsigned count,
+                             const std::function<void(unsigned)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (unsigned i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    checked_in_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is a worker too.
+  for (;;) {
+    const unsigned i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return checked_in_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+}  // namespace dmis::util

@@ -1,0 +1,37 @@
+// Batched traces: carve a topology-change trace into core::Batch groups so
+// the batch engines (serial single-cascade apply_batch and the sharded
+// parallel engine) can be driven by the same workload generators as the
+// per-change engines.
+//
+// Node ids stay positional: a trace's k-th add-node op creates the engine's
+// k-th fresh id, and apply_batch assigns ids in op order, so chunking a
+// trace into batches and replaying the batches reaches exactly the graph
+// the unchunked trace builds. The communication-layer distinctions the
+// sequential engines ignore (graceful vs abrupt deletion, unmute vs insert)
+// collapse the same way they do in workload::apply.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::workload {
+
+/// Append `op` to `batch` (graceful/abrupt and add/unmute collapse).
+void append_op(core::Batch& batch, const GraphOp& op);
+
+/// Split `trace` into consecutive batches of at most `batch_size` ops.
+[[nodiscard]] std::vector<core::Batch> chunk_trace(const Trace& trace,
+                                                   std::size_t batch_size);
+
+/// Generate `count` batches of exactly `batch_size` valid churn ops each
+/// (the generator's internal graph evolves op by op, so every op in a batch
+/// is valid at its position — the contract apply_batch checks).
+[[nodiscard]] std::vector<core::Batch> churn_batches(ChurnGenerator& generator,
+                                                     std::size_t count,
+                                                     std::size_t batch_size);
+
+}  // namespace dmis::workload

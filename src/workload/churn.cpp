@@ -2,19 +2,31 @@
 
 namespace dmis::workload {
 
+void ChurnGenerator::track_add(NodeId v) {
+  if (pos_.size() <= v) pos_.resize(static_cast<std::size_t>(v) + 1, kNoPos);
+  pos_[v] = live_.size();
+  live_.push_back(v);
+}
+
+void ChurnGenerator::track_remove(NodeId v) {
+  const std::size_t i = pos_[v];
+  pos_[live_.back()] = i;
+  live_[i] = live_.back();
+  live_.pop_back();
+  pos_[v] = kNoPos;
+}
+
 NodeId ChurnGenerator::random_node() {
-  const std::vector<NodeId> nodes = g_.nodes();
-  DMIS_ASSERT(!nodes.empty());
-  return nodes[rng_.below(nodes.size())];
+  // O(1) via the maintained live list — the old g_.nodes() materialized
+  // every live id per op, which made generating million-node batch
+  // workloads quadratic.
+  DMIS_ASSERT(!live_.empty());
+  return live_[rng_.below(live_.size())];
 }
 
 bool ChurnGenerator::random_edge(NodeId& u, NodeId& v) {
-  const auto edges = g_.edges();
-  if (edges.empty()) return false;
-  const auto& [a, b] = edges[rng_.below(edges.size())];
-  u = a;
-  v = b;
-  return true;
+  // O(1) expected via the edge table's slot sampling (no edges() vector).
+  return g_.sample_edge(rng_, u, v);
 }
 
 bool ChurnGenerator::random_non_edge(NodeId& u, NodeId& v) {
@@ -52,9 +64,9 @@ GraphOp ChurnGenerator::next() {
     }
     if (roll < config_.p_add_edge + config_.p_remove_edge + config_.p_add_node) {
       std::vector<NodeId> neighbors;
-      const std::vector<NodeId> pool = g_.nodes();
-      for (std::uint32_t i = 0; i < config_.attach_degree && !pool.empty(); ++i) {
-        const NodeId candidate = pool[rng_.below(pool.size())];
+      for (std::uint32_t i = 0;
+           i < config_.attach_degree && !live_.empty(); ++i) {
+        const NodeId candidate = random_node();
         bool fresh = true;
         for (const NodeId existing : neighbors) fresh &= existing != candidate;
         if (fresh) neighbors.push_back(candidate);
@@ -62,6 +74,7 @@ GraphOp ChurnGenerator::next() {
       GraphOp op = rng_.chance(config_.p_unmute) ? GraphOp::unmute_node(neighbors)
                                                  : GraphOp::add_node(neighbors);
       const NodeId v = g_.add_node();
+      track_add(v);
       for (const NodeId u : op.neighbors) g_.add_edge(v, u);
       return op;
     }
@@ -69,6 +82,7 @@ GraphOp ChurnGenerator::next() {
     const NodeId v = random_node();
     GraphOp op = GraphOp::remove_node(v, rng_.chance(config_.p_abrupt));
     g_.remove_node(v);
+    track_remove(v);
     return op;
   }
 }

@@ -8,6 +8,7 @@
 // adversarial.hpp provides the worst-case sequences.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -35,7 +36,11 @@ struct ChurnConfig {
 class ChurnGenerator {
  public:
   ChurnGenerator(graph::DynamicGraph initial, ChurnConfig config, std::uint64_t seed)
-      : g_(std::move(initial)), config_(config), rng_(seed) {}
+      : g_(std::move(initial)), config_(config), rng_(seed) {
+    live_ = g_.nodes();
+    pos_.assign(g_.id_bound(), kNoPos);
+    for (std::size_t i = 0; i < live_.size(); ++i) pos_[live_[i]] = i;
+  }
 
   /// Produce the next valid random op and apply it to the internal graph.
   [[nodiscard]] GraphOp next();
@@ -53,9 +58,18 @@ class ChurnGenerator {
   /// is too dense to find one quickly).
   bool random_non_edge(NodeId& u, NodeId& v);
 
+  void track_add(NodeId v);
+  void track_remove(NodeId v);
+
   graph::DynamicGraph g_;
   ChurnConfig config_;
   util::Rng rng_;
+  // Dense list of live ids + id→position index, kept by swap-erase, so
+  // random_node() stays O(1) even when deletions make live ids sparse in
+  // the never-reused id space (rejection over id_bound would decay there).
+  static constexpr std::size_t kNoPos = ~static_cast<std::size_t>(0);
+  std::vector<NodeId> live_;
+  std::vector<std::size_t> pos_;
 };
 
 }  // namespace dmis::workload

@@ -17,7 +17,7 @@ using namespace dmis::core;
 TEST(Batch, EmptyBatchIsNoOp) {
   CascadeEngine engine(1);
   (void)engine.add_node();
-  const auto result = apply_batch(engine, {});
+  const auto result = apply_batch(engine, Batch{});
   EXPECT_EQ(result.report.adjustments, 0U);
   EXPECT_EQ(result.report.evaluated, 0U);
   engine.verify();
@@ -28,12 +28,16 @@ TEST(Batch, SingleOpMatchesDirectCall) {
   CascadeEngine batched(7);
   const NodeId a1 = direct.add_node();
   const NodeId b1 = direct.add_node();
-  const auto r1 = apply_batch(batched, {BatchOp::add_node(), BatchOp::add_node()});
+  Batch two_nodes;
+  two_nodes.add_node();
+  two_nodes.add_node();
+  const auto r1 = apply_batch(batched, two_nodes);
   ASSERT_EQ(r1.new_nodes.size(), 2U);
 
   const auto direct_rep = direct.add_edge(a1, b1);
-  const auto batch_rep =
-      apply_batch(batched, {BatchOp::add_edge(r1.new_nodes[0], r1.new_nodes[1])});
+  Batch one_edge;
+  one_edge.add_edge(r1.new_nodes[0], r1.new_nodes[1]);
+  const auto batch_rep = apply_batch(batched, one_edge);
   EXPECT_EQ(direct_rep.adjustments, batch_rep.report.adjustments);
   for (const NodeId v : direct.graph().nodes())
     EXPECT_EQ(direct.in_mis(v), batched.in_mis(v));
@@ -47,26 +51,28 @@ TEST(Batch, FinalStateEqualsSequential) {
     for (int i = 0; i < 20; ++i) {
       (void)sequential.add_node();
     }
-    (void)apply_batch(batched, std::vector<BatchOp>(20, BatchOp::add_node()));
+    Batch twenty_nodes;
+    for (int i = 0; i < 20; ++i) twenty_nodes.add_node();
+    (void)apply_batch(batched, twenty_nodes);
 
     // Build a random batch of edge toggles + node ops against a mirror.
     dmis::graph::DynamicGraph mirror(20);
-    std::vector<BatchOp> batch;
+    Batch batch;
     for (int i = 0; i < 15; ++i) {
       const auto u = static_cast<NodeId>(rng.below(20));
       const auto v = static_cast<NodeId>(rng.below(20));
       if (u == v || !mirror.has_node(u) || !mirror.has_node(v)) continue;
       if (mirror.has_edge(u, v)) {
         mirror.remove_edge(u, v);
-        batch.push_back(BatchOp::remove_edge(u, v));
+        batch.remove_edge(u, v);
       } else {
         mirror.add_edge(u, v);
-        batch.push_back(BatchOp::add_edge(u, v));
+        batch.add_edge(u, v);
       }
     }
 
     // Sequential application of the identical ops.
-    for (const auto& op : batch) {
+    for (const auto& op : batch.ops()) {
       if (op.kind == BatchOp::Kind::kAddEdge) sequential.add_edge(op.u, op.v);
       else sequential.remove_edge(op.u, op.v);
     }
@@ -86,10 +92,13 @@ TEST(Batch, DeletionsInsideBatch) {
   for (int i = 0; i + 1 < 10; ++i) engine.add_edge(ids[i], ids[i + 1]);
 
   // Delete two nodes and rewire around them in one shot.
-  const auto result = apply_batch(
-      engine, {BatchOp::remove_node(ids[3]), BatchOp::remove_node(ids[7]),
-               BatchOp::add_edge(ids[2], ids[4]), BatchOp::add_edge(ids[6], ids[8]),
-               BatchOp::add_node({ids[0], ids[9]})});
+  Batch batch;
+  batch.remove_node(ids[3]);
+  batch.remove_node(ids[7]);
+  batch.add_edge(ids[2], ids[4]);
+  batch.add_edge(ids[6], ids[8]);
+  batch.add_node({ids[0], ids[9]});
+  const auto result = apply_batch(engine, batch);
   engine.verify();
   EXPECT_FALSE(engine.graph().has_node(ids[3]));
   EXPECT_TRUE(engine.graph().has_edge(ids[2], ids[4]));
@@ -105,8 +114,10 @@ TEST(Batch, SeedDeletedLaterInBatchIsSkipped) {
   const NodeId c = engine.add_node();
   engine.add_edge(a, b);
   // The edge toggle seeds one endpoint; that endpoint then disappears.
-  const auto result = apply_batch(
-      engine, {BatchOp::remove_edge(a, b), BatchOp::remove_node(b)});
+  Batch batch;
+  batch.remove_edge(a, b);
+  batch.remove_node(b);
+  const auto result = apply_batch(engine, batch);
   engine.verify();
   EXPECT_TRUE(engine.in_mis(a));
   EXPECT_TRUE(engine.in_mis(c));
@@ -119,8 +130,9 @@ TEST(Batch, MatchesOracleUnderFuzz) {
   CascadeEngine engine(99);
   std::vector<NodeId> live;
   for (int i = 0; i < 25; ++i) live.push_back(engine.add_node());
+  Batch batch;
   for (int round = 0; round < 40; ++round) {
-    std::vector<BatchOp> batch;
+    batch.clear();
     dmis::graph::DynamicGraph mirror = engine.graph();
     const int k = 1 + static_cast<int>(rng.below(6));
     for (int i = 0; i < k; ++i) {
@@ -131,24 +143,24 @@ TEST(Batch, MatchesOracleUnderFuzz) {
         if (u != v && mirror.has_node(u) && mirror.has_node(v) &&
             !mirror.has_edge(u, v)) {
           mirror.add_edge(u, v);
-          batch.push_back(BatchOp::add_edge(u, v));
+          batch.add_edge(u, v);
         }
       } else if (roll < 0.7) {
         const auto edges = mirror.edges();
         if (!edges.empty()) {
           const auto& [u, v] = edges[rng.below(edges.size())];
           mirror.remove_edge(u, v);
-          batch.push_back(BatchOp::remove_edge(u, v));
+          batch.remove_edge(u, v);
         }
       } else if (roll < 0.85 && live.size() > 5) {
         const std::size_t index = rng.below(live.size());
         if (mirror.has_node(live[index])) {
           mirror.remove_node(live[index]);
-          batch.push_back(BatchOp::remove_node(live[index]));
+          batch.remove_node(live[index]);
           live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
         }
       } else {
-        batch.push_back(BatchOp::add_node({live[rng.below(live.size())]}));
+        batch.add_node({live[rng.below(live.size())]});
       }
     }
     const auto result = apply_batch(engine, batch);
@@ -180,7 +192,9 @@ TEST(Batch, CorrelatedBatchCheaperThanSequential) {
     for (int i = 0; i < 12; ++i) (void)bat.add_node();
     std::vector<NodeId> spokes;
     for (NodeId v = 0; v < 12; ++v) spokes.push_back(v);
-    const auto result = apply_batch(bat, {BatchOp::add_node(spokes)});
+    Batch hub_batch;
+    hub_batch.add_node(spokes);
+    const auto result = apply_batch(bat, hub_batch);
 
     sequential_cost.add(static_cast<double>(seq_total));
     batch_cost.add(static_cast<double>(result.report.adjustments));

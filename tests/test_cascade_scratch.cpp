@@ -113,15 +113,15 @@ TEST(CascadeScratch, InterleavedRawAndRepairSequences) {
       engine.repair(seeds);
     } else if (mode == 1) {
       // Batch phase.
-      std::vector<BatchOp> ops;
+      Batch ops;
       for (int k = 0; k < 3; ++k) {
         const NodeId u = live[rng.below(live.size())];
         const NodeId v = live[rng.below(live.size())];
         if (u == v) continue;
-        ops.push_back(engine.graph().has_edge(u, v) ? BatchOp::remove_edge(u, v)
-                                                    : BatchOp::add_edge(u, v));
+        if (engine.graph().has_edge(u, v)) ops.remove_edge(u, v);
+        else ops.add_edge(u, v);
       }
-      ops.push_back(BatchOp::add_node({live[rng.below(live.size())]}));
+      ops.add_node({live[rng.below(live.size())]});
       const BatchResult res = apply_batch(engine, ops);
       for (const NodeId fresh : res.new_nodes) live.push_back(fresh);
     } else {

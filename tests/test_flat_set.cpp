@@ -115,6 +115,65 @@ TEST(FlatSet, RandomizedAgainstStdUnorderedSet) {
   EXPECT_EQ(s.size(), oracle.size());
 }
 
+TEST(FlatSet, SampleCoversAllMembersRoughlyUniformly) {
+  FlatSet s;
+  constexpr std::uint64_t kCount = 64;
+  for (std::uint64_t k = 0; k < kCount; ++k) s.insert(k * 7919 + 1);
+  dmis::util::Rng rng(123);
+  std::vector<std::uint32_t> hits(kCount, 0);
+  constexpr int kDraws = 64'000;
+  for (int d = 0; d < kDraws; ++d) {
+    std::uint64_t key = 0;
+    ASSERT_TRUE(s.sample(rng, key));
+    ASSERT_EQ((key - 1) % 7919, 0U) << "sampled a non-member";
+    ++hits[(key - 1) / 7919];
+  }
+  // Every member sampled, and no member wildly over-represented (expected
+  // 1000 hits each; 4x slack keeps this deterministic-seed test robust).
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    EXPECT_GT(hits[k], 0U) << "member " << k << " never sampled";
+    EXPECT_LT(hits[k], 4'000U) << "member " << k << " over-sampled";
+  }
+}
+
+TEST(FlatSet, SampleEmptyAndAfterHeavyErase) {
+  FlatSet s;
+  dmis::util::Rng rng(5);
+  std::uint64_t key = 0;
+  EXPECT_FALSE(s.sample(rng, key));
+  // Grow large, then erase nearly everything: size << capacity stresses the
+  // rejection loop's low-acceptance regime.
+  for (std::uint64_t k = 0; k < 4'096; ++k) s.insert(k);
+  for (std::uint64_t k = 0; k < 4'096; ++k)
+    if (k % 512 != 0) s.erase(k);
+  ASSERT_EQ(s.size(), 8U);
+  for (int d = 0; d < 10'000; ++d) {
+    ASSERT_TRUE(s.sample(rng, key));
+    EXPECT_EQ(key % 512, 0U);
+  }
+  for (std::uint64_t k = 0; k < 4'096; k += 512) s.erase(k);
+  EXPECT_FALSE(s.sample(rng, key)) << "empty again after full erase";
+}
+
+namespace {
+/// Deterministic "rng" that always lands on slot 0 — with slot 0 empty this
+/// exhausts sample()'s 256 rejection attempts and pins the linear-scan
+/// fallback, which the real Rng essentially never reaches.
+struct StuckAtZero {
+  std::uint64_t below(std::uint64_t) { return 0; }
+};
+}  // namespace
+
+TEST(FlatSet, SampleScanFallbackFindsTheOnlyMember) {
+  FlatSet s;
+  s.reserve(1'000);  // capacity 2048, one lone member somewhere past slot 0
+  ASSERT_TRUE(s.insert(0xdeadbeefULL));
+  StuckAtZero stuck;
+  std::uint64_t key = 0;
+  ASSERT_TRUE(s.sample(stuck, key));
+  EXPECT_EQ(key, 0xdeadbeefULL);
+}
+
 TEST(FlatSet, LargeKeysNearLimits) {
   FlatSet s;
   const std::uint64_t big = ~0ULL - 1;  // edge keys never use the extremes,

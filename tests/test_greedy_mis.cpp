@@ -28,7 +28,7 @@ TEST(GreedyMis, CenterFirstStar) {
   PriorityMap pri(0);
   for (NodeId v = 0; v < 6; ++v) pri.set_key(v, v);  // center lowest
   const auto mis = greedy_mis_set(g, pri);
-  EXPECT_EQ(mis, (std::unordered_set<NodeId>{0}));
+  EXPECT_EQ(mis, (dmis::graph::NodeSet{0}));
 }
 
 TEST(GreedyMis, LeafFirstStar) {
@@ -37,7 +37,7 @@ TEST(GreedyMis, LeafFirstStar) {
   pri.set_key(0, 100);  // center last
   for (NodeId v = 1; v < 6; ++v) pri.set_key(v, v);
   const auto mis = greedy_mis_set(g, pri);
-  EXPECT_EQ(mis, (std::unordered_set<NodeId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(mis, (dmis::graph::NodeSet{1, 2, 3, 4, 5}));
 }
 
 TEST(GreedyMis, AlwaysMaximalIndependent) {

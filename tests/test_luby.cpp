@@ -10,11 +10,12 @@ namespace {
 
 using namespace dmis::baselines;
 
-std::unordered_set<NodeId> to_set(const dmis::graph::DynamicGraph& g,
-                                  const std::vector<bool>& membership) {
-  std::unordered_set<NodeId> out;
-  for (const NodeId v : g.nodes())
-    if (membership[v]) out.insert(v);
+dmis::graph::NodeSet to_set(const dmis::graph::DynamicGraph& g,
+                            const std::vector<bool>& membership) {
+  dmis::graph::NodeSet out;
+  g.for_each_node([&](NodeId v) {
+    if (membership[v]) out.push_back_ascending(v);
+  });
   return out;
 }
 

@@ -18,7 +18,7 @@ TEST(NaturalGreedyMis, StarCenterFirstStaysWorstCase) {
   const NodeId center = mis.add_node();
   for (int i = 0; i < 30; ++i) (void)mis.add_node({center});
   mis.verify();
-  EXPECT_EQ(mis.mis_set(), (std::unordered_set<NodeId>{center}));
+  EXPECT_EQ(mis.mis_set(), (dmis::graph::NodeSet{center}));
 }
 
 TEST(NaturalGreedyMis, StarLeavesFirstIsBest) {

@@ -10,10 +10,11 @@ namespace {
 using namespace dmis::baselines;
 using dmis::workload::GraphOp;
 
-std::unordered_set<NodeId> current_set(const StaticRecomputeMis& mis) {
-  std::unordered_set<NodeId> out;
-  for (const NodeId v : mis.graph().nodes())
-    if (mis.in_mis(v)) out.insert(v);
+dmis::graph::NodeSet current_set(const StaticRecomputeMis& mis) {
+  dmis::graph::NodeSet out;
+  mis.graph().for_each_node([&](NodeId v) {
+    if (mis.in_mis(v)) out.push_back_ascending(v);
+  });
   return out;
 }
 
