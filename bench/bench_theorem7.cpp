@@ -7,7 +7,13 @@
 // Table 2: abrupt node deletion — broadcasts vs victim degree and n
 //   (Lemma 13: O(min{log n, d(v*)})).
 // Table 3: node insertion — broadcasts vs degree (Lemma 10: O(d(v*))).
+//
+// Besides the printed tables, every row is appended to a machine-readable
+// JSON file (default BENCH_theorem7.json, --json to override, empty string
+// to disable) so successive PRs can diff the measured constants.
+#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "core/dist_mis.hpp"
 #include "graph/generators.hpp"
@@ -36,8 +42,53 @@ struct CostRow {
   }
 };
 
+struct JsonRow {
+  std::string table;
+  std::string change;
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;  // controlled degree (tables 2/3); 0 when not swept
+  std::uint64_t trials = 0;
+  double adjustments = 0, rounds = 0, broadcasts = 0, bits = 0;
+};
+
+std::vector<JsonRow> g_json_rows;
+
+void record(const std::string& table, const std::string& change, std::uint64_t n,
+            std::uint64_t d, const CostRow& row) {
+  g_json_rows.push_back({table, change, n, d, row.broadcasts.count(),
+                         row.adjustments.mean(), row.rounds.mean(),
+                         row.broadcasts.mean(), row.bits.mean()});
+}
+
+bool write_json(const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"theorem7\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < g_json_rows.size(); ++i) {
+    const JsonRow& r = g_json_rows[i];
+    std::fprintf(f,
+                 "    {\"table\": \"%s\", \"change\": \"%s\", \"n\": %llu, "
+                 "\"d\": %llu, \"trials\": %llu, \"adjustments\": %.4f, "
+                 "\"rounds\": %.4f, \"broadcasts\": %.4f, \"bits\": %.2f}%s\n",
+                 r.table.c_str(), r.change.c_str(),
+                 static_cast<unsigned long long>(r.n),
+                 static_cast<unsigned long long>(r.d),
+                 static_cast<unsigned long long>(r.trials), r.adjustments, r.rounds,
+                 r.broadcasts, r.bits, i + 1 < g_json_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 void emit(util::Table& table, const std::string& label, graph::NodeId n,
           const CostRow& row) {
+  record("per_change_type", label, n, 0, row);
   table.row()
       .cell(label)
       .cell(static_cast<std::uint64_t>(n))
@@ -53,6 +104,8 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto trials = static_cast<int>(cli.flag_int("trials", 120, "trials per row"));
   const auto deg = cli.flag_double("deg", 8.0, "average degree of the base graph");
+  const auto json_path = cli.flag_string("json", "BENCH_theorem7.json",
+                                         "machine-readable output (empty disables)");
   cli.finish();
 
   std::cout << "# E3 — Theorem 7: Algorithm 2 costs per change type\n";
@@ -135,6 +188,7 @@ int main(int argc, char** argv) {
         DistMis mis(g, 9'000 + static_cast<std::uint64_t>(t));
         row.add(mis.remove_node(victim, DeletionMode::kAbrupt).cost);
       }
+      record("abrupt_delete_vs_degree", "node-delete (abrupt)", n, d, row);
       abrupt_table.row()
           .cell(static_cast<std::uint64_t>(n))
           .cell(static_cast<std::uint64_t>(d))
@@ -164,6 +218,7 @@ int main(int argc, char** argv) {
       DistMis mis(g, 11'000 + static_cast<std::uint64_t>(t));
       row.add(mis.insert_node(attach).cost);
     }
+    record("insert_vs_degree", "node-insert", n, d, row);
     insert_table.row()
         .cell(static_cast<std::uint64_t>(n))
         .cell(static_cast<std::uint64_t>(d))
@@ -172,5 +227,5 @@ int main(int argc, char** argv) {
         .cell(row.rounds.mean(), 2);
   }
   insert_table.print(std::cout);
-  return 0;
+  return write_json(json_path) ? 0 : 1;
 }

@@ -28,7 +28,7 @@ class LubyProtocol final : public sim::SyncProtocol {
     return out;
   }
 
-  void on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+  void on_round(NodeId v, std::span<const sim::Delivery> inbox,
                 sim::SyncNetwork& net) override {
     if (status_[v] != Status::kActive) return;
     // Lockstep phase position derived from the global round counter.

@@ -10,30 +10,58 @@ AsyncMisProtocol::Local& AsyncMisProtocol::local(NodeId v) {
 void AsyncMisProtocol::create_node(NodeId v, std::uint64_t key, bool in_mis) {
   if (nodes_.size() <= v) nodes_.resize(static_cast<std::size_t>(v) + 1);
   DMIS_ASSERT(!nodes_[v].exists);
-  Local fresh;
+  Local& fresh = nodes_[v];
+  fresh = Local{};
   fresh.exists = true;
   fresh.key = key;
   fresh.in_mis = in_mis;
-  nodes_[v] = std::move(fresh);
+  fresh.epoch = epoch_;
+  fresh.epoch_origin = in_mis;
 }
 
 void AsyncMisProtocol::destroy_node(NodeId v) { local(v) = Local{}; }
 
 void AsyncMisProtocol::learn_neighbor(NodeId v, NodeId u, std::uint64_t key,
                                       bool in_mis) {
-  local(v).view[u] = NeighborInfo{key, in_mis};
+  NeighborRecord& rec = local(v).view.upsert(u);
+  rec.key = key;
+  rec.state = in_mis ? 1 : 0;
 }
 
 void AsyncMisProtocol::forget_neighbor(NodeId v, NodeId u) { local(v).view.erase(u); }
+
+void AsyncMisProtocol::begin_change() {
+  ++epoch_;
+  adjustments_ = 0;
+}
 
 bool AsyncMisProtocol::in_mis(NodeId v) const {
   return v < nodes_.size() && nodes_[v].exists && nodes_[v].in_mis;
 }
 
 bool AsyncMisProtocol::wants_mis(const Local& me, NodeId my_id) const {
-  for (const auto& [u, info] : me.view)
-    if (info.in_mis && priority_before(info.key, u, me.key, my_id)) return false;
+  for (const NeighborRecord& info : me.view)
+    if (info.state != 0 && priority_before(info.key, info.id, me.key, my_id))
+      return false;
   return true;
+}
+
+void AsyncMisProtocol::set_state(Local& me, bool wants) {
+  if (me.epoch != epoch_) {
+    me.epoch = epoch_;
+    me.epoch_origin = me.in_mis;
+    me.counted = false;
+  }
+  me.in_mis = wants;
+  // A flip away from the epoch origin counts; a later flip back un-counts,
+  // so transient relaxation flips cancel out of the adjustment measure.
+  if (wants != me.epoch_origin && !me.counted) {
+    me.counted = true;
+    ++adjustments_;
+  } else if (wants == me.epoch_origin && me.counted) {
+    me.counted = false;
+    --adjustments_;
+  }
 }
 
 void AsyncMisProtocol::reevaluate(NodeId v, sim::AsyncNetwork& net) {
@@ -41,7 +69,7 @@ void AsyncMisProtocol::reevaluate(NodeId v, sim::AsyncNetwork& net) {
   if (me.awaiting_hellos > 0) return;  // §4.1: wait for all introductions
   const bool wants = wants_mis(me, v);
   if (wants == me.in_mis) return;
-  me.in_mis = wants;
+  set_state(me, wants);
   net.broadcast(v, {kAState, 0, wants ? 1ULL : 0ULL}, sim::kStateBits);
 }
 
@@ -52,22 +80,26 @@ void AsyncMisProtocol::on_message(NodeId v, const sim::Delivery& d,
   switch (d.msg.kind) {
     case kAHello: {
       // Introduction that requests a reply (a joining node's announcement).
-      me.view[d.from] = NeighborInfo{d.msg.a, d.msg.b != 0};
+      NeighborRecord& rec = me.view.upsert(d.from);
+      rec.key = d.msg.a;
+      rec.state = d.msg.b != 0 ? 1 : 0;
       net.broadcast(v, {kAHelloReply, me.key, me.in_mis ? 1ULL : 0ULL},
                     sim::kLogNBits);
       reevaluate(v, net);
       break;
     }
     case kAHelloReply: {
-      me.view[d.from] = NeighborInfo{d.msg.a, d.msg.b != 0};
+      NeighborRecord& rec = me.view.upsert(d.from);
+      rec.key = d.msg.a;
+      rec.state = d.msg.b != 0 ? 1 : 0;
       if (me.awaiting_hellos > 0) --me.awaiting_hellos;
       reevaluate(v, net);
       break;
     }
     case kAState: {
-      const auto it = me.view.find(d.from);
-      if (it == me.view.end()) break;  // stale sender
-      it->second.in_mis = d.msg.b != 0;
+      NeighborRecord* rec = me.view.find(d.from);
+      if (rec == nullptr) break;  // stale sender
+      rec->state = d.msg.b != 0 ? 1 : 0;
       reevaluate(v, net);
       break;
     }
@@ -96,7 +128,7 @@ void AsyncMisProtocol::on_message(NodeId v, const sim::Delivery& d,
     case kASysUnmute: {
       // View was granted (the node listened while muted): settle directly
       // and announce presence + final state in one broadcast.
-      me.in_mis = wants_mis(me, v);
+      set_state(me, wants_mis(me, v));
       net.broadcast(v, {kAHelloReply, me.key, me.in_mis ? 1ULL : 0ULL},
                     sim::kLogNBits);
       break;
@@ -104,41 +136,6 @@ void AsyncMisProtocol::on_message(NodeId v, const sim::Delivery& d,
     default:
       DMIS_ASSERT_MSG(false, "unknown async message kind");
   }
-}
-
-AsyncMis::AsyncMis(const graph::DynamicGraph& g, std::uint64_t priority_seed,
-                   std::uint64_t scheduler_seed, std::uint64_t max_delay)
-    : logical_(g), priorities_(priority_seed), net_(scheduler_seed, max_delay) {
-  net_.comm() = g;
-  const Membership oracle = greedy_mis(logical_, priorities_);
-  logical_.for_each_node([&](NodeId v) {
-    protocol_.create_node(v, priorities_.key(v), oracle[v] != 0);
-  });
-  logical_.for_each_edge([&](NodeId u, NodeId v) {
-    protocol_.learn_neighbor(u, v, priorities_.key(v), oracle[v] != 0);
-    protocol_.learn_neighbor(v, u, priorities_.key(u), oracle[u] != 0);
-  });
-}
-
-std::vector<bool> AsyncMis::snapshot() const {
-  std::vector<bool> out(logical_.id_bound(), false);
-  logical_.for_each_node([&](NodeId v) { out[v] = protocol_.in_mis(v); });
-  return out;
-}
-
-AsyncMis::ChangeResult AsyncMis::run_change(NodeId node) {
-  const std::vector<bool> before = snapshot();
-  net_.reset_cost();
-  net_.run(protocol_);
-  ChangeResult result;
-  result.node = node;
-  result.cost = net_.cost();
-  const std::vector<bool> after = snapshot();
-  for (NodeId v = 0; v < after.size(); ++v) {
-    const bool pre = v < before.size() && before[v];
-    if (pre != after[v]) ++result.cost.adjustments;
-  }
-  return result;
 }
 
 AsyncMis::ChangeResult AsyncMis::insert_edge(NodeId u, NodeId v) {
@@ -157,25 +154,13 @@ AsyncMis::ChangeResult AsyncMis::remove_edge(NodeId u, NodeId v) {
   return run_change();
 }
 
-NodeId AsyncMis::materialize_node(const std::vector<NodeId>& neighbors) {
-  const NodeId v = logical_.add_node();
-  const NodeId comm_id = net_.comm().add_node();
-  DMIS_ASSERT_MSG(comm_id == v, "logical and communication graphs diverged");
-  for (const NodeId u : neighbors) {
-    logical_.add_edge(v, u);
-    net_.comm().add_edge(v, u);
-  }
-  protocol_.create_node(v, priorities_.ensure(v), false);
-  return v;
-}
-
-AsyncMis::ChangeResult AsyncMis::insert_node(const std::vector<NodeId>& neighbors) {
+AsyncMis::ChangeResult AsyncMis::insert_node(std::span<const NodeId> neighbors) {
   const NodeId v = materialize_node(neighbors);
   net_.inject(v, v, {kASysJoin, neighbors.size(), 0});
   return run_change(v);
 }
 
-AsyncMis::ChangeResult AsyncMis::unmute_node(const std::vector<NodeId>& neighbors) {
+AsyncMis::ChangeResult AsyncMis::unmute_node(std::span<const NodeId> neighbors) {
   const NodeId v = materialize_node(neighbors);
   for (const NodeId u : neighbors)
     protocol_.learn_neighbor(v, u, priorities_.key(u), protocol_.in_mis(u));
@@ -185,29 +170,13 @@ AsyncMis::ChangeResult AsyncMis::unmute_node(const std::vector<NodeId>& neighbor
 
 AsyncMis::ChangeResult AsyncMis::remove_node(NodeId v) {
   DMIS_ASSERT(logical_.has_node(v));
-  const auto nb = logical_.neighbors(v);
-  const std::vector<NodeId> former(nb.begin(), nb.end());
+  // Injections only queue events, so they are issued off the live neighbor
+  // span before the node is dropped from either graph.
+  for (const NodeId u : logical_.neighbors(v)) net_.inject(u, v, {kASysRetired, 0, 0});
   logical_.remove_node(v);
   net_.comm().remove_node(v);
   protocol_.destroy_node(v);
-  for (const NodeId u : former) net_.inject(u, v, {kASysRetired, 0, 0});
   return run_change();
-}
-
-graph::NodeSet AsyncMis::mis_set() const {
-  graph::NodeSet out;
-  logical_.for_each_node([&](NodeId v) {
-    if (protocol_.in_mis(v)) out.push_back_ascending(v);
-  });
-  return out;
-}
-
-void AsyncMis::verify() {
-  const Membership oracle = greedy_mis(logical_, priorities_);
-  logical_.for_each_node([&](NodeId v) {
-    DMIS_ASSERT_MSG(protocol_.in_mis(v) == (oracle[v] != 0),
-                    "async MIS diverged from the greedy oracle");
-  });
 }
 
 }  // namespace dmis::core

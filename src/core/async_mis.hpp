@@ -4,21 +4,28 @@
 // complexity of an asynchronous execution is the longest causal chain of
 // messages.
 //
-// Each node keeps its state (M / M̄), its priority, and a view of its
-// neighbors' priorities and states. Whenever anything in its view changes,
-// a node recomputes the MIS invariant locally — it should be in M iff no
-// earlier-ordered live neighbor is in M — and if its state must change it
-// flips and broadcasts the new state. States may flip transiently while
-// information is in flight; because a node's correct state depends only on
-// strictly earlier-ordered nodes, the relaxation settles bottom-up in π
-// order and quiesces with the exact random-greedy MIS.
+// Each node keeps its state (M / M̄), its priority, and a flat view of its
+// neighbors' priorities and states (core::NeighborView). Whenever anything
+// in its view changes, a node recomputes the MIS invariant locally — it
+// should be in M iff no earlier-ordered live neighbor is in M — and if its
+// state must change it flips and broadcasts the new state. States may flip
+// transiently while information is in flight; because a node's correct state
+// depends only on strictly earlier-ordered nodes, the relaxation settles
+// bottom-up in π order and quiesces with the exact random-greedy MIS.
+//
+// Adjustments are counted the same way MisProtocol counts them: each change
+// opens an epoch, a node's first state write in the epoch records its origin
+// state, and a flip away from (back to) the origin increments (decrements)
+// the counter — so transient flips cancel and the final count equals the
+// membership diff over surviving nodes, with no per-change snapshot vectors.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <initializer_list>
+#include <span>
 
-#include "core/greedy_mis.hpp"
+#include "core/neighbor_view.hpp"
+#include "core/network_driver.hpp"
 #include "core/priority.hpp"
 #include "sim/async_network.hpp"
 
@@ -43,75 +50,85 @@ class AsyncMisProtocol final : public sim::AsyncProtocol {
   void learn_neighbor(NodeId v, NodeId u, std::uint64_t key, bool in_mis);
   void forget_neighbor(NodeId v, NodeId u);
 
+  // Model-agnostic install hooks used by the shared NetworkDriver harness.
+  void install_node(NodeId v, std::uint64_t key, bool in_mis) {
+    create_node(v, key, in_mis);
+  }
+  void install_neighbor(NodeId v, NodeId u, std::uint64_t key, bool in_mis) {
+    learn_neighbor(v, u, key, in_mis);
+  }
+
+  /// Start a new change epoch: resets the per-change adjustment counter.
+  void begin_change();
+  /// Output changes (surviving nodes whose state differs from the state held
+  /// when the current change epoch began) since begin_change().
+  [[nodiscard]] std::uint64_t adjustments() const noexcept { return adjustments_; }
+
   [[nodiscard]] bool exists(NodeId v) const {
     return v < nodes_.size() && nodes_[v].exists;
   }
   [[nodiscard]] bool in_mis(NodeId v) const;
+  /// The async relaxation has no unsettled protocol states; quiescence
+  /// itself is stability.
+  [[nodiscard]] bool stable(NodeId) const noexcept { return true; }
 
   void on_message(NodeId v, const sim::Delivery& d, sim::AsyncNetwork& net) override;
 
  private:
-  struct NeighborInfo {
-    std::uint64_t key = 0;
-    bool in_mis = false;
-  };
   struct Local {
     bool exists = false;
     bool in_mis = false;
     std::uint64_t key = 0;
     std::uint64_t awaiting_hellos = 0;  ///< §4.1 join: reply count outstanding
-    std::unordered_map<NodeId, NeighborInfo> view;
+    NeighborView view;
+    // Adjustment accounting for the current change epoch.
+    std::uint64_t epoch = 0;
+    bool epoch_origin = false;
+    bool counted = false;
   };
 
   [[nodiscard]] Local& local(NodeId v);
   [[nodiscard]] bool wants_mis(const Local& me, NodeId my_id) const;
+  /// Flip to `wants`, maintaining the epoch adjustment counter.
+  void set_state(Local& me, bool wants);
   /// Re-evaluate the invariant; broadcast iff the state flips.
   void reevaluate(NodeId v, sim::AsyncNetwork& net);
 
   std::vector<Local> nodes_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t adjustments_ = 0;
 };
 
 /// Driver for the async algorithm; mirrors core::DistMis for the four
 /// logical changes plus unmuting (deletions are abrupt-style: the model's
 /// graceful/abrupt distinction only affects relaying, which the direct
 /// implementation never uses).
-class AsyncMis {
+class AsyncMis : public NetworkDriver<sim::AsyncNetwork, AsyncMisProtocol> {
  public:
+  using Base = NetworkDriver<sim::AsyncNetwork, AsyncMisProtocol>;
+  using Base::ChangeResult;
+
   AsyncMis(std::uint64_t priority_seed, std::uint64_t scheduler_seed,
            std::uint64_t max_delay = 8)
-      : priorities_(priority_seed), net_(scheduler_seed, max_delay) {}
+      : Base(priority_seed, scheduler_seed, max_delay) {}
 
   AsyncMis(const graph::DynamicGraph& g, std::uint64_t priority_seed,
-           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8);
-
-  struct ChangeResult {
-    NodeId node = graph::kInvalidNode;
-    sim::CostReport cost;  ///< .rounds = longest causal chain of the recovery
-  };
+           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8)
+      : Base(priority_seed, scheduler_seed, max_delay) {
+    init_stable(g);
+  }
 
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v);
-  ChangeResult insert_node(const std::vector<NodeId>& neighbors = {});
-  ChangeResult unmute_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult insert_node(std::span<const NodeId> neighbors = {});
+  ChangeResult insert_node(std::initializer_list<NodeId> neighbors) {
+    return insert_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
+  ChangeResult unmute_node(std::span<const NodeId> neighbors = {});
+  ChangeResult unmute_node(std::initializer_list<NodeId> neighbors) {
+    return unmute_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
   ChangeResult remove_node(NodeId v);
-
-  [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
-  [[nodiscard]] graph::NodeSet mis_set() const;
-  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
-  [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
-
-  /// Abort unless outputs equal the sequential random-greedy oracle.
-  void verify();
-
- private:
-  ChangeResult run_change(NodeId node = graph::kInvalidNode);
-  NodeId materialize_node(const std::vector<NodeId>& neighbors);
-  [[nodiscard]] std::vector<bool> snapshot() const;
-
-  graph::DynamicGraph logical_;
-  PriorityMap priorities_;
-  sim::AsyncNetwork net_;
-  AsyncMisProtocol protocol_;
 };
 
 }  // namespace dmis::core

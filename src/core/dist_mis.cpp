@@ -2,36 +2,9 @@
 
 namespace dmis::core {
 
-DistMis::DistMis(const graph::DynamicGraph& g, std::uint64_t seed)
-    : logical_(g), priorities_(seed) {
-  net_.comm() = g;
-  const Membership oracle = greedy_mis(logical_, priorities_);
-  logical_.for_each_node([&](NodeId v) {
-    protocol_.create_node(v, priorities_.key(v),
-                          oracle[v] ? NodeState::M : NodeState::NotM);
-  });
-  logical_.for_each_edge([&](NodeId u, NodeId v) {
-    protocol_.learn_neighbor(u, v, priorities_.key(v),
-                             oracle[v] ? NodeState::M : NodeState::NotM);
-    protocol_.learn_neighbor(v, u, priorities_.key(u),
-                             oracle[u] ? NodeState::M : NodeState::NotM);
-  });
-}
-
-DistMis::ChangeResult DistMis::run_change(NodeId node) {
-  net_.reset_cost();
-  net_.run(protocol_);
-  ChangeResult result;
-  result.node = node;
-  result.cost = net_.cost();
-  result.cost.adjustments = protocol_.adjustments();
-  return result;
-}
-
 DistMis::ChangeResult DistMis::insert_edge(NodeId u, NodeId v) {
   DMIS_ASSERT(logical_.add_edge(u, v));
   net_.comm().add_edge(u, v);
-  protocol_.begin_change();
   net_.notify(u, v, {kSysEdgeNew, 0, 0});
   net_.notify(v, u, {kSysEdgeNew, 0, 0});
   return run_change();
@@ -40,7 +13,6 @@ DistMis::ChangeResult DistMis::insert_edge(NodeId u, NodeId v) {
 DistMis::ChangeResult DistMis::remove_edge(NodeId u, NodeId v, DeletionMode mode) {
   DMIS_ASSERT(logical_.remove_edge(u, v));
   if (mode == DeletionMode::kAbrupt) net_.comm().remove_edge(u, v);
-  protocol_.begin_change();
   net_.notify(u, v, {kSysEdgeGone, 0, 0});
   net_.notify(v, u, {kSysEdgeGone, 0, 0});
   ChangeResult result = run_change();
@@ -50,77 +22,45 @@ DistMis::ChangeResult DistMis::remove_edge(NodeId u, NodeId v, DeletionMode mode
   return result;
 }
 
-NodeId DistMis::materialize_node(const std::vector<NodeId>& neighbors) {
-  const NodeId v = logical_.add_node();
-  const NodeId comm_id = net_.comm().add_node();
-  DMIS_ASSERT_MSG(comm_id == v, "logical and communication graphs diverged");
-  for (const NodeId u : neighbors) {
-    logical_.add_edge(v, u);
-    net_.comm().add_edge(v, u);
-  }
-  protocol_.create_node(v, priorities_.ensure(v));
-  return v;
-}
-
-DistMis::ChangeResult DistMis::insert_node(const std::vector<NodeId>& neighbors) {
+DistMis::ChangeResult DistMis::insert_node(std::span<const NodeId> neighbors) {
   const NodeId v = materialize_node(neighbors);
-  protocol_.begin_change();
   net_.notify(v, v, {kSysJoin, 0, 0});
   return run_change(v);
 }
 
-DistMis::ChangeResult DistMis::unmute_node(const std::vector<NodeId>& neighbors) {
+DistMis::ChangeResult DistMis::unmute_node(std::span<const NodeId> neighbors) {
   const NodeId v = materialize_node(neighbors);
   // The model grants a muted listener the knowledge it overheard: the
   // priorities and current states of its neighbors.
   for (const NodeId u : neighbors)
     protocol_.learn_neighbor(v, u, priorities_.key(u), protocol_.state(u));
-  protocol_.begin_change();
   net_.notify(v, v, {kSysUnmute, 0, 0});
   return run_change(v);
 }
 
 DistMis::ChangeResult DistMis::remove_node(NodeId v, DeletionMode mode) {
   DMIS_ASSERT(logical_.has_node(v));
-  protocol_.begin_change();
   if (mode == DeletionMode::kGraceful) {
     // The departing node initiates the recovery and relays until stability.
     logical_.remove_node(v);
     net_.notify(v, v, {kSysLeave, 0, 0});
     ChangeResult result = run_change();
-    const auto nb = net_.comm().neighbors(v);
-    const std::vector<NodeId> former(nb.begin(), nb.end());
+    // Post-run cleanup: forgetting only mutates protocol views, so the comm
+    // neighbor span stays valid until the node itself is removed.
+    for (const NodeId u : net_.comm().neighbors(v)) protocol_.forget_neighbor(u, v);
     net_.comm().remove_node(v);
-    for (const NodeId u : former) protocol_.forget_neighbor(u, v);
     protocol_.destroy_node(v);
     return result;
   }
   // Abrupt: the node vanishes; its neighbors discover the retirement
   // (§4.2 — every locally-violated neighbor starts at C concurrently).
-  const auto nb2 = logical_.neighbors(v);
-  const std::vector<NodeId> former(nb2.begin(), nb2.end());
+  // Notifications only queue, so they are issued off the live neighbor span
+  // before the node is dropped from either graph.
+  for (const NodeId u : logical_.neighbors(v)) net_.notify(u, v, {kSysRetired, 0, 0});
   logical_.remove_node(v);
   net_.comm().remove_node(v);
   protocol_.destroy_node(v);
-  for (const NodeId u : former) net_.notify(u, v, {kSysRetired, 0, 0});
   return run_change();
-}
-
-graph::NodeSet DistMis::mis_set() const {
-  graph::NodeSet out;
-  logical_.for_each_node([&](NodeId v) {
-    if (protocol_.in_mis(v)) out.push_back_ascending(v);
-  });
-  return out;
-}
-
-void DistMis::verify() {
-  const Membership oracle = greedy_mis(logical_, priorities_);
-  logical_.for_each_node([&](NodeId v) {
-    DMIS_ASSERT_MSG(settled(protocol_.state(v)), "node not settled after recovery");
-    DMIS_ASSERT_MSG(protocol_.in_mis(v) == oracle[v],
-                    "distributed MIS diverged from the greedy oracle");
-  });
 }
 
 }  // namespace dmis::core

@@ -1,6 +1,6 @@
 // DistMis — the complete fully dynamic distributed MIS algorithm
 // (paper Theorem 7), driving MisProtocol over a simulated synchronous
-// broadcast network.
+// broadcast network through the shared core::NetworkDriver harness.
 //
 // Supported topology changes and their expected costs (all with expected one
 // adjustment and O(1) rounds):
@@ -14,19 +14,20 @@
 //
 // Between changes the system is stable (the paper's assumption of
 // sufficiently infrequent changes); each method injects the change, runs the
-// network to quiescence, and returns the measured CostReport. The driver
-// also maintains the logical graph so the result can be verified against the
-// sequential random-greedy oracle — this equality is the executable form of
-// history independence and is asserted by verify().
+// network to quiescence via NetworkDriver::run_change, and returns the
+// measured CostReport. The driver also maintains the logical graph so the
+// result can be verified against the sequential random-greedy oracle — this
+// equality is the executable form of history independence and is asserted by
+// verify(). Neighbor lists are spans (CascadeEngine's convention): no
+// per-op vector copies, and steady-state changes allocate nothing.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <span>
 
-#include "core/greedy_mis.hpp"
 #include "core/mis_protocol.hpp"
-#include "core/priority.hpp"
-#include "graph/dynamic_graph.hpp"
+#include "core/network_driver.hpp"
 #include "sim/sync_network.hpp"
 
 namespace dmis::core {
@@ -36,47 +37,32 @@ enum class DeletionMode : std::uint8_t {
   kAbrupt,    ///< neighbors merely discover the retirement
 };
 
-class DistMis {
+class DistMis : public NetworkDriver<sim::SyncNetwork, MisProtocol> {
  public:
-  struct ChangeResult {
-    NodeId node = graph::kInvalidNode;  ///< the inserted node, when applicable
-    sim::CostReport cost;               ///< rounds/broadcasts/bits/adjustments
-  };
+  using Base = NetworkDriver<sim::SyncNetwork, MisProtocol>;
+  using Base::ChangeResult;
 
-  explicit DistMis(std::uint64_t seed) : priorities_(seed) {}
+  explicit DistMis(std::uint64_t seed) : Base(seed) {}
 
-  /// Start from an existing stable graph: states are initialized to the
-  /// greedy MIS and every node knows its neighbors' priorities and states
-  /// (the paper's stable-start assumption); no communication is charged.
-  DistMis(const graph::DynamicGraph& g, std::uint64_t seed);
+  /// Start from an existing stable graph (stable-start assumption).
+  DistMis(const graph::DynamicGraph& g, std::uint64_t seed) : Base(seed) {
+    init_stable(g);
+  }
 
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v,
                            DeletionMode mode = DeletionMode::kGraceful);
-  ChangeResult insert_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult insert_node(std::span<const NodeId> neighbors = {});
+  ChangeResult insert_node(std::initializer_list<NodeId> neighbors) {
+    return insert_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
   /// A node that has silently listened to its prospective neighbors becomes
   /// visible (§2's unmuting). Modeled as a fresh node whose view is granted.
-  ChangeResult unmute_node(const std::vector<NodeId>& neighbors = {});
+  ChangeResult unmute_node(std::span<const NodeId> neighbors = {});
+  ChangeResult unmute_node(std::initializer_list<NodeId> neighbors) {
+    return unmute_node(std::span<const NodeId>(neighbors.begin(), neighbors.size()));
+  }
   ChangeResult remove_node(NodeId v, DeletionMode mode = DeletionMode::kGraceful);
-
-  [[nodiscard]] bool in_mis(NodeId v) const { return protocol_.in_mis(v); }
-  [[nodiscard]] graph::NodeSet mis_set() const;
-  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
-  [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
-  [[nodiscard]] const MisProtocol& protocol() const noexcept { return protocol_; }
-
-  /// Abort unless the protocol outputs equal the sequential random-greedy
-  /// MIS of the current graph under the same priorities.
-  void verify();
-
- private:
-  ChangeResult run_change(NodeId node = graph::kInvalidNode);
-  NodeId materialize_node(const std::vector<NodeId>& neighbors);
-
-  graph::DynamicGraph logical_;
-  PriorityMap priorities_;
-  sim::SyncNetwork net_;
-  MisProtocol protocol_;
 };
 
 }  // namespace dmis::core

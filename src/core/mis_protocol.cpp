@@ -42,7 +42,9 @@ void MisProtocol::destroy_node(NodeId v) {
 
 void MisProtocol::learn_neighbor(NodeId v, NodeId u, std::uint64_t key,
                                  NodeState state) {
-  local(v).view[u] = NeighborInfo{key, state};
+  NeighborRecord& rec = local(v).view.upsert(u);
+  rec.key = key;
+  rec.state = static_cast<std::uint8_t>(state);
 }
 
 void MisProtocol::forget_neighbor(NodeId v, NodeId u) { local(v).view.erase(u); }
@@ -57,26 +59,29 @@ NodeState MisProtocol::state(NodeId v) const {
   return nodes_[v].state;
 }
 
-bool MisProtocol::is_lower(const Local& me, NodeId my_id, NodeId u,
-                           const NeighborInfo& info) const {
-  return priority_before(info.key, u, me.key, my_id);
+bool MisProtocol::is_lower(const Local& me, NodeId my_id,
+                           const NeighborRecord& info) const {
+  return priority_before(info.key, info.id, me.key, my_id);
 }
 
 bool MisProtocol::any_lower_in(const Local& me, NodeId my_id, NodeState s) const {
-  for (const auto& [u, info] : me.view)
-    if (is_lower(me, my_id, u, info) && info.state == s) return true;
+  const auto raw = static_cast<std::uint8_t>(s);
+  for (const NeighborRecord& info : me.view)
+    if (info.state == raw && is_lower(me, my_id, info)) return true;
   return false;
 }
 
 bool MisProtocol::any_higher_in(const Local& me, NodeId my_id, NodeState s) const {
-  for (const auto& [u, info] : me.view)
-    if (!is_lower(me, my_id, u, info) && info.state == s) return true;
+  const auto raw = static_cast<std::uint8_t>(s);
+  for (const NeighborRecord& info : me.view)
+    if (info.state == raw && !is_lower(me, my_id, info)) return true;
   return false;
 }
 
 bool MisProtocol::all_lower_settled(const Local& me, NodeId my_id) const {
-  for (const auto& [u, info] : me.view)
-    if (is_lower(me, my_id, u, info) && !settled(info.state)) return false;
+  for (const NeighborRecord& info : me.view)
+    if (!settled(static_cast<NodeState>(info.state)) && is_lower(me, my_id, info))
+      return false;
   return true;
 }
 
@@ -149,13 +154,17 @@ void MisProtocol::handle_delivery(NodeId v, const sim::Delivery& d,
   if (me.state == NodeState::Retired) {
     // A departing node keeps listening (and relaying at the physical layer)
     // but takes no further protocol actions.
-    if (d.msg.kind == kStateChange && me.view.contains(d.from))
-      me.view[d.from].state = decode_state(d.msg.b);
+    if (d.msg.kind == kStateChange) {
+      if (NeighborRecord* rec = me.view.find(d.from))
+        rec->state = static_cast<std::uint8_t>(decode_state(d.msg.b));
+    }
     return;
   }
   switch (d.msg.kind) {
     case kHelloJoin: {
-      me.view[d.from] = NeighborInfo{d.msg.a, decode_state(d.msg.b)};
+      NeighborRecord& rec = me.view.upsert(d.from);
+      rec.key = d.msg.a;
+      rec.state = static_cast<std::uint8_t>(decode_state(d.msg.b));
       // §4.1, second round: neighbors of a joining node introduce themselves.
       net.broadcast(v, {kHelloAnnounce, me.key, static_cast<std::uint64_t>(me.state)},
                     sim::kLogNBits);
@@ -163,24 +172,23 @@ void MisProtocol::handle_delivery(NodeId v, const sim::Delivery& d,
       break;
     }
     case kHelloAnnounce: {
-      me.view[d.from] = NeighborInfo{d.msg.a, decode_state(d.msg.b)};
-      trigger(v, decode_state(d.msg.b) == NodeState::C &&
-                      is_lower(me, v, d.from, me.view[d.from]),
-              net);
+      NeighborRecord& rec = me.view.upsert(d.from);
+      rec.key = d.msg.a;
+      rec.state = static_cast<std::uint8_t>(decode_state(d.msg.b));
+      trigger(v, decode_state(d.msg.b) == NodeState::C && is_lower(me, v, rec), net);
       break;
     }
     case kStateChange: {
-      const auto it = me.view.find(d.from);
-      if (it == me.view.end()) break;  // stale sender, no longer a neighbor
-      it->second.state = decode_state(d.msg.b);
-      trigger(v, it->second.state == NodeState::C && is_lower(me, v, d.from, it->second),
-              net);
+      NeighborRecord* rec = me.view.find(d.from);
+      if (rec == nullptr) break;  // stale sender, no longer a neighbor
+      rec->state = static_cast<std::uint8_t>(decode_state(d.msg.b));
+      trigger(v, decode_state(d.msg.b) == NodeState::C && is_lower(me, v, *rec), net);
       break;
     }
     case kLeaving: {
-      const auto it = me.view.find(d.from);
-      if (it == me.view.end()) break;
-      it->second.state = NodeState::Retired;
+      NeighborRecord* rec = me.view.find(d.from);
+      if (rec == nullptr) break;
+      rec->state = static_cast<std::uint8_t>(NodeState::Retired);
       trigger(v, false, net);
       break;
     }
@@ -237,7 +245,7 @@ void MisProtocol::handle_delivery(NodeId v, const sim::Delivery& d,
   }
 }
 
-void MisProtocol::on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+void MisProtocol::on_round(NodeId v, std::span<const sim::Delivery> inbox,
                            sim::SyncNetwork& net) {
   if (v >= nodes_.size() || !nodes_[v].exists) return;  // retired mid-recovery
   for (const auto& d : inbox) handle_delivery(v, d, net);

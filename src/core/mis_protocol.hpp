@@ -36,9 +36,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "core/neighbor_view.hpp"
 #include "core/priority.hpp"
 #include "sim/sync_network.hpp"
 
@@ -83,6 +84,18 @@ class MisProtocol final : public sim::SyncProtocol {
   /// knowledge, e.g. what a muted listener has overheard).
   void learn_neighbor(NodeId v, NodeId u, std::uint64_t key, NodeState state);
 
+  // Model-agnostic install hooks used by the shared NetworkDriver harness
+  // (both simulated models encode a stable boolean membership).
+  void install_node(NodeId v, std::uint64_t key, bool in_mis) {
+    create_node(v, key, in_mis ? NodeState::M : NodeState::NotM);
+  }
+  void install_neighbor(NodeId v, NodeId u, std::uint64_t key, bool in_mis) {
+    learn_neighbor(v, u, key, in_mis ? NodeState::M : NodeState::NotM);
+  }
+  /// Settled check used by driver-level verification (every node must be in
+  /// a stable state once a recovery quiesces).
+  [[nodiscard]] bool stable(NodeId v) const { return settled(state(v)); }
+
   /// Remove u from v's view (post-change cleanup by the driver).
   void forget_neighbor(NodeId v, NodeId u);
 
@@ -100,22 +113,17 @@ class MisProtocol final : public sim::SyncProtocol {
   }
 
   // ---- protocol execution ----
-  void on_round(NodeId v, const std::vector<sim::Delivery>& inbox,
+  void on_round(NodeId v, std::span<const sim::Delivery> inbox,
                 sim::SyncNetwork& net) override;
 
  private:
-  struct NeighborInfo {
-    std::uint64_t key = 0;
-    NodeState state = NodeState::NotM;
-  };
-
   struct Local {
     bool exists = false;
     NodeState state = NodeState::NotM;
     std::uint64_t key = 0;
     std::uint64_t c_round = 0;     ///< round of the last transition into C
     std::uint64_t eval_round = 0;  ///< §4.1 join: round to self-evaluate (0 = none)
-    std::unordered_map<NodeId, NeighborInfo> view;
+    NeighborView view;
     // Adjustment accounting for the current change epoch.
     std::uint64_t epoch = 0;
     NodeState epoch_origin = NodeState::NotM;
@@ -123,8 +131,8 @@ class MisProtocol final : public sim::SyncProtocol {
   };
 
   [[nodiscard]] Local& local(NodeId v);
-  [[nodiscard]] bool is_lower(const Local& me, NodeId my_id, NodeId u,
-                              const NeighborInfo& info) const;
+  [[nodiscard]] bool is_lower(const Local& me, NodeId my_id,
+                              const NeighborRecord& info) const;
   [[nodiscard]] bool any_lower_in(const Local& me, NodeId my_id, NodeState s) const;
   [[nodiscard]] bool any_higher_in(const Local& me, NodeId my_id, NodeState s) const;
   [[nodiscard]] bool all_lower_settled(const Local& me, NodeId my_id) const;

@@ -1,0 +1,85 @@
+// NeighborView — a node's flat local view of its neighbors' priorities and
+// last announced states.
+//
+// Conceptually each protocol node stores, per neighbor, the pair the paper
+// maintains at all times: the neighbor's ℓ value (priority key) and its last
+// announced state. The previous representation was an unordered_map per
+// node — one heap node per neighbor, a pointer chase per probe, and an
+// allocation on every first contact, which both capped simulated network
+// sizes and put allocator traffic on the recovery hot path.
+//
+// The view is now a flat unsorted array of 16-byte records, mirroring
+// DynamicGraph's inline-adjacency philosophy: the protocol's dominant
+// operations scan the *whole* view (any_lower_in / all_lower_settled walk
+// every neighbor), which a contiguous array serves at memory bandwidth,
+// and point lookups are a linear scan that wins for the small degrees the
+// paper's sparse-graph experiments run at. Erase is swap-with-last; the
+// backing vector never shrinks, so steady-state edge churn (erase then
+// re-learn the same neighbor) performs no allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::core {
+
+/// One neighbor's entry in a node's local view. `state` is protocol-defined:
+/// MisProtocol stores a NodeState, the async protocol a 0/1 membership bit.
+struct NeighborRecord {
+  std::uint64_t key = 0;
+  graph::NodeId id = graph::kInvalidNode;
+  std::uint8_t state = 0;
+};
+
+class NeighborView {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  [[nodiscard]] NeighborRecord* find(graph::NodeId u) noexcept {
+    for (auto& rec : records_)
+      if (rec.id == u) return &rec;
+    return nullptr;
+  }
+  [[nodiscard]] const NeighborRecord* find(graph::NodeId u) const noexcept {
+    for (const auto& rec : records_)
+      if (rec.id == u) return &rec;
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(graph::NodeId u) const noexcept {
+    return find(u) != nullptr;
+  }
+
+  /// Record for `u`, appended if absent (key/state preserved if present —
+  /// callers overwrite both).
+  NeighborRecord& upsert(graph::NodeId u) {
+    if (NeighborRecord* rec = find(u)) return *rec;
+    records_.push_back(NeighborRecord{0, u, 0});
+    return records_.back();
+  }
+
+  /// Drop `u` from the view (swap-with-last); false if absent.
+  bool erase(graph::NodeId u) noexcept {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (records_[i].id == u) {
+        records_[i] = records_.back();
+        records_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() noexcept { records_.clear(); }
+
+  [[nodiscard]] auto begin() const noexcept { return records_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return records_.end(); }
+
+ private:
+  std::vector<NeighborRecord> records_;
+};
+
+}  // namespace dmis::core

@@ -16,7 +16,7 @@ void AsyncNetwork::schedule(graph::NodeId to, graph::NodeId from, const Message&
   const std::uint64_t delay = 1 + rng_.below(max_delay_);
   std::uint64_t at = now_ + delay;
   // FIFO per directed link: never deliver before an earlier send on the link.
-  auto& clock = link_clock_[link_key(from, to)];
+  auto& clock = link_clock_.ref(link_key(from, to));
   at = std::max(at, clock + 1);
   clock = at;
   queue_.push({at, seq_++, to, {from, msg}, depth});

@@ -11,13 +11,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <queue>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
 #include "sim/cost_report.hpp"
 #include "sim/message.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace dmis::sim {
@@ -82,8 +82,10 @@ class AsyncNetwork {
   util::Rng rng_;
   std::uint64_t max_delay_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // FIFO guarantee: next free slot per directed link.
-  std::map<std::uint64_t, std::uint64_t> link_clock_;
+  // FIFO guarantee: next free slot per directed link. Flat open-addressed
+  // table (links are never erased; clocks only advance), so steady-state
+  // traffic over warm links allocates nothing.
+  util::FlatMap link_clock_;
   std::uint64_t now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t current_depth_ = 0;  // depth of the delivery being handled

@@ -11,6 +11,14 @@ CostReport& CostReport::operator+=(const CostReport& other) noexcept {
   return *this;
 }
 
+std::string CostReport::to_json() const {
+  return "{\"rounds\": " + std::to_string(rounds) +
+         ", \"broadcasts\": " + std::to_string(broadcasts) +
+         ", \"messages\": " + std::to_string(messages) +
+         ", \"bits\": " + std::to_string(bits) +
+         ", \"adjustments\": " + std::to_string(adjustments) + "}";
+}
+
 std::string CostReport::to_string() const {
   return "rounds=" + std::to_string(rounds) +
          " broadcasts=" + std::to_string(broadcasts) +

@@ -20,6 +20,9 @@ struct CostReport {
 
   CostReport& operator+=(const CostReport& other) noexcept;
   [[nodiscard]] std::string to_string() const;
+  /// One flat JSON object ({"rounds":…,"broadcasts":…,…}) — the unit every
+  /// machine-readable bench output is built from.
+  [[nodiscard]] std::string to_json() const;
 };
 
 }  // namespace dmis::sim

@@ -15,47 +15,79 @@ void SyncNetwork::broadcast(graph::NodeId v, const Message& msg, std::uint32_t b
 void SyncNetwork::wake(graph::NodeId v) { woken_.push_back(v); }
 
 void SyncNetwork::notify(graph::NodeId v, graph::NodeId from, const Message& msg) {
-  pending_notifications_[v].push_back({from, msg});
+  notifications_.push_back({v, {from, msg}});
 }
 
 std::uint64_t SyncNetwork::run(SyncProtocol& proto, std::uint64_t max_rounds) {
   std::uint64_t rounds = 0;
-  while (!outbox_.empty() || !woken_.empty() || !pending_notifications_.empty()) {
+  while (!outbox_.empty() || !woken_.empty() || !notifications_.empty()) {
     DMIS_ASSERT_MSG(rounds < max_rounds, "protocol failed to quiesce");
     ++rounds;
     current_round_ = rounds;
+    ++stamp_;
+    if (mailbox_.size() < comm_.id_bound()) mailbox_.resize(comm_.id_bound());
 
-    // Deliver last round's broadcasts to the *current* neighbors of each
-    // sender, plus any environment notifications, building per-node inboxes.
-    std::map<graph::NodeId, std::vector<Delivery>> inboxes;
+    // Stage last round's broadcasts, expanded to the *current* neighbors of
+    // each sender, plus any environment notifications.
+    staging_.clear();
     for (const auto& out : outbox_) {
       if (!comm_.has_node(out.from)) continue;  // sender retired mid-flight
       for (const graph::NodeId u : comm_.neighbors(out.from))
-        inboxes[u].push_back({out.from, out.msg});
+        staging_.push_back({u, {out.from, out.msg}});
     }
     outbox_.clear();
-    for (auto& [v, deliveries] : pending_notifications_)
-      for (auto& d : deliveries) inboxes[v].push_back(d);
-    pending_notifications_.clear();
+    staging_.insert(staging_.end(), notifications_.begin(), notifications_.end());
+    notifications_.clear();
 
-    std::vector<graph::NodeId> schedule;
-    schedule.reserve(inboxes.size() + woken_.size());
-    for (const auto& [v, _] : inboxes) schedule.push_back(v);
-    schedule.insert(schedule.end(), woken_.begin(), woken_.end());
+    // Counting sort by receiver into the arena: count (building the
+    // worklist), prefix heads, scatter. Stamps dedup without clearing the
+    // whole mailbox table.
+    worklist_.clear();
+    for (const auto& s : staging_) {
+      DMIS_ASSERT_MSG(s.to < mailbox_.size(), "delivery to an unknown node id");
+      Mailbox& mb = mailbox_[s.to];
+      if (mb.stamp != stamp_) {
+        mb.stamp = stamp_;
+        mb.count = 0;
+        worklist_.push_back(s.to);
+      }
+      ++mb.count;
+    }
+    for (const graph::NodeId v : woken_) {
+      DMIS_ASSERT(v < mailbox_.size());
+      Mailbox& mb = mailbox_[v];
+      if (mb.stamp != stamp_) {
+        mb.stamp = stamp_;
+        mb.count = 0;
+        worklist_.push_back(v);
+      }
+    }
     woken_.clear();
-    std::sort(schedule.begin(), schedule.end());
-    schedule.erase(std::unique(schedule.begin(), schedule.end()), schedule.end());
+    std::uint32_t offset = 0;
+    for (const graph::NodeId v : worklist_) {
+      Mailbox& mb = mailbox_[v];
+      mb.head = offset;
+      mb.filled = 0;
+      offset += mb.count;
+    }
+    arena_.resize(offset);
+    for (const auto& s : staging_) {
+      Mailbox& mb = mailbox_[s.to];
+      arena_[mb.head + mb.filled++] = s.delivery;
+    }
 
-    static const std::vector<Delivery> kEmptyInbox;
-    for (const graph::NodeId v : schedule) {
+    // Deterministic execution order: ascending node id, inboxes sorted by
+    // sender (the protocol-facing contract).
+    std::sort(worklist_.begin(), worklist_.end());
+    for (const graph::NodeId v : worklist_) {
+      const Mailbox& mb = mailbox_[v];
+      std::sort(arena_.begin() + mb.head, arena_.begin() + mb.head + mb.count,
+                [](const Delivery& a, const Delivery& b) { return a.from < b.from; });
+    }
+    for (const graph::NodeId v : worklist_) {
       if (!comm_.has_node(v)) continue;  // retired while messages were in flight
-      const auto it = inboxes.find(v);
-      auto& inbox = it == inboxes.end() ? const_cast<std::vector<Delivery>&>(kEmptyInbox)
-                                        : it->second;
-      if (it != inboxes.end())
-        std::sort(inbox.begin(), inbox.end(),
-                  [](const Delivery& a, const Delivery& b) { return a.from < b.from; });
-      proto.on_round(v, inbox, *this);
+      const Mailbox& mb = mailbox_[v];
+      proto.on_round(v, {arena_.data() + mb.head, mb.count}, *this);
     }
   }
   cost_.rounds += rounds;

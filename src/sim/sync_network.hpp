@@ -8,6 +8,19 @@
 // silent nodes cannot act, which both matches the model and keeps the cost of
 // simulating an O(1)-activity recovery independent of n.
 //
+// Flat round machinery. The per-round inboxes used to live in a
+// std::map<NodeId, vector<Delivery>> rebuilt from scratch each round — one
+// tree node plus one vector per scheduled receiver, which capped simulated
+// experiments at toy sizes. The round loop now mirrors CascadeEngine's
+// reusable-scratch pattern: every delivery of the round lands in one arena
+// of Delivery records grouped by receiver (counting-sort into engine-owned
+// buffers), receivers are tracked in a flat worklist deduplicated by a
+// stamp-per-node mailbox table, and each scheduled node sees its inbox as a
+// span into the arena. All buffers keep their capacity across rounds and
+// runs, so a steady-state recovery round performs zero heap allocations;
+// only node-id growth (a new node raises id_bound) ever resizes the mailbox
+// table.
+//
 // The network owns the *communication* topology. It can differ transiently
 // from the logical graph: a gracefully deleted node stays in the
 // communication graph until the recovery quiesces (§2), while an abrupt
@@ -16,7 +29,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <span>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
@@ -33,8 +46,10 @@ class SyncProtocol {
   virtual ~SyncProtocol() = default;
 
   /// `inbox` holds everything delivered to `v` this round, sorted by sender.
-  /// The protocol may call net.broadcast(v, …) and net.wake(…).
-  virtual void on_round(graph::NodeId v, const std::vector<Delivery>& inbox,
+  /// The view points into the network's round arena and is only valid for
+  /// the duration of the call. The protocol may call net.broadcast(v, …) and
+  /// net.wake(…).
+  virtual void on_round(graph::NodeId v, std::span<const Delivery> inbox,
                         SyncNetwork& net) = 0;
 };
 
@@ -78,11 +93,33 @@ class SyncNetwork {
     Message msg;
   };
 
+  /// A delivery staged for a known receiver (broadcast fan-out copy or
+  /// environment notification awaiting the next round).
+  struct Staged {
+    graph::NodeId to;
+    Delivery delivery;
+  };
+
+  /// Per-node round mailbox: stamp == stamp_ marks the node scheduled this
+  /// round; head/count index its slice of arena_ (filled is scatter scratch).
+  struct Mailbox {
+    std::uint64_t stamp = 0;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+    std::uint32_t filled = 0;
+  };
+
   graph::DynamicGraph comm_;
+  // Next-round inputs (accumulated by broadcast/notify/wake during a round).
   std::vector<Outgoing> outbox_;
-  // Pending out-of-band deliveries, keyed by receiver.
-  std::map<graph::NodeId, std::vector<Delivery>> pending_notifications_;
+  std::vector<Staged> notifications_;
   std::vector<graph::NodeId> woken_;
+  // Round scratch, reused across rounds and runs (see header comment).
+  std::vector<Staged> staging_;
+  std::vector<Delivery> arena_;
+  std::vector<graph::NodeId> worklist_;
+  std::vector<Mailbox> mailbox_;
+  std::uint64_t stamp_ = 0;
   CostReport cost_;
   std::uint64_t last_rounds_ = 0;
   std::uint64_t current_round_ = 0;

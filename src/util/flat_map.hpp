@@ -1,0 +1,132 @@
+// FlatMap — an open-addressing hash map from 64-bit keys to 64-bit values.
+//
+// The simulators keep per-link bookkeeping (AsyncNetwork's FIFO link clocks)
+// that used to live in a std::map: one red-black node per directed link,
+// a pointer chase per lookup, and an allocation per first use of a link. The
+// access pattern is insert-or-bump with no deletions — exactly what a linear
+// probe table with no tombstones handles in one or two cache lines.
+//
+// Layout: parallel keys_/vals_ arrays plus a one-byte occupancy array, all
+// power-of-two sized. Probing is plain linear from the key's home slot; with
+// no erase() the invariant "a key is absent at the first empty slot on its
+// probe path" holds unconditionally. The table doubles when occupancy
+// exceeds 7/8, so with reserve() sized to the working set the steady state
+// performs no allocation. Keys use the same splitmix64 finalizer as
+// util::FlatSet so packed small-integer keys (link = from<<32|to) spread.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dmis::util {
+
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  /// Pre-size so `expected` keys fit without rehashing.
+  explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of slots (power of two; 0 before the first insert/reserve).
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  /// Value slot for `key`, inserted with value 0 if absent. The reference is
+  /// invalidated by any other insertion (the table may rehash).
+  [[nodiscard]] std::uint64_t& ref(std::uint64_t key) {
+    if (capacity() == 0 || size_ + 1 > capacity() - capacity() / 8)
+      rehash(capacity() == 0 ? kMinCapacity : capacity() * 2);
+    std::size_t i = home(key);
+    while (used_[i] != 0) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    keys_[i] = key;
+    vals_[i] = 0;
+    ++size_;
+    return vals_[i];
+  }
+
+  /// Pointer to the value of `key`, or nullptr if absent.
+  [[nodiscard]] const std::uint64_t* find(std::uint64_t key) const noexcept {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = home(key);
+    while (used_[i] != 0) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Remove every entry; capacity (and steady-state behavior) is kept.
+  void clear() noexcept {
+    std::fill(used_.begin(), used_.end(), static_cast<std::uint8_t>(0));
+    size_ = 0;
+  }
+
+  /// Ensure `expected` keys fit without any further allocation.
+  void reserve(std::size_t expected) {
+    std::size_t want = kMinCapacity;
+    while (want - want / 8 <= expected) want <<= 1;
+    if (want > capacity()) rehash(want);
+  }
+
+  /// Visit every (key, value) pair (unspecified order); do not mutate.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (used_[i] != 0) f(keys_[i], vals_[i]);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] std::size_t home(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    DMIS_ASSERT((new_capacity & (new_capacity - 1)) == 0 &&
+                new_capacity >= kMinCapacity);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_vals = std::move(vals_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    keys_.assign(new_capacity, 0);
+    vals_.assign(new_capacity, 0);
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_used[i] == 0) continue;
+      std::size_t j = home(old_keys[i]);
+      while (used_[j] != 0) j = (j + 1) & mask_;
+      used_[j] = 1;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> vals_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dmis::util

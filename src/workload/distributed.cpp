@@ -1,0 +1,82 @@
+#include "workload/distributed.hpp"
+
+namespace dmis::workload {
+
+namespace {
+
+/// Degree footprint of an op *before* it is applied: the victim's degree for
+/// node deletions, the attachment count for node insertions (the d(v*) the
+/// paper's bounds are stated in), 0 for edge ops.
+template <typename Engine>
+std::uint32_t op_degree(const Engine& engine, const GraphOp& op) {
+  switch (op.kind) {
+    case OpKind::kAddNode:
+    case OpKind::kUnmuteNode:
+      return static_cast<std::uint32_t>(op.neighbors.size());
+    case OpKind::kRemoveNodeGraceful:
+    case OpKind::kRemoveNodeAbrupt:
+      return static_cast<std::uint32_t>(engine.graph().degree(op.u));
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+CostSample apply_with_cost(core::DistMis& engine, const GraphOp& op) {
+  CostSample sample;
+  sample.kind = op.kind;
+  sample.degree = op_degree(engine, op);
+  switch (op.kind) {
+    case OpKind::kAddNode:
+      sample.cost = engine.insert_node(op.neighbors).cost;
+      break;
+    case OpKind::kUnmuteNode:
+      sample.cost = engine.unmute_node(op.neighbors).cost;
+      break;
+    case OpKind::kAddEdge:
+      sample.cost = engine.insert_edge(op.u, op.v).cost;
+      break;
+    case OpKind::kRemoveEdgeGraceful:
+      sample.cost = engine.remove_edge(op.u, op.v, core::DeletionMode::kGraceful).cost;
+      break;
+    case OpKind::kRemoveEdgeAbrupt:
+      sample.cost = engine.remove_edge(op.u, op.v, core::DeletionMode::kAbrupt).cost;
+      break;
+    case OpKind::kRemoveNodeGraceful:
+      sample.cost = engine.remove_node(op.u, core::DeletionMode::kGraceful).cost;
+      break;
+    case OpKind::kRemoveNodeAbrupt:
+      sample.cost = engine.remove_node(op.u, core::DeletionMode::kAbrupt).cost;
+      break;
+  }
+  return sample;
+}
+
+CostSample apply_with_cost(core::AsyncMis& engine, const GraphOp& op) {
+  CostSample sample;
+  sample.kind = op.kind;
+  sample.degree = op_degree(engine, op);
+  switch (op.kind) {
+    case OpKind::kAddNode:
+      sample.cost = engine.insert_node(op.neighbors).cost;
+      break;
+    case OpKind::kUnmuteNode:
+      sample.cost = engine.unmute_node(op.neighbors).cost;
+      break;
+    case OpKind::kAddEdge:
+      sample.cost = engine.insert_edge(op.u, op.v).cost;
+      break;
+    case OpKind::kRemoveEdgeGraceful:
+    case OpKind::kRemoveEdgeAbrupt:
+      sample.cost = engine.remove_edge(op.u, op.v).cost;
+      break;
+    case OpKind::kRemoveNodeGraceful:
+    case OpKind::kRemoveNodeAbrupt:
+      sample.cost = engine.remove_node(op.u).cost;
+      break;
+  }
+  return sample;
+}
+
+}  // namespace dmis::workload

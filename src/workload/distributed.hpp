@@ -1,0 +1,57 @@
+// Trace-driven distributed runner: replays workload streams (materialized
+// Traces or live ChurnGenerator output) through the simulated distributed
+// drivers, collecting the paper's per-change cost measures for every change.
+//
+// workload::apply() replays an op and discards the measured CostReport; the
+// benches and scale experiments need the opposite — every change's
+// rounds/broadcasts/bits/adjustments, labeled by the kind of change that
+// caused them, so Theorem 7's per-change-type bounds can be checked over
+// millions of simulated nodes. apply_with_cost() is the single-op unit;
+// replay_with_costs() and stream_churn() are the trace/stream loops. The
+// streaming form never materializes a Trace (a 10^6-node churn sweep would
+// otherwise hold millions of neighbor vectors) and hands each sample to a
+// caller-owned sink.
+#pragma once
+
+#include <cstddef>
+
+#include "core/async_mis.hpp"
+#include "core/dist_mis.hpp"
+#include "sim/cost_report.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace dmis::workload {
+
+/// A per-change cost observation: what changed, how big the change's
+/// footprint was (victim/new-node degree, 0 for edge ops) and what it cost.
+struct CostSample {
+  OpKind kind = OpKind::kAddEdge;
+  std::uint32_t degree = 0;
+  sim::CostReport cost;
+};
+
+/// Apply one op to a distributed driver, returning the full sample (the
+/// graceful/abrupt distinction in the trace maps to the sync model's
+/// DeletionMode; the async model collapses it).
+[[nodiscard]] CostSample apply_with_cost(core::DistMis& engine, const GraphOp& op);
+[[nodiscard]] CostSample apply_with_cost(core::AsyncMis& engine, const GraphOp& op);
+
+/// Replay a whole trace, handing every sample to `sink(const CostSample&)`.
+template <typename Engine, typename Sink>
+void replay_with_costs(Engine& engine, const Trace& trace, Sink&& sink) {
+  for (const GraphOp& op : trace) sink(apply_with_cost(engine, op));
+}
+
+/// Stream `count` live churn ops through the engine without materializing a
+/// trace. The generator owns the evolving reference graph, so every op is
+/// valid at its position; the engine must have been built from the same
+/// starting graph.
+template <typename Engine, typename Sink>
+void stream_churn(Engine& engine, ChurnGenerator& gen, std::size_t count,
+                  Sink&& sink) {
+  for (std::size_t i = 0; i < count; ++i)
+    sink(apply_with_cost(engine, gen.next()));
+}
+
+}  // namespace dmis::workload

@@ -1,0 +1,117 @@
+// Unit and randomized-model tests for util::FlatMap, the open-addressing
+// 64-bit key→value table backing AsyncNetwork's per-link FIFO clocks.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dmis::util::FlatMap;
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0U);
+  EXPECT_EQ(m.capacity(), 0U);
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.contains(0));
+}
+
+TEST(FlatMap, RefInsertsWithZeroAndPersists) {
+  FlatMap m;
+  EXPECT_EQ(m.ref(7), 0U);
+  m.ref(7) = 99;
+  EXPECT_EQ(m.size(), 1U);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 99U);
+  m.ref(7) += 1;
+  EXPECT_EQ(*m.find(7), 100U);
+  EXPECT_EQ(m.size(), 1U);
+}
+
+TEST(FlatMap, ZeroKeyIsAValidKey) {
+  // Link keys pack (from<<32)|to, so key 0 occurs (self-injections at node
+  // 0); the table must not treat it as a sentinel.
+  FlatMap m;
+  m.ref(0) = 5;
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_EQ(*m.find(0), 5U);
+  EXPECT_EQ(m.size(), 1U);
+}
+
+TEST(FlatMap, GrowsThroughRehashes) {
+  FlatMap m;
+  for (std::uint64_t k = 0; k < 10'000; ++k) m.ref(k * 0x9e3779b9ULL) = k;
+  EXPECT_EQ(m.size(), 10'000U);
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    ASSERT_NE(m.find(k * 0x9e3779b9ULL), nullptr);
+    EXPECT_EQ(*m.find(k * 0x9e3779b9ULL), k);
+  }
+  EXPECT_FALSE(m.contains(12345));
+}
+
+TEST(FlatMap, ReservePreventsRehash) {
+  FlatMap m(5'000);
+  const std::size_t cap = m.capacity();
+  EXPECT_GT(cap, 0U);
+  for (std::uint64_t k = 1; k <= 5'000; ++k) m.ref(k) = k;
+  EXPECT_EQ(m.capacity(), cap) << "reserve() must cover the declared load";
+}
+
+TEST(FlatMap, ClearKeepsCapacity) {
+  FlatMap m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.ref(k) = k;
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.find(5), nullptr);
+  m.ref(5) = 1;
+  EXPECT_EQ(m.size(), 1U);
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce) {
+  FlatMap m;
+  for (std::uint64_t k = 10; k < 20; ++k) m.ref(k) = k * 2;
+  std::map<std::uint64_t, std::uint64_t> seen;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) { ++seen[k]; EXPECT_EQ(v, k * 2); });
+  EXPECT_EQ(seen.size(), 10U);
+  for (const auto& [k, count] : seen) EXPECT_EQ(count, 1U) << k;
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomMixedUse) {
+  FlatMap m;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  dmis::util::Rng rng(99);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t key = rng.below(4'000);
+    if (rng.chance(0.7)) {
+      const std::uint64_t bump = rng.below(100);
+      m.ref(key) += bump;
+      ref[key] += bump;
+    } else {
+      const auto* found = m.find(key);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace

@@ -18,7 +18,7 @@ class FloodProtocol final : public SyncProtocol {
  public:
   std::map<NodeId, std::uint64_t> heard_at;
 
-  void on_round(NodeId v, const std::vector<Delivery>& inbox,
+  void on_round(NodeId v, std::span<const Delivery> inbox,
                 SyncNetwork& net) override {
     if (inbox.empty() || heard_at.contains(v)) return;
     heard_at[v] = net.round();
@@ -66,7 +66,7 @@ class WakeProtocol final : public SyncProtocol {
   explicit WakeProtocol(int budget) : budget_(budget) {}
   int scheduled = 0;
 
-  void on_round(NodeId v, const std::vector<Delivery>&, SyncNetwork& net) override {
+  void on_round(NodeId v, std::span<const Delivery>, SyncNetwork& net) override {
     ++scheduled;
     if (--budget_ > 0) net.wake(v);
   }
@@ -89,7 +89,7 @@ class RecordProtocol final : public SyncProtocol {
  public:
   std::vector<NodeId> senders_seen;
 
-  void on_round(NodeId, const std::vector<Delivery>& inbox, SyncNetwork&) override {
+  void on_round(NodeId, std::span<const Delivery> inbox, SyncNetwork&) override {
     for (const auto& d : inbox) senders_seen.push_back(d.from);
   }
 };
@@ -149,6 +149,9 @@ TEST(CostReport, Accumulates) {
   EXPECT_EQ(a.bits, 44U);
   EXPECT_EQ(a.adjustments, 55U);
   EXPECT_NE(a.to_string().find("rounds=11"), std::string::npos);
+  EXPECT_EQ(a.to_json(),
+            "{\"rounds\": 11, \"broadcasts\": 22, \"messages\": 33, "
+            "\"bits\": 44, \"adjustments\": 55}");
 }
 
 }  // namespace
