@@ -79,6 +79,27 @@ Result run_case(NodeId n, std::size_t batch_size, unsigned shards,
   return r;
 }
 
+bool validate(const std::vector<Result>& results) {
+  // Self-check behind --validate: the same batch_throughput rules
+  // scripts/validate_bench.py applies to the emitted JSON, enforced on the
+  // in-memory rows before writing.
+  if (results.empty()) {
+    std::fprintf(stderr, "validate: no results\n");
+    return false;
+  }
+  for (const Result& r : results) {
+    const bool ok = r.n >= 2 && r.batch_size >= 1 && r.ops > 0 && r.batches > 0 &&
+                    r.seconds >= 0 && r.updates_per_sec > 0 &&
+                    r.adjustments_per_op >= 0;
+    if (!ok) {
+      std::fprintf(stderr, "validate: malformed row (n=%u, batch=%zu, shards=%u)\n",
+                   r.n, r.batch_size, r.shards);
+      return false;
+    }
+  }
+  return true;
+}
+
 bool write_json(const std::string& path, const std::vector<Result>& results,
                 std::uint64_t ops, std::uint64_t seed, double deg) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -123,6 +144,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> batch_sizes = {16, 256, 4096};
   std::vector<unsigned> shard_counts = {1, 2, 4, 8};
   std::string out = "BENCH_batch_throughput.json";
+  bool validate_flag = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,6 +164,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--deg") deg = std::strtod(next(), nullptr);
     else if (arg == "--out") out = next();
+    else if (arg == "--validate") validate_flag = true;
     // A node count below 2 would spin the churn generator forever (no edge
     // to toggle), hence the floor on --sizes.
     else if (arg == "--sizes" && parse_list(next(), sizes, 2)) continue;
@@ -150,7 +173,7 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--ops N] [--seed S] [--deg D] [--sizes a,b] "
-                   "[--batch-sizes a,b] [--shards a,b] [--out F]\n",
+                   "[--batch-sizes a,b] [--shards a,b] [--out F] [--validate]\n",
                    argv[0]);
       return 2;
     }
@@ -199,5 +222,6 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (validate_flag && !validate(results)) return 1;
   return write_json(out, results, ops, seed, deg) ? 0 : 1;
 }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Structural validator for the repo's BENCH_*.json files.
+
+Single source of truth for "is this bench output well-formed?" — CI runs it
+on every smoke-run artifact (replacing the old inline heredoc in ci.yml),
+and the bench binaries' --validate flag enforces the same rules in-process
+on their result rows before the JSON is written (see the validate()
+functions in bench/bench_*.cpp, which mirror the per-kind checks here).
+
+Validation is shape + sanity only (fields present, counts positive, metrics
+non-negative and finite, percentiles ordered); regression *gating* against
+committed baselines is scripts/check_bench.py's job.
+
+Usage: validate_bench.py FILE [FILE...]        exits non-zero on the first
+malformed file, printing what failed.
+"""
+
+import json
+import math
+import sys
+
+
+class Malformed(Exception):
+    pass
+
+
+def require(cond, what):
+    if not cond:
+        raise Malformed(what)
+
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+
+def require_metric(row, key, lo=0.0):
+    require(key in row, f"missing field '{key}' in {row}")
+    require(finite(row[key]) and row[key] >= lo, f"bad '{key}' in {row}")
+
+
+def validate_update_latency(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require(row.get("workload") in ("insert", "delete", "churn"),
+                f"unknown workload in {row}")
+        require_metric(row, "n", lo=2)
+        require_metric(row, "ops", lo=1)
+        require_metric(row, "seconds")
+        require_metric(row, "updates_per_sec", lo=1)
+        for key in ("ns_p50", "ns_p95", "ns_p99", "ns_max"):
+            require_metric(row, key)
+        require(row["ns_p50"] <= row["ns_p95"] <= row["ns_p99"] <= row["ns_max"],
+                f"latency percentiles out of order in {row}")
+        require_metric(row, "adjustments_per_update")
+
+
+def validate_batch_throughput(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require(row.get("engine") in ("serial", "sharded"), f"unknown engine in {row}")
+        require_metric(row, "n", lo=2)
+        require_metric(row, "batch_size", lo=1)
+        require_metric(row, "ops", lo=1)
+        require_metric(row, "batches", lo=1)
+        require_metric(row, "updates_per_sec", lo=1)
+        require_metric(row, "adjustments_per_op")
+
+
+def validate_distributed_cost(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require_metric(row, "ops", lo=1)
+        for metric in ("rounds", "broadcasts", "messages", "bits", "adjustments"):
+            require(metric in row, f"missing metric '{metric}' in {row}")
+            summary = row[metric]
+            for key in ("mean", "p50", "p95", "p99", "max"):
+                require_metric(summary, key)
+        require(row["graceful"]["count"] > 0, f"no graceful changes in {row}")
+        for bucket in ("graceful", "node_insert", "abrupt_node_delete"):
+            require(bucket in row, f"missing bucket '{bucket}' in {row}")
+            for key, value in row[bucket].items():
+                require(finite(value) and value >= 0,
+                        f"bad {bucket}.{key} in {row}")
+
+
+def validate_snapshot(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require_metric(row, "n", lo=2)
+        require_metric(row, "edges", lo=1)
+        require_metric(row, "snapshot_bytes", lo=1)
+        require_metric(row, "trace_bytes", lo=1)
+        for key in ("rebuild_s", "rebuild_tuned_s", "save_s", "load_s"):
+            require(row[key] > 0 and finite(row[key]), f"bad '{key}' in {row}")
+        require_metric(row, "open_s")
+        require(row["speedup_vs_rebuild"] > 0, f"bad speedup in {row}")
+
+
+VALIDATORS = {
+    "update_latency": validate_update_latency,
+    "batch_throughput": validate_batch_throughput,
+    "distributed_cost": validate_distributed_cost,
+    "snapshot": validate_snapshot,
+}
+
+
+def validate_file(path):
+    with open(path) as f:
+        data = json.load(f)
+    kind = data.get("bench")
+    require(kind is not None, "missing top-level 'bench' field")
+    validator = VALIDATORS.get(kind)
+    if validator is None:
+        # Unknown kinds (e.g. theorem7/corollary6 baselines) get the generic
+        # check: a non-empty results array of objects.
+        rows = data.get("results")
+        require(isinstance(rows, list) and rows, "no result rows")
+        require(all(isinstance(r, dict) for r in rows), "non-object result row")
+    else:
+        validator(data)
+    return kind or "generic", len(data["results"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    for path in argv[1:]:
+        try:
+            kind, count = validate_file(path)
+        except Malformed as e:
+            print(f"FAIL {path}: {e}")
+            return 1
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"FAIL {path}: {e!r}")
+            return 1
+        print(f"OK   {path}: {count} {kind} rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

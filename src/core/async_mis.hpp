@@ -118,6 +118,11 @@ class AsyncMis : public NetworkDriver<sim::AsyncNetwork, AsyncMisProtocol> {
     init_stable(g);
   }
 
+  /// Start from a binary snapshot (graph/snapshot.hpp); defined in
+  /// async_mis.cpp to keep the snapshot header out of this one.
+  AsyncMis(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8);
+
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v);
   ChangeResult insert_node(std::span<const NodeId> neighbors = {});

@@ -1,14 +1,28 @@
 #include "core/cascade_engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/greedy_mis.hpp"
 #include "core/invariant.hpp"
+#include "graph/snapshot.hpp"
 
 namespace dmis::core {
 
 CascadeEngine::CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed)
     : g_(g), priorities_(priority_seed) {
+  init_mis();
+}
+
+CascadeEngine::CascadeEngine(graph::DynamicGraph&& g, std::uint64_t priority_seed)
+    : g_(std::move(g)), priorities_(priority_seed) {
+  init_mis();
+}
+
+CascadeEngine::CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed)
+    : CascadeEngine(graph::DynamicGraph::load(snapshot), priority_seed) {}
+
+void CascadeEngine::init_mis() {
   state_ = greedy_mis(g_, priorities_);
   grow_node_arrays();
   for (NodeId v = 0; v < state_.size(); ++v) {

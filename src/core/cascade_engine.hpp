@@ -72,6 +72,11 @@ class CascadeEngine {
   /// Build from an existing graph (initial MIS computed from scratch; the
   /// initial computation is not an "update" and produces no report).
   CascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed);
+  CascadeEngine(graph::DynamicGraph&& g, std::uint64_t priority_seed);
+
+  /// Build from a binary snapshot (graph/snapshot.hpp): the graph arrives
+  /// via DynamicGraph::load's bulk path instead of edge-by-edge rebuild.
+  CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed);
 
   NodeId add_node(std::span<const NodeId> neighbors = {});
   NodeId add_node(std::initializer_list<NodeId> neighbors) {
@@ -145,6 +150,10 @@ class CascadeEngine {
     std::uint32_t visited = 0;  // epoch stamp; == epoch_ → done this cascade
     std::uint8_t state = 0;     // mirror of state_ (eagerly maintained)
   };
+
+  /// Shared tail of the from-graph constructors: compute the initial greedy
+  /// MIS for g_ and size the hot arrays.
+  void init_mis();
 
   [[nodiscard]] bool eval(NodeId v) const;
   /// Repair pass over seeds_ (callers fill seeds_, then call cascade()).

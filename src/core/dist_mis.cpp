@@ -1,6 +1,12 @@
 #include "core/dist_mis.hpp"
 
+#include "graph/snapshot.hpp"
+
 namespace dmis::core {
+
+DistMis::DistMis(const graph::Snapshot& snapshot, std::uint64_t seed) : Base(seed) {
+  init_stable(graph::DynamicGraph::load(snapshot));
+}
 
 DistMis::ChangeResult DistMis::insert_edge(NodeId u, NodeId v) {
   DMIS_ASSERT(logical_.add_edge(u, v));

@@ -49,6 +49,11 @@ class DistMis : public NetworkDriver<sim::SyncNetwork, MisProtocol> {
     init_stable(g);
   }
 
+  /// Start from a binary snapshot (graph/snapshot.hpp): the stable-start
+  /// graph arrives via DynamicGraph::load's bulk path (defined in
+  /// dist_mis.cpp to keep the snapshot header out of this one).
+  DistMis(const graph::Snapshot& snapshot, std::uint64_t seed);
+
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v,
                            DeletionMode mode = DeletionMode::kGraceful);

@@ -27,10 +27,24 @@ ShardedCascadeEngine::ShardedCascadeEngine(const graph::DynamicGraph& g,
     : engine_(g, priority_seed),
       pool_(shard_count > 0 ? shard_count - 1 : 0),
       shard_count_(shard_count) {
-  DMIS_ASSERT_MSG(is_pow2(shard_count) && shard_count <= 64,
+  init_shards(frontier_capacity);
+}
+
+ShardedCascadeEngine::ShardedCascadeEngine(const graph::Snapshot& snapshot,
+                                           std::uint64_t priority_seed,
+                                           unsigned shard_count,
+                                           std::size_t frontier_capacity)
+    : engine_(snapshot, priority_seed),
+      pool_(shard_count > 0 ? shard_count - 1 : 0),
+      shard_count_(shard_count) {
+  init_shards(frontier_capacity);
+}
+
+void ShardedCascadeEngine::init_shards(std::size_t frontier_capacity) {
+  DMIS_ASSERT_MSG(is_pow2(shard_count_) && shard_count_ <= 64,
                   "shard count must be a power of two in [1, 64]");
   unsigned log2 = 0;
-  while ((1U << log2) < shard_count) ++log2;
+  while ((1U << log2) < shard_count_) ++log2;
   shard_shift_ = 64 - log2;  // == 64 for S == 1; shard_of_key guards that
   shards_.resize(shard_count_);
   rings_ = std::make_unique<util::SpscRing<NodeId>[]>(

@@ -65,6 +65,10 @@ class ShardedCascadeEngine {
   /// the spill path).
   ShardedCascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed,
                        unsigned shard_count, std::size_t frontier_capacity = 4096);
+  /// Build from a binary snapshot (graph/snapshot.hpp) via the serial
+  /// engine's bulk-load constructor.
+  ShardedCascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+                       unsigned shard_count, std::size_t frontier_capacity = 4096);
   ~ShardedCascadeEngine();
 
   ShardedCascadeEngine(const ShardedCascadeEngine&) = delete;
@@ -102,6 +106,9 @@ class ShardedCascadeEngine {
   void verify() const { engine_.verify(); }
 
  private:
+  /// Shared tail of the constructors: shard/ring/spill geometry.
+  void init_shards(std::size_t frontier_capacity);
+
   // One heap-entry definition for both engines: ShardedCascadeEngine is a
   // friend of CascadeEngine, so the serial engine's comparator (and its
   // pop-earliest-π ordering) is reused verbatim rather than copied.

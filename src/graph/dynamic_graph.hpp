@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,8 @@
 #include "util/flat_set.hpp"
 
 namespace dmis::graph {
+
+class Snapshot;  // graph/snapshot.hpp — mmap-backed binary snapshot view
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = ~static_cast<NodeId>(0);
@@ -171,6 +174,21 @@ class DynamicGraph {
     for_each_edge([&out](NodeId u, NodeId v) { out.emplace_back(u, v); });
     return out;
   }
+
+  /// The edge hash table, exposed read-only for the snapshot writer and the
+  /// deep structural verifier (graph/snapshot.cpp); everything else should
+  /// go through has_edge / for_each_edge.
+  [[nodiscard]] const util::FlatSet& edge_set() const noexcept { return edges_; }
+
+  /// Bulk-rebuild a graph from a binary snapshot: adjacency records are
+  /// reassembled with memcpy from the CSR arrays and the edge table is
+  /// adopted verbatim — linear in bytes, no per-edge hashing. Defined in
+  /// graph/snapshot.cpp (needs the Snapshot layout); aborts on a snapshot
+  /// whose edge table fails FlatSet::restore validation.
+  [[nodiscard]] static DynamicGraph load(const Snapshot& snapshot);
+
+  /// Serialize to a snapshot file (wrapper around graph::save_snapshot).
+  bool save(const std::string& path, std::string* error = nullptr) const;
 
   friend bool operator==(const DynamicGraph& a, const DynamicGraph& b) {
     if (a.node_count_ != b.node_count_ || a.edges_.size() != b.edges_.size())

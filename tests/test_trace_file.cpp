@@ -1,0 +1,244 @@
+// Binary trace format tests: lossless round-trip of ChurnGenerator output
+// (abrupt-delete markers, unmutes, add-node neighbor lists), replay
+// equivalence against the in-memory trace path, batch chunking, and
+// truncated / corrupt-file rejection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "core/dist_mis.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_file.hpp"
+
+namespace {
+
+using namespace dmis;
+using namespace dmis::workload;
+using graph::NodeId;
+
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("dmis_test_" + name)).string()) {}
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+/// A self-contained trace exercising every op kind: the grow history of a
+/// warm random graph followed by churn with unmutes and abrupt deletions —
+/// replaying from an empty engine is valid at every position.
+Trace rich_trace(NodeId n, std::size_t ops, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::DynamicGraph warm = graph::random_avg_degree(n, 6.0, rng);
+  Trace trace = grow_trace(warm);
+  ChurnConfig config;
+  config.p_abrupt = 0.5;
+  config.p_unmute = 0.3;
+  ChurnGenerator gen(std::move(warm), config, seed + 1);
+  const Trace churn = gen.generate(ops);
+  trace.insert(trace.end(), churn.begin(), churn.end());
+  return trace;
+}
+
+void expect_same_trace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "op " << i;
+    EXPECT_EQ(a[i].u, b[i].u) << "op " << i;
+    EXPECT_EQ(a[i].v, b[i].v) << "op " << i;
+    EXPECT_EQ(a[i].neighbors, b[i].neighbors) << "op " << i;
+  }
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(TraceFile, RoundTripPreservesEveryOpKind) {
+  const Trace trace = rich_trace(300, 2500, 5);
+  TempFile file("trace_rt.trc");
+  std::string error;
+  ASSERT_TRUE(TraceFile::save(file.path, trace, &error)) << error;
+  for (const bool force_read : {false, true}) {
+    TraceFile tf;
+    ASSERT_TRUE(tf.open(file.path, &error, force_read)) << error;
+    EXPECT_TRUE(tf.verify(&error)) << error;
+    expect_same_trace(trace, tf.to_trace());
+  }
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips) {
+  TempFile file("trace_empty.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, Trace{}));
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(tf.open(file.path, &error)) << error;
+  EXPECT_TRUE(tf.empty());
+  EXPECT_TRUE(tf.verify(&error)) << error;
+}
+
+TEST(TraceFile, AgreesWithTextFormat) {
+  const Trace trace = rich_trace(120, 800, 6);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const Trace from_text = read_trace(ss);
+
+  TempFile file("trace_text.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  TraceFile tf;
+  ASSERT_TRUE(tf.open(file.path));
+  expect_same_trace(from_text, tf.to_trace());
+}
+
+TEST(TraceFile, ReplayMatchesInMemoryReplay) {
+  const Trace trace = rich_trace(200, 1500, 7);
+  TempFile file("trace_replay.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  TraceFile tf;
+  ASSERT_TRUE(tf.open(file.path));
+
+  core::CascadeEngine from_memory(3);
+  replay(from_memory, trace);
+  core::CascadeEngine from_file(3);
+  tf.replay(from_file);
+  EXPECT_TRUE(from_memory.graph() == from_file.graph());
+  EXPECT_TRUE(from_memory.mis_set() == from_file.mis_set());
+  from_file.verify();
+}
+
+TEST(TraceFile, ReplayIntoDistMisPreservesModes) {
+  // Graceful/abrupt markers survive the binary round-trip; DistMis consumes
+  // them through its mode-aware API, and the result must still match the
+  // sequential oracle (verify checks exactly that).
+  const Trace trace = rich_trace(60, 300, 8);
+  TempFile file("trace_dist.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  TraceFile tf;
+  ASSERT_TRUE(tf.open(file.path));
+
+  core::DistMis from_memory(4);
+  replay(from_memory, trace);
+  core::DistMis from_file(4);
+  tf.replay(from_file);
+  from_file.verify();
+  EXPECT_TRUE(from_memory.mis_set() == from_file.mis_set());
+}
+
+TEST(TraceFile, BatchChunkingMatchesChunkTrace) {
+  const Trace trace = rich_trace(150, 1200, 9);
+  TempFile file("trace_batch.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  TraceFile tf;
+  ASSERT_TRUE(tf.open(file.path));
+
+  const std::size_t batch_size = 64;
+  const std::vector<core::Batch> expected = chunk_trace(trace, batch_size);
+
+  core::CascadeEngine a(12);
+  for (const core::Batch& batch : expected) (void)core::apply_batch(a, batch);
+
+  core::CascadeEngine b(12);
+  core::Batch batch;
+  for (std::size_t begin = 0; begin < tf.size(); begin += batch_size) {
+    batch.clear();
+    const std::size_t end = std::min(begin + batch_size, tf.size());
+    append_to_batch(tf, begin, end, batch);
+    (void)core::apply_batch(b, batch);
+  }
+  EXPECT_TRUE(a.graph() == b.graph());
+  EXPECT_TRUE(a.mis_set() == b.mis_set());
+  b.verify();
+}
+
+TEST(TraceFile, RejectsTruncatedAndCorruptFiles) {
+  const Trace trace = rich_trace(80, 400, 10);
+  TempFile file("trace_corrupt.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  const std::vector<std::uint8_t> pristine = read_bytes(file.path);
+  TraceFileHeader header{};
+  std::memcpy(&header, pristine.data(), sizeof(header));
+
+  const auto expect_rejected = [&](std::vector<std::uint8_t> bytes,
+                                   const std::string& what) {
+    write_bytes(file.path, bytes);
+    TraceFile tf;
+    std::string error;
+    EXPECT_FALSE(tf.open(file.path, &error)) << what;
+    EXPECT_FALSE(error.empty()) << what;
+  };
+
+  expect_rejected({pristine.begin(), pristine.begin() + 10}, "truncated header");
+  expect_rejected({pristine.begin(), pristine.begin() + static_cast<long>(
+                                         pristine.size() / 2)},
+                  "truncated payload");
+  {
+    auto bytes = pristine;
+    bytes[0] = 'X';
+    expect_rejected(bytes, "bad magic");
+  }
+  {
+    auto bytes = pristine;
+    bytes[8] = 42;  // version
+    expect_rejected(bytes, "bad version");
+  }
+  {
+    auto bytes = pristine;
+    bytes[13] = 0x99;  // endian tag (byte 12 is 0x04 in a valid LE header)
+    expect_rejected(bytes, "endianness");
+  }
+  {
+    // First record: blow up its nbr_count (offset 16 within the record).
+    auto bytes = pristine;
+    bytes[static_cast<std::size_t>(header.ops_off) + 16] = 0xFF;
+    bytes[static_cast<std::size_t>(header.ops_off) + 17] = 0xFF;
+    expect_rejected(bytes, "arena view out of bounds");
+  }
+  {
+    // First record: invalid kind.
+    auto bytes = pristine;
+    bytes[static_cast<std::size_t>(header.ops_off)] = 200;
+    expect_rejected(bytes, "unknown kind");
+  }
+}
+
+TEST(TraceFile, ChecksumCatchesPayloadBitFlips) {
+  const Trace trace = rich_trace(80, 400, 11);
+  TempFile file("trace_sum.trc");
+  ASSERT_TRUE(TraceFile::save(file.path, trace));
+  std::vector<std::uint8_t> bytes = read_bytes(file.path);
+  TraceFileHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+
+  // Flip an edge endpoint in the middle of the op array: still structurally
+  // valid (kind and arena views untouched) but the ops changed.
+  const std::size_t mid = static_cast<std::size_t>(
+      header.ops_off + (header.op_count / 2) * sizeof(TraceOpRecord) + 4);
+  bytes[mid] ^= 1;
+  write_bytes(file.path, bytes);
+
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(tf.open(file.path, &error)) << error;
+  EXPECT_FALSE(tf.verify(&error));
+  EXPECT_NE(error.find("checksum"), std::string::npos);
+}
+
+}  // namespace

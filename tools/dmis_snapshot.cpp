@@ -1,0 +1,246 @@
+// dmis_snapshot — the operator CLI for the binary snapshot + trace formats.
+//
+//   dmis_snapshot save    --out g.snap [--n N --deg D --seed S | --trace t]
+//   dmis_snapshot load    --in g.snap            time mmap-open + bulk load
+//   dmis_snapshot verify  --in g.snap            checksum + deep consistency
+//   dmis_snapshot stats   --in g.snap            header, sections, degrees
+//   dmis_snapshot record  --out t.trc --n N --ops K [--deg D --seed S ...]
+//
+// `save` builds a graph — either G(n, m) at the requested average degree or
+// the graph a trace materializes (binary .trc via workload::TraceFile, any
+// other extension read as a text trace) — and writes it as a snapshot.
+// `record` emits a self-contained binary churn trace: the grow history of
+// the warm start graph followed by `--ops` random churn ops, so replaying
+// the whole file from an empty engine reproduces the workload exactly (that
+// replay is bench_snapshot's rebuild comparator).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_file.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::NodeId;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Build the save input: either the materialization of a trace file or a
+/// fresh G(n, m) at the requested average degree.
+bool build_graph(const std::string& trace_path, NodeId n, double deg,
+                 std::uint64_t seed, graph::DynamicGraph& out) {
+  if (!trace_path.empty()) {
+    workload::Trace trace;
+    if (ends_with(trace_path, ".trc")) {
+      workload::TraceFile tf;
+      std::string error;
+      if (!tf.open(trace_path, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return false;
+      }
+      trace = tf.to_trace();
+    } else {
+      std::ifstream is(trace_path);
+      if (!is) {
+        std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+        return false;
+      }
+      trace = workload::read_trace(is);
+    }
+    out = workload::materialize(trace);
+    return true;
+  }
+  util::Rng rng(seed);
+  out = graph::random_avg_degree(n, deg, rng);
+  return true;
+}
+
+int cmd_save(util::Cli& cli) {
+  const auto out = cli.flag_string("out", "graph.snap", "snapshot output path");
+  const auto trace_path =
+      cli.flag_string("trace", "", "build from this trace (.trc binary, else text)");
+  const auto n = static_cast<NodeId>(cli.flag_int("n", 100'000, "nodes (random graph)"));
+  const auto deg = cli.flag_double("deg", 8.0, "average degree (random graph)");
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 42, "rng seed"));
+  cli.finish();
+
+  graph::DynamicGraph g;
+  if (!build_graph(trace_path, n, deg, seed, g)) return 1;
+  const auto t0 = Clock::now();
+  std::string error;
+  if (!g.save(out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("saved %s: %u nodes, %zu edges in %.3fs\n", out.c_str(), g.node_count(),
+              g.edge_count(), seconds_since(t0));
+  return 0;
+}
+
+int cmd_load(util::Cli& cli) {
+  const auto in = cli.flag_string("in", "graph.snap", "snapshot input path");
+  const bool no_mmap =
+      cli.flag_bool("no-mmap", false, "force the read fallback instead of mmap");
+  cli.finish();
+
+  graph::Snapshot snap;
+  std::string error;
+  const auto t0 = Clock::now();
+  if (!snap.open(in, &error, no_mmap)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const double open_s = seconds_since(t0);
+  const auto t1 = Clock::now();
+  const graph::DynamicGraph g = graph::DynamicGraph::load(snap);
+  const double load_s = seconds_since(t1);
+  std::printf("%s: %u nodes, %llu edges (%s)\n", in.c_str(), snap.node_count(),
+              static_cast<unsigned long long>(snap.edge_count()),
+              snap.is_mapped() ? "mmap" : "read fallback");
+  std::printf("open %.6fs  bulk-load %.6fs  (graph: %u live nodes, %zu edges)\n",
+              open_s, load_s, g.node_count(), g.edge_count());
+  return 0;
+}
+
+int cmd_verify(util::Cli& cli) {
+  const auto in = cli.flag_string("in", "graph.snap", "snapshot or .trc trace path");
+  cli.finish();
+
+  std::string error;
+  if (ends_with(in, ".trc")) {
+    workload::TraceFile tf;
+    if (!tf.open(in, &error) || !tf.verify(&error)) {
+      std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("OK: %s — %zu ops, %zu arena slots, checksum valid\n", in.c_str(),
+                tf.size(), tf.arena_len());
+    return 0;
+  }
+  graph::Snapshot snap;
+  if (!snap.open(in, &error) || !snap.verify(&error)) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("OK: %s — %u nodes, %llu edges, checksum + deep consistency valid\n",
+              in.c_str(), snap.node_count(),
+              static_cast<unsigned long long>(snap.edge_count()));
+  return 0;
+}
+
+int cmd_stats(util::Cli& cli) {
+  const auto in = cli.flag_string("in", "graph.snap", "snapshot input path");
+  cli.finish();
+
+  graph::Snapshot snap;
+  std::string error;
+  if (!snap.open(in, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto& h = snap.header();
+  std::printf("%s (version %u, %s)\n", in.c_str(), h.version,
+              snap.is_mapped() ? "mmap" : "read fallback");
+  std::printf("  file size        %llu bytes\n",
+              static_cast<unsigned long long>(h.file_size));
+  std::printf("  id bound         %u\n", h.id_bound);
+  std::printf("  live nodes       %u\n", h.node_count);
+  std::printf("  edges            %llu\n", static_cast<unsigned long long>(h.edge_count));
+  std::printf("  edge table       %llu/%llu slots occupied (%llu live)\n",
+              static_cast<unsigned long long>(h.edge_occupied),
+              static_cast<unsigned long long>(h.edge_capacity),
+              static_cast<unsigned long long>(h.edge_count));
+  std::printf("  sections         alive@%llu offsets@%llu neighbors@%llu "
+              "ctrl@%llu keys@%llu\n",
+              static_cast<unsigned long long>(h.alive_off),
+              static_cast<unsigned long long>(h.offsets_off),
+              static_cast<unsigned long long>(h.neighbors_off),
+              static_cast<unsigned long long>(h.edge_ctrl_off),
+              static_cast<unsigned long long>(h.edge_keys_off));
+
+  std::uint32_t max_deg = 0;
+  std::uint64_t spilled = 0;  // nodes past the 14-slot inline capacity
+  double deg_sum = 0;
+  for (NodeId v = 0; v < snap.id_bound(); ++v) {
+    if (!snap.alive(v)) continue;
+    const std::uint32_t d = snap.degree(v);
+    deg_sum += d;
+    if (d > max_deg) max_deg = d;
+    if (d > 14) ++spilled;
+  }
+  std::printf("  degree           avg %.2f  max %u  spilled-inline %llu\n",
+              snap.node_count() > 0 ? deg_sum / snap.node_count() : 0.0, max_deg,
+              static_cast<unsigned long long>(spilled));
+  return 0;
+}
+
+int cmd_record(util::Cli& cli) {
+  const auto out = cli.flag_string("out", "churn.trc", "binary trace output path");
+  const auto n = static_cast<NodeId>(cli.flag_int("n", 100'000, "warm-start nodes"));
+  const auto ops =
+      static_cast<std::size_t>(cli.flag_int("ops", 100'000, "churn ops to record"));
+  const auto deg = cli.flag_double("deg", 8.0, "warm-start average degree");
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 42, "rng seed"));
+  const auto p_abrupt =
+      cli.flag_double("p-abrupt", 0.5, "abrupt fraction of deletions");
+  cli.finish();
+
+  util::Rng rng(seed);
+  graph::DynamicGraph warm = graph::random_avg_degree(n, deg, rng);
+  workload::Trace trace = workload::grow_trace(warm);
+  workload::ChurnConfig config;
+  config.p_abrupt = p_abrupt;
+  workload::ChurnGenerator gen(std::move(warm), config, seed + 1);
+  const workload::Trace churn = gen.generate(ops);
+  trace.insert(trace.end(), churn.begin(), churn.end());
+
+  std::string error;
+  if (!workload::TraceFile::save(out, trace, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("recorded %s: %zu ops (%zu grow + %zu churn), self-contained\n",
+              out.c_str(), trace.size(), trace.size() - churn.size(), churn.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <save|load|verify|stats|record> [flags]\n"
+                 "run a subcommand with --help for its flags\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  util::Cli cli(argc - 1, argv + 1);
+  if (cmd == "save") return cmd_save(cli);
+  if (cmd == "load") return cmd_load(cli);
+  if (cmd == "verify") return cmd_verify(cli);
+  if (cmd == "stats") return cmd_stats(cli);
+  if (cmd == "record") return cmd_record(cli);
+  std::fprintf(stderr, "unknown subcommand '%s' (want save|load|verify|stats|record)\n",
+               cmd.c_str());
+  return 2;
+}
