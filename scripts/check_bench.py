@@ -27,6 +27,17 @@ Tolerances (CI's contract — change them here, not in the workflow):
   aborts before writing JSON if any cell disagrees with the sequential
   greedy oracle — a cell that exists has been oracle-verified.
 
+* snapshot — the warm-start cells. engine_warm_s (engine-ready time from a
+  version-2 snapshot, persisted keys + membership, zero greedy recompute)
+  is a wall-clock timing, so it gets the same best-of-N fold and
+  THROUGHPUT_TOLERANCE band as update_latency: a candidate cell FAILS if
+  its folded warm time exceeds the reference by more than the tolerance.
+  warm_speedup (engine_cold_s / engine_warm_s) is measured from strictly
+  interleaved cold/warm reps inside ONE process, so the ratio is robust to
+  machine-class differences and is gated against the reference even under
+  --deterministic-only (where the absolute warm-time band is skipped, like
+  every other wall-clock check).
+
 Cells present in the candidate but absent from the reference are skipped
 (so a smoke run may sweep a subset); a candidate with *no* matching cell is
 an error, since the gate would otherwise silently gate nothing.
@@ -69,10 +80,30 @@ def close(candidate, reference, tolerance, absolute=1e-3):
 
 
 def merge_best(candidates):
-    """Fold N candidate runs into one: per-cell max throughput (noise only
-    slows a cell down), asserting the deterministic fields agree exactly."""
+    """Fold N candidate runs into one: per-cell max throughput / min warm
+    time (noise only ever slows a cell down), asserting the deterministic
+    fields agree exactly."""
     merged = copy.deepcopy(candidates[0])
-    if merged.get("bench") != "update_latency":
+    kind = merged.get("bench")
+    if kind == "snapshot":
+        cells = {r["n"]: r for r in merged["results"]}
+        for other in candidates[1:]:
+            for row in other["results"]:
+                cell = cells.get(row["n"])
+                if cell is None:
+                    continue
+                for field in ("edges", "snapshot_bytes", "trace_bytes"):
+                    if row[field] != cell[field]:
+                        raise SystemExit(
+                            f"FAIL: {field} differs between candidate runs at "
+                            f"n={row['n']} — nondeterministic snapshot writer")
+                for field in ("engine_warm_s", "engine_cold_s"):
+                    cell[field] = min(cell[field], row[field])
+        for cell in cells.values():
+            if cell["engine_warm_s"] > 0:
+                cell["warm_speedup"] = cell["engine_cold_s"] / cell["engine_warm_s"]
+        return merged
+    if kind != "update_latency":
         # Other kinds gate deterministic counts only — one run carries all
         # the signal, and wall-clock fields legitimately differ between
         # runs, so there is nothing to fold.
@@ -160,9 +191,42 @@ def check_distributed_cost(candidate, reference, _tolerance, _deterministic_only
     return failures, matched
 
 
+def check_snapshot(candidate, reference, tolerance, deterministic_only):
+    failures = []
+    ref = {r["n"]: r for r in reference["results"]}
+    matched = 0
+    for row in candidate["results"]:
+        key = row["n"]
+        base = ref.get(key)
+        if base is None:
+            print(f"SKIP n={key}: no reference cell")
+            continue
+        matched += 1
+        cell_failures = []
+        got, want = row["engine_warm_s"], base["engine_warm_s"]
+        if not deterministic_only and got > want * (1.0 + tolerance):
+            cell_failures.append(
+                f"n={key}: warm engine-ready time regression {got:.6f}s vs "
+                f"reference {want:.6f}s (> {tolerance:.0%} slower)")
+        got, want = row["warm_speedup"], base["warm_speedup"]
+        if got < want * (1.0 - tolerance):
+            cell_failures.append(
+                f"n={key}: warm-vs-cold speedup collapsed to {got:.2f}x vs "
+                f"reference {want:.2f}x (> {tolerance:.0%} drop; the ratio is "
+                f"same-process interleaved, so this is not machine drift)")
+        if not cell_failures:
+            print(f"OK   n={key}: warm {row['engine_warm_s']:.6f}s, "
+                  f"{row['warm_speedup']:.2f}x vs cold "
+                  f"(reference {base['engine_warm_s']:.6f}s, "
+                  f"{base['warm_speedup']:.2f}x)")
+        failures.extend(cell_failures)
+    return failures, matched
+
+
 CHECKERS = {
     "update_latency": check_update_latency,
     "distributed_cost": check_distributed_cost,
+    "snapshot": check_snapshot,
 }
 
 
@@ -197,6 +261,12 @@ def inject_regression(candidate, deterministic_only):
             row["updates_per_sec"] /= 2.0
         elif kind == "distributed_cost":
             row["graceful"]["mean_broadcasts"] *= 2.0
+        elif kind == "snapshot":
+            # A 2x-slower warm start halves the interleaved speedup too, so
+            # the injection trips the ratio band even under
+            # --deterministic-only.
+            row["engine_warm_s"] *= 2.0
+            row["warm_speedup"] /= 2.0
     return regressed
 
 

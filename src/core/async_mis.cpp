@@ -5,9 +5,10 @@
 namespace dmis::core {
 
 AsyncMis::AsyncMis(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
-                   std::uint64_t scheduler_seed, std::uint64_t max_delay)
+                   std::uint64_t scheduler_seed, std::uint64_t max_delay,
+                   graph::SnapshotLoad mode)
     : Base(priority_seed, scheduler_seed, max_delay) {
-  init_stable(graph::DynamicGraph::load(snapshot));
+  init_from_snapshot(snapshot, mode);
 }
 
 AsyncMisProtocol::Local& AsyncMisProtocol::local(NodeId v) {

@@ -119,9 +119,13 @@ class AsyncMis : public NetworkDriver<sim::AsyncNetwork, AsyncMisProtocol> {
   }
 
   /// Start from a binary snapshot (graph/snapshot.hpp); defined in
-  /// async_mis.cpp to keep the snapshot header out of this one.
+  /// async_mis.cpp to keep the snapshot header out of this one. A v2
+  /// snapshot warm-starts by default — persisted keys + membership are
+  /// installed into every view with no greedy recompute and no priority
+  /// draws; see CascadeEngine's snapshot ctor for the mode rules.
   AsyncMis(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
-           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8);
+           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8,
+           graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v);

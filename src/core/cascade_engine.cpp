@@ -19,8 +19,28 @@ CascadeEngine::CascadeEngine(graph::DynamicGraph&& g, std::uint64_t priority_see
   init_mis();
 }
 
-CascadeEngine::CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed)
-    : CascadeEngine(graph::DynamicGraph::load(snapshot), priority_seed) {}
+CascadeEngine::CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+                             graph::SnapshotLoad mode)
+    : g_(graph::DynamicGraph::load(snapshot)), priorities_(priority_seed) {
+  if (graph::snapshot_load_warm(mode, snapshot.has_engine_state())) {
+    DMIS_ASSERT_MSG(snapshot.has_engine_state(),
+                    "warm start requested from a graph-only (v1) snapshot");
+    priorities_.bulk_load(snapshot.priority_keys(), snapshot.engine_ext().rng_state,
+                          snapshot.priority_seed());
+    init_warm(snapshot);
+    return;
+  }
+  if (mode == graph::SnapshotLoad::kColdKeys) {
+    DMIS_ASSERT_MSG(snapshot.has_engine_state(),
+                    "kColdKeys requested from a graph-only (v1) snapshot");
+    // Pin the persisted permutation, then recompute: greedy_mis's ensure()
+    // calls see every id assigned and draw nothing, so this engine and a
+    // warm-started twin share both the key array and the future RNG stream.
+    priorities_.bulk_load(snapshot.priority_keys(), snapshot.engine_ext().rng_state,
+                          snapshot.priority_seed());
+  }
+  init_mis();
+}
 
 void CascadeEngine::init_mis() {
   state_ = greedy_mis(g_, priorities_);
@@ -29,6 +49,23 @@ void CascadeEngine::init_mis() {
     mis_size_ += state_[v];
     hot_[v].state = state_[v];
   }
+}
+
+void CascadeEngine::init_warm(const graph::Snapshot& snapshot) {
+  const auto member = snapshot.membership_bytes();
+  const auto keys = snapshot.priority_keys();
+  state_.assign(member.begin(), member.end());
+  mis_size_ = static_cast<std::size_t>(snapshot.mis_size());  // validated on open
+  grow_node_arrays();
+  // One streaming pass fills the hot table from the mapped sections; marking
+  // the key mirror in sync here means the first cascade skips the O(n)
+  // version-resync rescan too — a warm start performs no per-node work
+  // beyond these bulk copies.
+  for (NodeId v = 0; v < hot_.size(); ++v) {
+    hot_[v].key = keys[v];
+    hot_[v].state = state_[v];
+  }
+  key_version_seen_ = priorities_.version();
 }
 
 bool CascadeEngine::eval(NodeId v) const {

@@ -76,7 +76,17 @@ class CascadeEngine {
 
   /// Build from a binary snapshot (graph/snapshot.hpp): the graph arrives
   /// via DynamicGraph::load's bulk path instead of edge-by-edge rebuild.
-  CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed);
+  /// With `mode` kAuto (default) a v2 snapshot warm-starts — persisted
+  /// priority keys and membership are bulk-loaded and the greedy recompute
+  /// is skipped entirely (zero priority draws, zero cascade work; the
+  /// persisted membership is the unique greedy fixpoint of the persisted
+  /// keys, which dmis_snapshot verify deep-checks) — while a v1 snapshot
+  /// cold-starts exactly as before. kColdKeys adopts the persisted keys but
+  /// recomputes the MIS: its result must equal the warm start bit for bit,
+  /// which the warm-vs-cold equivalence tests pin. `priority_seed` feeds
+  /// the RNG for *future* draws in every mode.
+  CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+                graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 
   NodeId add_node(std::span<const NodeId> neighbors = {});
   NodeId add_node(std::initializer_list<NodeId> neighbors) {
@@ -154,6 +164,10 @@ class CascadeEngine {
   /// Shared tail of the from-graph constructors: compute the initial greedy
   /// MIS for g_ and size the hot arrays.
   void init_mis();
+  /// Warm-start tail: adopt the snapshot's membership + key sections
+  /// verbatim (bulk copies only — no priority hashing, no greedy pass, no
+  /// cascade) and leave the key mirror marked in sync.
+  void init_warm(const graph::Snapshot& snapshot);
 
   [[nodiscard]] bool eval(NodeId v) const;
   /// Repair pass over seeds_ (callers fill seeds_, then call cascade()).

@@ -4,8 +4,10 @@
 
 namespace dmis::core {
 
-DistMis::DistMis(const graph::Snapshot& snapshot, std::uint64_t seed) : Base(seed) {
-  init_stable(graph::DynamicGraph::load(snapshot));
+DistMis::DistMis(const graph::Snapshot& snapshot, std::uint64_t seed,
+                 graph::SnapshotLoad mode)
+    : Base(seed) {
+  init_from_snapshot(snapshot, mode);
 }
 
 DistMis::ChangeResult DistMis::insert_edge(NodeId u, NodeId v) {

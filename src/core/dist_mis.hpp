@@ -51,8 +51,12 @@ class DistMis : public NetworkDriver<sim::SyncNetwork, MisProtocol> {
 
   /// Start from a binary snapshot (graph/snapshot.hpp): the stable-start
   /// graph arrives via DynamicGraph::load's bulk path (defined in
-  /// dist_mis.cpp to keep the snapshot header out of this one).
-  DistMis(const graph::Snapshot& snapshot, std::uint64_t seed);
+  /// dist_mis.cpp to keep the snapshot header out of this one). A v2
+  /// snapshot warm-starts by default — persisted keys + membership are
+  /// installed into every protocol view with no greedy recompute and no
+  /// priority draws; see CascadeEngine's snapshot ctor for the mode rules.
+  DistMis(const graph::Snapshot& snapshot, std::uint64_t seed,
+          graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 
   ChangeResult insert_edge(NodeId u, NodeId v);
   ChangeResult remove_edge(NodeId u, NodeId v,

@@ -1,0 +1,37 @@
+// Engine-state snapshot writers — the core-side half of the version-2
+// snapshot format (graph/snapshot.hpp, docs/FORMATS.md).
+//
+// A v2 snapshot persists the graph plus the two arrays that, by the greedy
+// fixpoint property (paper §3), completely determine an engine: the per-node
+// priority keys and the MIS membership. These overloads extract that state
+// from a live engine and hand it to graph::save_snapshot; the matching read
+// side is each engine's snapshot constructor with graph::SnapshotLoad::kWarm
+// (or kAuto on a v2 file), which restarts without recomputing the greedy
+// MIS. dmis_snapshot `save --engine` / `load --warm` are the operator
+// entry points, and `verify` deep-checks that the persisted membership is
+// exactly the greedy fixpoint of the persisted keys.
+#pragma once
+
+#include <string>
+
+#include "core/async_mis.hpp"
+#include "core/cascade_engine.hpp"
+#include "core/dist_mis.hpp"
+#include "core/sharded_engine.hpp"
+
+namespace dmis::core {
+
+/// Write `engine`'s graph + engine state as a version-2 snapshot. Returns
+/// false (with *error) on I/O failure. The engine must be quiescent (no
+/// batch repair in flight); every engine in this repository is between
+/// public calls.
+bool save_snapshot(const CascadeEngine& engine, const std::string& path,
+                   std::string* error = nullptr);
+bool save_snapshot(const ShardedCascadeEngine& engine, const std::string& path,
+                   std::string* error = nullptr);
+bool save_snapshot(const DistMis& engine, const std::string& path,
+                   std::string* error = nullptr);
+bool save_snapshot(const AsyncMis& engine, const std::string& path,
+                   std::string* error = nullptr);
+
+}  // namespace dmis::core

@@ -56,6 +56,7 @@ class NetworkDriver {
 
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return logical_; }
   [[nodiscard]] PriorityMap& priorities() noexcept { return priorities_; }
+  [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
   [[nodiscard]] const Proto& protocol() const noexcept { return protocol_; }
   [[nodiscard]] Net& network() noexcept { return net_; }
   [[nodiscard]] const Net& network() const noexcept { return net_; }
@@ -91,6 +92,52 @@ class NetworkDriver {
       protocol_.install_neighbor(u, v, priorities_.key(v), oracle[v] != 0);
       protocol_.install_neighbor(v, u, priorities_.key(u), oracle[u] != 0);
     });
+  }
+
+  /// Warm start from persisted engine state (a v2 snapshot's priority-key
+  /// and membership sections, passed as raw spans so this header stays
+  /// independent of the snapshot layout): install the persisted keys
+  /// without drawing, then hand every node and view its *persisted* state.
+  /// Skips the greedy recompute entirely — the persisted membership is the
+  /// greedy fixpoint of the persisted keys, so the system is born stable,
+  /// exactly as init_stable's assumption demands.
+  void init_warm(graph::DynamicGraph&& g, std::span<const std::uint64_t> keys,
+                 std::span<const std::uint8_t> membership,
+                 const std::uint64_t (&rng_words)[4], std::uint64_t priority_seed) {
+    logical_ = std::move(g);
+    net_.comm() = logical_;
+    priorities_.bulk_load(keys, rng_words, priority_seed);
+    logical_.for_each_node([&](NodeId v) {
+      protocol_.install_node(v, keys[v], membership[v] != 0);
+    });
+    logical_.for_each_edge([&](NodeId u, NodeId v) {
+      protocol_.install_neighbor(u, v, keys[v], membership[v] != 0);
+      protocol_.install_neighbor(v, u, keys[u], membership[u] != 0);
+    });
+  }
+
+  /// Shared snapshot-mode dispatch for the drivers' snapshot constructors
+  /// (DistMis and AsyncMis resolve graph::SnapshotLoad identically; keeping
+  /// the rules here means a new mode is implemented once). A template so
+  /// this header stays free of the snapshot layout — it is only
+  /// instantiated from TUs that include graph/snapshot.hpp.
+  template <typename SnapshotT>
+  void init_from_snapshot(const SnapshotT& snapshot, graph::SnapshotLoad mode) {
+    if (graph::snapshot_load_warm(mode, snapshot.has_engine_state())) {
+      DMIS_ASSERT_MSG(snapshot.has_engine_state(),
+                      "warm start requested from a graph-only (v1) snapshot");
+      init_warm(graph::DynamicGraph::load(snapshot), snapshot.priority_keys(),
+                snapshot.membership_bytes(), snapshot.engine_ext().rng_state,
+                snapshot.priority_seed());
+      return;
+    }
+    if (mode == graph::SnapshotLoad::kColdKeys) {
+      DMIS_ASSERT_MSG(snapshot.has_engine_state(),
+                      "kColdKeys requested from a graph-only (v1) snapshot");
+      priorities_.bulk_load(snapshot.priority_keys(), snapshot.engine_ext().rng_state,
+                            snapshot.priority_seed());
+    }
+    init_stable(graph::DynamicGraph::load(snapshot));
   }
 
   /// Create a node in both graphs, wire its edges, and register it with the

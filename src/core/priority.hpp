@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/dynamic_graph.hpp"
@@ -25,7 +26,7 @@ using graph::NodeId;
 
 class PriorityMap {
  public:
-  explicit PriorityMap(std::uint64_t seed) : rng_(seed) {}
+  explicit PriorityMap(std::uint64_t seed) : rng_(seed), seed_(seed) {}
 
   /// Draw (once) and return the priority key of `v`.
   std::uint64_t ensure(NodeId v) {
@@ -68,6 +69,57 @@ class PriorityMap {
     return v < assigned_.size() && assigned_[v] != 0;
   }
 
+  /// Adopt a persisted key array in one bulk pass (snapshot warm start; the
+  /// spans come straight off the mapping). Every id < keys.size() is marked
+  /// assigned — including dead ids, whose keys never interact with anything
+  /// because ids are not reused — and the RNG is NOT consumed, so two
+  /// engines bulk-loading the same keys under the same seed keep drawing
+  /// identical priorities for future nodes.
+  void bulk_load_keys(std::span<const std::uint64_t> keys) {
+    keys_.assign(keys.begin(), keys.end());
+    assigned_.assign(keys.size(), 1);
+    ++version_;
+  }
+
+  /// The key of `v` if one was ever drawn or pinned, else 0 (dead ids that
+  /// never drew one). The snapshot writer persists exactly this view.
+  [[nodiscard]] std::uint64_t key_or_zero(NodeId v) const noexcept {
+    return is_assigned(v) ? keys_[v] : 0;
+  }
+
+  /// Every stored key, indexed by id (entries past the array are ids that
+  /// never drew — the snapshot writer zero-pads them). Read-only; hot paths
+  /// keep using the engine's own key mirror.
+  [[nodiscard]] std::span<const std::uint64_t> raw_keys() const noexcept {
+    return keys_;
+  }
+
+  /// The seed this map was constructed with (persisted into snapshots so an
+  /// operator can warm-start without out-of-band bookkeeping).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw generator state, persisted alongside the keys so a warm-started
+  /// engine draws exactly the priorities the saved process would have drawn
+  /// for future nodes — restart is then a true continuation, not merely an
+  /// equivalent state.
+  [[nodiscard]] util::Rng::State rng_state() const noexcept { return rng_.state(); }
+  void restore_rng_state(const util::Rng::State& state) noexcept {
+    rng_.restore_state(state);
+  }
+
+  /// Adopt persisted keys + generator state + originating seed in one call
+  /// (the engines' snapshot warm/cold-keys paths; `rng_words` is the
+  /// extension header's rng_state array verbatim). Adopting the persisted
+  /// seed keeps seed() describing the stream this map now continues, so a
+  /// re-saved warm-started engine persists metadata that still reproduces
+  /// its permutation.
+  void bulk_load(std::span<const std::uint64_t> keys,
+                 const std::uint64_t (&rng_words)[4], std::uint64_t seed) {
+    bulk_load_keys(keys);
+    rng_.restore_state({rng_words[0], rng_words[1], rng_words[2], rng_words[3]});
+    seed_ = seed;
+  }
+
   /// Monotone counter bumped whenever any key is drawn or overridden —
   /// lets caches of key values (CascadeEngine's hot node table) detect
   /// staleness in O(1) instead of re-reading every key.
@@ -75,6 +127,7 @@ class PriorityMap {
 
  private:
   util::Rng rng_;
+  std::uint64_t seed_ = 0;
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint8_t> assigned_;  // byte-per-node: hot-path friendly
   std::uint64_t version_ = 0;

@@ -33,8 +33,9 @@ ShardedCascadeEngine::ShardedCascadeEngine(const graph::DynamicGraph& g,
 ShardedCascadeEngine::ShardedCascadeEngine(const graph::Snapshot& snapshot,
                                            std::uint64_t priority_seed,
                                            unsigned shard_count,
-                                           std::size_t frontier_capacity)
-    : engine_(snapshot, priority_seed),
+                                           std::size_t frontier_capacity,
+                                           graph::SnapshotLoad mode)
+    : engine_(snapshot, priority_seed, mode),
       pool_(shard_count > 0 ? shard_count - 1 : 0),
       shard_count_(shard_count) {
   init_shards(frontier_capacity);

@@ -66,9 +66,14 @@ class ShardedCascadeEngine {
   ShardedCascadeEngine(const graph::DynamicGraph& g, std::uint64_t priority_seed,
                        unsigned shard_count, std::size_t frontier_capacity = 4096);
   /// Build from a binary snapshot (graph/snapshot.hpp) via the serial
-  /// engine's bulk-load constructor.
+  /// engine's bulk-load constructor. A v2 snapshot warm-starts by default
+  /// (mode kAuto): the serial engine adopts the persisted keys + membership
+  /// with zero greedy recompute, and init_shards partitions directly off
+  /// that persisted key array — shard_of_key reads the warm-loaded key
+  /// mirror, so the first apply_batch needs no resync pass either.
   ShardedCascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
-                       unsigned shard_count, std::size_t frontier_capacity = 4096);
+                       unsigned shard_count, std::size_t frontier_capacity = 4096,
+                       graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
   ~ShardedCascadeEngine();
 
   ShardedCascadeEngine(const ShardedCascadeEngine&) = delete;

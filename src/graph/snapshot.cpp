@@ -12,6 +12,7 @@ using util::set_error;
 
 bool Snapshot::open(const std::string& path, std::string* error, bool force_read) {
   header_ = SnapshotHeader{};
+  ext_ = SnapshotEngineExt{};
   if (!file_.open(path, error, force_read)) return false;
   const auto fail = [&](const std::string& message) {
     set_error(error, path + ": " + message);
@@ -25,16 +26,25 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
     return fail("bad magic (not a dmis snapshot)");
   if (header_.endian_tag != kSnapshotEndianTag)
     return fail("endianness mismatch (snapshot written on a different-endian host)");
-  if (header_.version != kSnapshotVersion)
+  if (header_.version != kSnapshotVersion && header_.version != kSnapshotVersionEngine)
     return fail("unsupported snapshot version " + std::to_string(header_.version));
   if (header_.file_size != file_.size())
     return fail("file size mismatch (truncated or trailing garbage)");
+  // v2 appends the engine-state extension header right after the frozen
+  // base header; every section then starts past both.
+  const std::uint64_t header_end =
+      sizeof(SnapshotHeader) +
+      (has_engine_state() ? sizeof(SnapshotEngineExt) : std::uint64_t{0});
+  if (has_engine_state()) {
+    if (file_.size() < header_end) return fail("truncated extension header");
+    std::memcpy(&ext_, file_.data() + sizeof(SnapshotHeader), sizeof(SnapshotEngineExt));
+  }
 
   // Section bounds: every [off, off + len) must be 8-aligned and inside the
   // payload. Checked before any accessor can touch the bytes.
   const auto section_ok = [&](std::uint64_t off, std::uint64_t len) {
-    return (off & 7U) == 0 && off >= sizeof(SnapshotHeader) &&
-           off <= header_.file_size && len <= header_.file_size - off;
+    return (off & 7U) == 0 && off >= header_end && off <= header_.file_size &&
+           len <= header_.file_size - off;
   };
   const std::uint64_t bound = header_.id_bound;
   // A real edge costs ≥ 8 neighbor bytes, so this bound also keeps the
@@ -42,6 +52,14 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
   if (header_.edge_count > header_.file_size) return fail("edge_count implausibly large");
   const std::uint64_t half_edges = 2 * header_.edge_count;
   if (header_.node_count > bound) return fail("node_count exceeds id_bound");
+  // The first section starts exactly where the claimed version's headers
+  // end (every writer lays files out that way). This pins the version field
+  // — which lives outside the checksummed payload — to the layout: a v2
+  // file whose version byte is corrupted down to 1 still has alive_off ==
+  // 168 and is rejected here, instead of passing every check and silently
+  // dropping its engine state.
+  if (header_.alive_off != header_end)
+    return fail("alive section does not start at the header end for this version");
   if (!section_ok(header_.alive_off, bound)) return fail("alive section out of bounds");
   if (!section_ok(header_.offsets_off, (bound + 1) * 8))
     return fail("offsets section out of bounds");
@@ -54,24 +72,42 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
   if (header_.edge_count > header_.edge_occupied ||
       header_.edge_occupied > header_.edge_capacity)
     return fail("edge table counters inconsistent");
+  if (has_engine_state()) {
+    if (!section_ok(ext_.keys_off, bound * 8))
+      return fail("priority key section out of bounds");
+    if (!section_ok(ext_.membership_off, bound))
+      return fail("membership section out of bounds");
+  }
 
   // One linear pass: CSR offsets monotone and bounded, neighbor ids in
   // range, alive bytes boolean and consistent with node_count, dead nodes
-  // degree-free. After this every accessor is memory-safe and load() cannot
-  // be driven out of bounds by a corrupt file.
+  // degree-free, membership bytes (v2) boolean, zero on dead ids and
+  // consistent with the extension header's mis_size. After this every
+  // accessor is memory-safe and load() cannot be driven out of bounds by a
+  // corrupt file.
   const auto offs = csr_offsets();
   if (offs[0] != 0 || offs[bound] != half_edges)
     return fail("CSR offsets do not cover the neighbor section");
   const auto alive_b = alive_bytes();
+  const std::uint8_t* member_b =
+      has_engine_state() ? section<std::uint8_t>(ext_.membership_off) : nullptr;
   std::uint64_t live = 0;
+  std::uint64_t members = 0;
   for (std::uint64_t v = 0; v < bound; ++v) {
     if (offs[v + 1] < offs[v]) return fail("CSR offsets not monotone");
     if (alive_b[v] > 1) return fail("alive section is not boolean");
     if (alive_b[v] == 0 && offs[v + 1] != offs[v])
       return fail("deleted node has neighbors");
     live += alive_b[v];
+    if (member_b != nullptr) {
+      if (member_b[v] > 1) return fail("membership section is not boolean");
+      if (member_b[v] > alive_b[v]) return fail("dead node marked as MIS member");
+      members += member_b[v];
+    }
   }
   if (live != header_.node_count) return fail("alive section disagrees with node_count");
+  if (member_b != nullptr && members != ext_.mis_size)
+    return fail("membership section disagrees with mis_size");
   for (const NodeId u : csr_neighbors())
     if (u >= bound) return fail("neighbor id out of range");
   // Full edge-table shape validation (capacity, occupancy ceiling,
@@ -135,10 +171,42 @@ bool Snapshot::verify(std::string* error) const {
       last_lister[u] = v;
     }
   }
+  if (has_engine_state()) {
+    // The persisted membership must be the greedy fixpoint of the persisted
+    // keys: v is a member iff no earlier-ordered live neighbor is. Greedy's
+    // output is the *unique* membership with that property (paper §3), so
+    // this one O(n + m) pass proves the engine state equals what a cold
+    // start would recompute — the warm-start contract.
+    const auto keys = priority_keys();
+    const auto member = membership_bytes();
+    // Mirrors core::priority_before (the strict total order on (key, id)
+    // pairs); the graph layer cannot include core, and the tie rule is part
+    // of the frozen format semantics now.
+    const auto before = [](std::uint64_t ka, NodeId a, std::uint64_t kb,
+                           NodeId b) noexcept {
+      return ka != kb ? ka < kb : a < b;
+    };
+    for (NodeId v = 0; v < id_bound(); ++v) {
+      if (!alive(v)) continue;
+      bool blocked = false;
+      for (const NodeId u : neighbors(v))
+        blocked |= member[u] != 0 && before(keys[u], u, keys[v], v);
+      if ((member[v] != 0) == blocked) {
+        set_error(error,
+                  "persisted membership is not the greedy fixpoint of the "
+                  "persisted priority keys");
+        return false;
+      }
+    }
+  }
   return true;
 }
 
-bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* error) {
+namespace {
+
+/// Shared writer body: version 1 when `state` is null, version 2 otherwise.
+bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
+                        const std::string& path, std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     set_error(error, path + ": cannot open for writing");
@@ -147,7 +215,7 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
 
   SnapshotHeader header{};
   std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
-  header.version = kSnapshotVersion;
+  header.version = state == nullptr ? kSnapshotVersion : kSnapshotVersionEngine;
   header.endian_tag = kSnapshotEndianTag;
   header.id_bound = g.id_bound();
   header.node_count = g.node_count();
@@ -156,8 +224,19 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
   header.edge_capacity = edges.capacity();
   header.edge_occupied = edges.occupied();
 
+  SnapshotEngineExt ext{};
+  if (state != nullptr) {
+    DMIS_ASSERT_MSG(state->keys.size() <= header.id_bound &&
+                        state->membership.size() <= header.id_bound,
+                    "engine state spans exceed the graph's id bound");
+    ext.priority_seed = state->priority_seed;
+    for (int w = 0; w < 4; ++w) ext.rng_state[w] = state->rng_state[w];
+    for (const std::uint8_t m : state->membership) ext.mis_size += m;
+  }
+
   // Lay out the sections up front so the header can be written first.
   std::uint64_t off = sizeof(SnapshotHeader);
+  if (state != nullptr) off += sizeof(SnapshotEngineExt);
   header.alive_off = off;
   off = pad8(off + header.id_bound);
   header.offsets_off = off;
@@ -168,10 +247,19 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
   off = pad8(off + header.edge_capacity);
   header.edge_keys_off = off;
   off = pad8(off + header.edge_capacity * 8);
+  if (state != nullptr) {
+    ext.keys_off = off;
+    off = pad8(off + static_cast<std::uint64_t>(header.id_bound) * 8);
+    ext.membership_off = off;
+    off = pad8(off + header.id_bound);
+  }
   header.file_size = off;
 
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
   util::PayloadWriter w(f, sizeof(SnapshotHeader));
+  // The extension header is part of the checksummed payload, so it streams
+  // through the writer like any section (and is never patched afterwards).
+  if (state != nullptr) ok = ok && w.write(&ext, sizeof(ext));
   for (NodeId v = 0; ok && v < header.id_bound; ++v) {
     const std::uint8_t alive = g.has_node(v) ? 1 : 0;
     ok = w.write(&alive, 1);
@@ -191,6 +279,20 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
   ok = ok && w.align8();
   ok = ok && w.write(edges.raw_ctrl().data(), edges.raw_ctrl().size()) && w.align8();
   ok = ok && w.write(edges.raw_keys().data(), edges.raw_keys().size_bytes()) && w.align8();
+  if (state != nullptr) {
+    // Zero-pad short spans to id_bound: a trailing id without an entry is a
+    // dead id that never drew a priority (see EngineStateView).
+    static constexpr std::uint64_t zero_key = 0;
+    ok = ok && w.write(state->keys.data(), state->keys.size_bytes());
+    for (std::size_t v = state->keys.size(); ok && v < header.id_bound; ++v)
+      ok = w.write(&zero_key, 8);
+    ok = ok && w.align8();
+    ok = ok && w.write(state->membership.data(), state->membership.size());
+    static constexpr std::uint8_t zero_member = 0;
+    for (std::size_t v = state->membership.size(); ok && v < header.id_bound; ++v)
+      ok = w.write(&zero_member, 1);
+    ok = ok && w.align8();
+  }
   DMIS_ASSERT(!ok || w.position() == header.file_size);
 
   // Patch the checksum now that the payload has streamed through the hash.
@@ -200,6 +302,17 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) set_error(error, path + ": write failed");
   return ok;
+}
+
+}  // namespace
+
+bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* error) {
+  return save_snapshot_impl(g, nullptr, path, error);
+}
+
+bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
+                   const std::string& path, std::string* error) {
+  return save_snapshot_impl(g, &state, path, error);
 }
 
 DynamicGraph DynamicGraph::load(const Snapshot& snapshot) {

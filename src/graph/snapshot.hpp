@@ -9,12 +9,26 @@
 // DynamicGraph::load is pure linear memcpy work:
 //
 //   [SnapshotHeader]                fixed 104 bytes, validated on open
+//   [SnapshotEngineExt]             fixed 64 bytes, version >= 2 only
 //   [alive]     id_bound  × u8     1 = live node, 0 = deleted id
 //   [offsets]   id_bound+1 × u64   CSR offsets into [neighbors]; off[0] = 0,
 //                                  off[id_bound] = 2·edge_count, monotone
 //   [neighbors] 2·edge_count × u32 concatenated adjacency lists
 //   [edge ctrl] edge_capacity × u8 util::FlatSet control bytes, verbatim
 //   [edge keys] edge_capacity × u64 util::FlatSet key slots, verbatim
+//   [prio keys] id_bound × u64     version >= 2: per-node priority keys
+//   [membership] id_bound × u8     version >= 2: 1 = MIS member
+//
+// Version 1 (graph-only) is frozen; version 2 appends the engine-state
+// sections — per-node 64-bit priority keys plus the MIS membership bytes —
+// located by offsets in the SnapshotEngineExt header that immediately
+// follows the frozen 104-byte base header. Because the greedy-by-priority
+// MIS is the unique fixpoint of the node priorities (paper §3), those two
+// arrays ARE the complete engine state: an engine that adopts them warm
+// (CascadeEngine et al., graph::SnapshotLoad::kWarm) restarts with zero
+// greedy-recompute work. v2 readers cold-start v1 files; v1 readers reject
+// v2 files because they need the base-header version check to vouch for
+// the bytes they map (see docs/FORMATS.md for the negotiation rules).
 //
 // Sections are 8-byte aligned (writer pads with zeros) so the reader can
 // hand out properly aligned spans straight into the mapped file. All
@@ -22,9 +36,11 @@
 // version field, and readers reject anything they do not understand (see
 // docs/FORMATS.md for the full rules). Open validates structure — magic,
 // version, endianness, section bounds, CSR monotonicity, alive/node-count
-// agreement — in one cheap pass; verify() additionally checks the payload
-// checksum and the adjacency ↔ edge-table consistency (the deep check the
-// dmis_snapshot CLI runs).
+// agreement, membership bytes boolean and zero on dead ids — in one cheap
+// pass; verify() additionally checks the payload checksum, the adjacency ↔
+// edge-table consistency, and (v2) that the persisted membership is the
+// greedy fixpoint of the persisted keys (the deep check the dmis_snapshot
+// CLI runs).
 #pragma once
 
 #include <cstdint>
@@ -38,7 +54,12 @@
 namespace dmis::graph {
 
 inline constexpr char kSnapshotMagic[8] = {'D', 'M', 'I', 'S', 'S', 'N', 'A', 'P'};
+/// Graph-only layout (frozen).
 inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Graph + engine-state layout (v1 sections + SnapshotEngineExt + keys +
+/// membership). save_snapshot without engine state still writes version 1,
+/// byte-identical to the frozen format.
+inline constexpr std::uint32_t kSnapshotVersionEngine = 2;
 /// Written as the native u32 0x01020304; a reader on a different-endian host
 /// sees 0x04030201 and rejects. All production targets are little-endian,
 /// so the format is little-endian by fiat.
@@ -62,6 +83,32 @@ struct SnapshotHeader {
   std::uint64_t payload_checksum;  ///< FNV-1a 64 over bytes [104, file_size)
 };
 static_assert(sizeof(SnapshotHeader) == 104, "snapshot header layout is frozen");
+
+/// Version-2 extension header, immediately after the frozen base header.
+/// Part of the checksummed payload (payload_checksum covers [104, file_size)
+/// in every version). New engine-state fields append here — bump the version
+/// and grow this struct rather than touching SnapshotHeader.
+struct SnapshotEngineExt {
+  std::uint64_t keys_off;        ///< id_bound × u64 priority keys, 8-aligned
+  std::uint64_t membership_off;  ///< id_bound × u8 membership bytes, 8-aligned
+  std::uint64_t priority_seed;   ///< seed the saved engine's PriorityMap used
+  std::uint64_t mis_size;        ///< number of 1 bytes in [membership]
+  std::uint64_t rng_state[4];    ///< xoshiro256** state of the priority RNG:
+                                 ///< a warm start continues the exact draw
+                                 ///< stream of the saved process
+};
+static_assert(sizeof(SnapshotEngineExt) == 64, "extension header layout is frozen");
+
+/// Engine state handed to the v2 writer: spans sized at most id_bound
+/// (shorter spans are zero-padded — trailing ids then carry key 0 and
+/// membership 0, which only ever happens for dead ids that never drew a
+/// priority). core/engine_snapshot.hpp builds these from live engines.
+struct EngineStateView {
+  std::span<const std::uint64_t> keys;
+  std::span<const std::uint8_t> membership;
+  std::uint64_t priority_seed = 0;
+  std::uint64_t rng_state[4] = {};
+};
 
 /// Read-only view of a snapshot file. Accessors return spans directly into
 /// the mapped bytes — zero-copy; the view must outlive them.
@@ -117,11 +164,37 @@ class Snapshot {
   }
   [[nodiscard]] const SnapshotHeader& header() const noexcept { return header_; }
 
+  /// True when the snapshot carries the v2 engine-state sections (persisted
+  /// priority keys + membership). The accessors below require it.
+  [[nodiscard]] bool has_engine_state() const noexcept {
+    return header_.version >= kSnapshotVersionEngine;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> priority_keys() const noexcept {
+    DMIS_ASSERT(has_engine_state());
+    return {section<std::uint64_t>(ext_.keys_off), header_.id_bound};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> membership_bytes() const noexcept {
+    DMIS_ASSERT(has_engine_state());
+    return {section<std::uint8_t>(ext_.membership_off), header_.id_bound};
+  }
+  [[nodiscard]] std::uint64_t mis_size() const noexcept {
+    DMIS_ASSERT(has_engine_state());
+    return ext_.mis_size;
+  }
+  [[nodiscard]] std::uint64_t priority_seed() const noexcept {
+    DMIS_ASSERT(has_engine_state());
+    return ext_.priority_seed;
+  }
+  [[nodiscard]] const SnapshotEngineExt& engine_ext() const noexcept { return ext_; }
+
   /// Deep integrity check (full pass over the file): payload checksum, edge
   /// table ↔ CSR agreement (every adjacency pair present in the table with a
-  /// reciprocal neighbor entry, table size == edge_count), degree sanity.
+  /// reciprocal neighbor entry, table size == edge_count), degree sanity,
+  /// and — when engine state is present — that the persisted membership is
+  /// exactly the greedy fixpoint of the persisted priority keys (a warm
+  /// start from a verified snapshot therefore needs zero repair work).
   /// open() already guarantees structural safety; this guarantees the data
-  /// actually describes an undirected graph.
+  /// actually describes an undirected graph (+ a valid engine state).
   [[nodiscard]] bool verify(std::string* error = nullptr) const;
 
  private:
@@ -132,10 +205,19 @@ class Snapshot {
 
   util::MmapFile file_;
   SnapshotHeader header_{};
+  SnapshotEngineExt ext_{};  // zero unless header_.version >= 2
 };
 
-/// Write `g` as a snapshot file. Returns false (with *error) on I/O failure.
+/// Write `g` as a version-1 (graph-only) snapshot file. Returns false (with
+/// *error) on I/O failure.
 bool save_snapshot(const DynamicGraph& g, const std::string& path,
                    std::string* error = nullptr);
+
+/// Write `g` plus engine state as a version-2 snapshot. Engines call this
+/// through the core::save_snapshot overloads (core/engine_snapshot.hpp),
+/// which extract the spans; the writer zero-pads short spans to id_bound and
+/// computes mis_size itself.
+bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
+                   const std::string& path, std::string* error = nullptr);
 
 }  // namespace dmis::graph

@@ -33,12 +33,20 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  using State = std::array<std::uint64_t, 4>;
+
   explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept { reseed(seed); }
 
   void reseed(std::uint64_t seed) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
   }
+
+  /// The full generator state, for persistence (snapshot warm starts store
+  /// it so a restarted engine continues the exact draw stream the saved
+  /// process would have produced).
+  [[nodiscard]] State state() const noexcept { return state_; }
+  void restore_state(const State& state) noexcept { state_ = state; }
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }

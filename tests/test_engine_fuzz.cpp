@@ -1,0 +1,173 @@
+// Seeded randomized differential fuzzer over every MIS engine in the
+// repository.
+//
+// Each fuzz case generates a random churn trace (mixed graceful/abrupt edge
+// and node ops, unmutes included, across several n / density regimes) and
+// replays it op by op through all four dynamic engines — CascadeEngine,
+// ShardedCascadeEngine (driven through batch-of-one apply_batch so the
+// parallel rounds machinery actually runs), DistMis and AsyncMis — plus the
+// sequential random-greedy oracle. History independence makes the comparison
+// exact: same priority seed ⇒ same permutation ⇒ the engines must agree on
+// the full membership after EVERY op and report identical per-op adjustment
+// counts. Divergence is reported with the regime, the seed and the op index;
+// because every op is checked, the reported index is already minimal — the
+// shortest failing prefix of that trace ends exactly there.
+//
+// The regimes × seeds grid below yields 16 traces × 4 engines = 64
+// trace/engine combinations (the tier-1 bar is >= 50); graphs are kept small
+// enough that the whole suite stays well inside the ctest budget even under
+// the sanitizer jobs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "core/dist_mis.hpp"
+#include "core/greedy_mis.hpp"
+#include "core/sharded_engine.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/distributed.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::NodeId;
+
+struct Regime {
+  const char* name;
+  NodeId n;
+  double deg;
+  std::size_t ops;
+  workload::ChurnConfig config;
+};
+
+// Mixed-op regimes: tiny (id-space corner cases at near-empty sizes), sparse
+// and dense balanced churn, and the Lemma 13 regime (deletion-heavy, every
+// deletion abrupt, so multi-source recoveries are constant).
+const Regime kRegimes[] = {
+    {"tiny", 10, 2.0, 200, {0.30, 0.25, 0.25, 0.20, 2, 0.5, 0.3}},
+    {"sparse-churn", 120, 3.0, 300, {0.35, 0.35, 0.15, 0.15, 3, 0.5, 0.2}},
+    {"dense-churn", 80, 12.0, 250, {0.35, 0.35, 0.15, 0.15, 8, 0.5, 0.1}},
+    {"abrupt-heavy", 150, 6.0, 250, {0.15, 0.40, 0.10, 0.35, 4, 1.0, 0.0}},
+};
+constexpr std::uint64_t kSeedsPerRegime = 4;
+constexpr unsigned kEnginesPerTrace = 4;
+
+/// Human-readable failure locator. The op index is minimal by construction:
+/// every earlier op passed the same checks.
+std::string locate(const Regime& regime, std::uint64_t seed, std::size_t op_index,
+                   const workload::GraphOp& op) {
+  std::ostringstream os;
+  os << "regime=" << regime.name << " seed=" << seed
+     << " minimized-op-index=" << op_index << " kind=" << static_cast<int>(op.kind)
+     << " u=" << op.u << " v=" << op.v
+     << " (replay the first " << (op_index + 1) << " ops of this trace to reproduce)";
+  return os.str();
+}
+
+/// One fuzz case: drive all engines through one random trace, checking
+/// adjustments and full membership after every op and the greedy oracle
+/// after every op (graphs are small; exhaustive checking is what makes the
+/// reported op index minimal). Returns false on the first divergence.
+bool run_case(const Regime& regime, std::uint64_t seed) {
+  util::Rng graph_rng(seed);
+  const graph::DynamicGraph g0 = graph::random_avg_degree(regime.n, regime.deg, graph_rng);
+  const std::uint64_t prio_seed = seed * 1000 + 17;
+
+  core::CascadeEngine cascade(g0, prio_seed);
+  core::ShardedCascadeEngine sharded(g0, prio_seed, /*shard_count=*/4,
+                                     /*frontier_capacity=*/64);
+  core::DistMis dist(g0, prio_seed);
+  core::AsyncMis async(g0, prio_seed, /*scheduler_seed=*/seed + 5);
+
+  workload::ChurnGenerator gen(g0, regime.config, seed + 99);
+  core::Batch batch;
+  for (std::size_t i = 0; i < regime.ops; ++i) {
+    const workload::GraphOp op = gen.next();
+
+    workload::apply(cascade, op);
+    const std::uint64_t want_adjustments = cascade.last_report().adjustments;
+
+    batch.clear();
+    workload::append_op(batch, op);
+    const core::BatchResult sharded_result = sharded.apply_batch(batch);
+    const workload::CostSample dist_sample = workload::apply_with_cost(dist, op);
+    const workload::CostSample async_sample = workload::apply_with_cost(async, op);
+
+    if (sharded_result.report.adjustments != want_adjustments ||
+        dist_sample.cost.adjustments != want_adjustments ||
+        async_sample.cost.adjustments != want_adjustments) {
+      ADD_FAILURE() << "adjustment-count divergence: cascade=" << want_adjustments
+                    << " sharded=" << sharded_result.report.adjustments
+                    << " dist=" << dist_sample.cost.adjustments
+                    << " async=" << async_sample.cost.adjustments << "\n  "
+                    << locate(regime, seed, i, op);
+      return false;
+    }
+
+    // Full-membership agreement, every op. The oracle recompute reuses the
+    // cascade's PriorityMap (already assigned for every live id, so ensure()
+    // draws nothing and the shared RNG stream is untouched).
+    const core::Membership oracle = core::greedy_mis(cascade.graph(), cascade.priorities());
+    bool members_ok = true;
+    cascade.graph().for_each_node([&](NodeId v) {
+      const bool want = oracle[v] != 0;
+      members_ok &= cascade.in_mis(v) == want && sharded.in_mis(v) == want &&
+                    dist.in_mis(v) == want && async.in_mis(v) == want;
+    });
+    if (!members_ok) {
+      NodeId bad = graph::kInvalidNode;
+      cascade.graph().for_each_node([&](NodeId v) {
+        const bool want = oracle[v] != 0;
+        if (bad == graph::kInvalidNode &&
+            (cascade.in_mis(v) != want || sharded.in_mis(v) != want ||
+             dist.in_mis(v) != want || async.in_mis(v) != want))
+          bad = v;
+      });
+      ADD_FAILURE() << "membership divergence from the greedy oracle at node " << bad
+                    << ": oracle=" << (oracle[bad] != 0)
+                    << " cascade=" << cascade.in_mis(bad)
+                    << " sharded=" << sharded.in_mis(bad)
+                    << " dist=" << dist.in_mis(bad) << " async=" << async.in_mis(bad)
+                    << "\n  " << locate(regime, seed, i, op);
+      return false;
+    }
+  }
+
+  // End-of-trace deep checks: internal invariants and graph agreement.
+  cascade.verify();
+  sharded.verify();
+  dist.verify();
+  async.verify();
+  EXPECT_TRUE(cascade.graph() == gen.graph());
+  EXPECT_TRUE(dist.graph() == gen.graph());
+  EXPECT_TRUE(async.graph() == gen.graph());
+  return true;
+}
+
+TEST(EngineFuzz, DifferentialAcrossAllEnginesAndRegimes) {
+  unsigned combos = 0;
+  for (const Regime& regime : kRegimes) {
+    for (std::uint64_t s = 0; s < kSeedsPerRegime; ++s) {
+      const std::uint64_t seed = s * 7919 + 13;
+      if (!run_case(regime, seed)) {
+        // First divergence already reported with its minimized op index;
+        // keep the remaining grid running to map the blast radius.
+        continue;
+      }
+      combos += kEnginesPerTrace;
+    }
+  }
+  // The tier-1 bar: at least 50 seeded trace/engine combinations must have
+  // run clean in this suite.
+  EXPECT_GE(combos, 50U) << "differential fuzz coverage dropped below the bar";
+}
+
+}  // namespace

@@ -9,17 +9,24 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/cascade_engine.hpp"
 #include "core/dist_mis.hpp"
 #include "core/async_mis.hpp"
+#include "core/engine_snapshot.hpp"
 #include "core/sharded_engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/snapshot.hpp"
 #include "util/rng.hpp"
+#include "workload/batched.hpp"
 #include "workload/churn.hpp"
+#include "workload/distributed.hpp"
 #include "workload/trace.hpp"
 
 namespace {
@@ -258,6 +265,186 @@ TEST(Snapshot, RejectsCorruptStructure) {
     std::string error;
     EXPECT_FALSE(snap.verify(&error));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Version-2 (engine-state) snapshots: warm start vs cold recompute.
+// ---------------------------------------------------------------------------
+
+/// An engine whose state has real history: built from a churned graph, then
+/// driven through `extra_ops` more churn ops so keys were drawn for ids that
+/// later died, membership flipped repeatedly, etc. Returns the generator so
+/// callers can continue the same valid op stream.
+core::CascadeEngine churned_engine(NodeId n, std::uint64_t seed,
+                                   std::uint64_t priority_seed, int extra_ops,
+                                   std::unique_ptr<workload::ChurnGenerator>& gen_out) {
+  const DynamicGraph g = churned_graph(n, seed);
+  core::CascadeEngine engine(g, priority_seed);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.5;
+  config.p_unmute = 0.2;
+  gen_out = std::make_unique<workload::ChurnGenerator>(g, config, seed + 3);
+  for (int i = 0; i < extra_ops; ++i) workload::apply(engine, gen_out->next());
+  return engine;
+}
+
+TEST(SnapshotV2, WarmStartEqualsColdRecomputeUnderContinuedChurn) {
+  std::unique_ptr<workload::ChurnGenerator> gen;
+  core::CascadeEngine source = churned_engine(350, 51, /*priority_seed=*/7,
+                                              /*extra_ops=*/900, gen);
+  TempFile file("v2_equiv.snap");
+  std::string error;
+  ASSERT_TRUE(core::save_snapshot(source, file.path, &error)) << error;
+
+  Snapshot snap;
+  ASSERT_TRUE(snap.open(file.path, &error)) << error;
+  ASSERT_TRUE(snap.has_engine_state());
+  ASSERT_TRUE(snap.verify(&error)) << error;  // fixpoint deep-check
+  EXPECT_EQ(snap.mis_size(), source.mis_size());
+  EXPECT_EQ(snap.priority_seed(), 7u);
+
+  // Warm twin trusts the persisted state; the cold twin recomputes the
+  // greedy MIS from the same persisted keys. They must be identical now and
+  // stay identical (against each other AND the original engine) under
+  // further mixed churn — including fresh priority draws, which all three
+  // take from the same seed and an unconsumed RNG.
+  core::CascadeEngine warm(snap, 7, graph::SnapshotLoad::kWarm);
+  core::CascadeEngine cold(snap, 7, graph::SnapshotLoad::kColdKeys);
+  EXPECT_EQ(warm.mis_size(), cold.mis_size());
+  EXPECT_TRUE(warm.membership() == cold.membership());
+  EXPECT_TRUE(warm.membership() == source.membership());
+  warm.verify();
+  // "Zero greedy-recompute work" made falsifiable: any priority draw during
+  // construction would have advanced the restored generator past the
+  // persisted state (and both engines must agree with the original's RNG,
+  // which is how the continued-churn draws below line up).
+  const util::Rng::State warm_rng = warm.priorities().rng_state();
+  const util::Rng::State source_rng = source.priorities().rng_state();
+  EXPECT_TRUE(std::equal(warm_rng.begin(), warm_rng.end(), snap.engine_ext().rng_state));
+  EXPECT_TRUE(warm_rng == source_rng);
+  EXPECT_TRUE(cold.priorities().rng_state() == source_rng);
+  // The adopted seed keeps re-saved metadata honest: a warm engine saved
+  // again persists the seed that actually produced its key/RNG stream.
+  EXPECT_EQ(warm.priorities().seed(), snap.priority_seed());
+
+  for (int i = 0; i < 800; ++i) {
+    const workload::GraphOp op = gen->next();
+    workload::apply(source, op);
+    workload::apply(warm, op);
+    workload::apply(cold, op);
+    ASSERT_EQ(warm.last_report().adjustments, source.last_report().adjustments)
+        << "warm twin diverged from the saved engine at op " << i;
+    ASSERT_EQ(cold.last_report().adjustments, source.last_report().adjustments)
+        << "cold twin diverged from the saved engine at op " << i;
+  }
+  EXPECT_TRUE(warm.graph() == source.graph());
+  EXPECT_TRUE(warm.membership() == source.membership());
+  EXPECT_TRUE(cold.membership() == source.membership());
+  warm.verify();
+  cold.verify();
+}
+
+TEST(SnapshotV2, AllFourEnginesWarmStartAndTrackAColdTwin) {
+  std::unique_ptr<workload::ChurnGenerator> gen;
+  core::CascadeEngine source = churned_engine(250, 61, /*priority_seed=*/11,
+                                              /*extra_ops=*/600, gen);
+  TempFile file("v2_all.snap");
+  std::string error;
+  ASSERT_TRUE(core::save_snapshot(source, file.path, &error)) << error;
+  Snapshot snap;
+  ASSERT_TRUE(snap.open(file.path, &error)) << error;
+
+  // kAuto on a v2 snapshot warm-starts every engine flavor.
+  core::CascadeEngine warm_cascade(snap, 11);
+  core::ShardedCascadeEngine warm_sharded(snap, 11, /*shard_count=*/4,
+                                          /*frontier_capacity=*/64);
+  core::DistMis warm_dist(snap, 11);
+  core::AsyncMis warm_async(snap, 11, /*scheduler_seed=*/13);
+  core::CascadeEngine cold(snap, 11, graph::SnapshotLoad::kColdKeys);
+
+  const auto expect_all_equal_cold = [&](int step) {
+    cold.graph().for_each_node([&](NodeId v) {
+      const bool want = cold.in_mis(v);
+      ASSERT_EQ(warm_cascade.in_mis(v), want) << "cascade, step " << step;
+      ASSERT_EQ(warm_sharded.in_mis(v), want) << "sharded, step " << step;
+      ASSERT_EQ(warm_dist.in_mis(v), want) << "dist, step " << step;
+      ASSERT_EQ(warm_async.in_mis(v), want) << "async, step " << step;
+    });
+  };
+  expect_all_equal_cold(-1);
+  warm_dist.verify();   // distributed warm starts must be born stable
+  warm_async.verify();
+
+  core::Batch batch;
+  for (int i = 0; i < 250; ++i) {
+    const workload::GraphOp op = gen->next();
+    workload::apply(cold, op);
+    workload::apply(warm_cascade, op);
+    batch.clear();
+    workload::append_op(batch, op);
+    const core::BatchResult br = warm_sharded.apply_batch(batch);
+    const workload::CostSample ds = workload::apply_with_cost(warm_dist, op);
+    const workload::CostSample as = workload::apply_with_cost(warm_async, op);
+    const std::uint64_t want = cold.last_report().adjustments;
+    ASSERT_EQ(warm_cascade.last_report().adjustments, want) << "op " << i;
+    ASSERT_EQ(br.report.adjustments, want) << "op " << i;
+    ASSERT_EQ(ds.cost.adjustments, want) << "op " << i;
+    ASSERT_EQ(as.cost.adjustments, want) << "op " << i;
+  }
+  expect_all_equal_cold(250);
+  warm_dist.verify();
+  warm_async.verify();
+  warm_sharded.verify();
+}
+
+TEST(SnapshotV2, CrossEngineSaveAndWarmStartInterchange) {
+  // Engine state saved from any engine flavor warm-starts any other: the
+  // persisted keys + membership are the complete, engine-agnostic state.
+  const DynamicGraph g = churned_graph(220, 71);
+  core::DistMis dist(g, 17);
+  core::AsyncMis async(g, 17, /*scheduler_seed=*/3);
+  core::ShardedCascadeEngine sharded(g, 17, /*shard_count=*/2);
+  const core::CascadeEngine oracle(g, 17);
+
+  for (const auto& [tag, save] :
+       {std::pair<const char*, std::function<bool(const std::string&, std::string*)>>{
+            "dist", [&](const std::string& p, std::string* e) {
+              return core::save_snapshot(dist, p, e);
+            }},
+        {"async", [&](const std::string& p, std::string* e) {
+           return core::save_snapshot(async, p, e);
+         }},
+        {"sharded", [&](const std::string& p, std::string* e) {
+           return core::save_snapshot(sharded, p, e);
+         }}}) {
+    TempFile file(std::string("v2_cross_") + tag + ".snap");
+    std::string error;
+    ASSERT_TRUE(save(file.path, &error)) << tag << ": " << error;
+    Snapshot snap;
+    ASSERT_TRUE(snap.open(file.path, &error)) << tag << ": " << error;
+    ASSERT_TRUE(snap.verify(&error)) << tag << ": " << error;
+    const core::CascadeEngine warm(snap, 17, graph::SnapshotLoad::kWarm);
+    EXPECT_EQ(warm.mis_size(), oracle.mis_size()) << tag;
+    EXPECT_TRUE(warm.mis_set() == oracle.mis_set()) << tag;
+    warm.verify();
+  }
+}
+
+TEST(SnapshotV2, V1FilesStillColdStartUnderAuto) {
+  const DynamicGraph g = churned_graph(180, 81);
+  TempFile file("v2_v1auto.snap");
+  ASSERT_TRUE(g.save(file.path));
+  Snapshot snap;
+  ASSERT_TRUE(snap.open(file.path));
+  EXPECT_FALSE(snap.has_engine_state());
+  // kAuto on a v1 file is exactly the historical cold path.
+  const core::CascadeEngine from_snap(snap, 23);
+  const core::CascadeEngine direct(g, 23);
+  EXPECT_TRUE(from_snap.mis_set() == direct.mis_set());
+  // An explicit warm request on a graph-only file is a caller bug and must
+  // fail loudly, not silently cold-start.
+  EXPECT_DEATH(core::CascadeEngine(snap, 23, graph::SnapshotLoad::kWarm),
+               "graph-only");
 }
 
 TEST(Snapshot, ChecksumCatchesPayloadBitFlips) {

@@ -1,0 +1,278 @@
+// Snapshot corruption fuzz: byte/bit flips, truncations and section swaps
+// over version-1 (graph-only) and version-2 (engine-state) snapshot files.
+//
+// The contract under test is the format's safety ladder (docs/FORMATS.md):
+// whatever the bytes, Snapshot::open either rejects the file or yields a
+// view whose accessors are memory-safe — so DynamicGraph::load and a warm
+// engine construction must succeed without crashing on ANY open-accepted
+// file — and Snapshot::verify additionally vouches for semantic integrity
+// (checksum + undirectedness + greedy-fixpoint engine state), so an engine
+// built from a verify-accepted file must satisfy the full MIS invariant.
+// "Never crash" is enforced for real by the ASan+UBSan CI job, which re-runs
+// this suite with bounds checking on every mapped access.
+//
+// Mutations are seeded (util::Rng) so a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cascade_engine.hpp"
+#include "core/engine_snapshot.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::DynamicGraph;
+using graph::NodeId;
+using graph::Snapshot;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("dmis_fuzz_" + name)).string();
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(temp_path(name)) {}
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+DynamicGraph churned_graph(NodeId n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  DynamicGraph g = graph::random_avg_degree(n, 8.0, rng);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(std::move(g), config, seed + 1);
+  (void)gen.generate(3 * n);
+  return gen.graph();
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The post-mutation gauntlet: open the file; if open accepts, every
+/// accessor-driven consumer must run to completion (memory safety), and if
+/// verify also accepts, the adopted state must satisfy the engine's full
+/// invariant (semantic safety). Aborts (DMIS_ASSERT) or sanitizer faults
+/// anywhere in here are the failures this suite exists to catch.
+void exercise(const std::string& path, std::uint64_t engine_seed) {
+  Snapshot snap;
+  std::string error;
+  if (!snap.open(path, &error)) {
+    EXPECT_FALSE(error.empty());
+    return;  // rejected — the common, correct outcome
+  }
+  // Open accepted: structural safety is promised. Walk everything.
+  const DynamicGraph g = DynamicGraph::load(snap);
+  EXPECT_EQ(g.node_count(), snap.node_count());
+  std::uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < snap.id_bound(); ++v)
+    if (snap.alive(v))
+      for (const NodeId u : snap.neighbors(v)) degree_sum += u < snap.id_bound();
+  EXPECT_EQ(degree_sum, 2 * snap.edge_count());
+  const bool verified = snap.verify(&error);
+  if (snap.has_engine_state()) {
+    // Warm construction must be safe on any open-accepted file (open
+    // validated the membership bytes and mis_size agreement); the MIS
+    // invariant is only promised when verify() vouched for the fixpoint.
+    const core::CascadeEngine warm(snap, engine_seed, graph::SnapshotLoad::kWarm);
+    EXPECT_EQ(warm.mis_size(), static_cast<std::size_t>(snap.mis_size()));
+    if (verified) warm.verify();
+  } else if (verified) {
+    const core::CascadeEngine cold(snap, engine_seed, graph::SnapshotLoad::kCold);
+    cold.verify();
+  }
+}
+
+struct Corpus {
+  explicit Corpus(const std::string& tag) : file(tag) {}
+  TempFile file;
+  std::vector<std::uint8_t> pristine;
+};
+
+/// Build the two seed files: a v1 graph snapshot and a v2 engine snapshot,
+/// both from a churned graph (dead ids, spilled records, tombstones).
+void build_corpus(Corpus& v1, Corpus& v2, NodeId n, std::uint64_t seed) {
+  const DynamicGraph g = churned_graph(n, seed);
+  ASSERT_TRUE(g.save(v1.file.path));
+  const core::CascadeEngine engine(g, seed * 3 + 1);
+  ASSERT_TRUE(core::save_snapshot(engine, v2.file.path));
+  v1.pristine = read_bytes(v1.file.path);
+  v2.pristine = read_bytes(v2.file.path);
+}
+
+void fuzz_bit_flips(Corpus& c, std::uint64_t seed, int iterations) {
+  util::Rng rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    std::vector<std::uint8_t> bytes = c.pristine;
+    // 1–4 independent single-bit flips: single flips probe every rejection
+    // path; multi-flips can conspire past the cheap structural counters and
+    // must then be caught by the checksum (or load consistently).
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = static_cast<std::size_t>(rng.next_u64() % bytes.size());
+      bytes[at] ^= static_cast<std::uint8_t>(1U << (rng.next_u64() % 8));
+    }
+    write_bytes(c.file.path, bytes);
+    exercise(c.file.path, seed + static_cast<std::uint64_t>(i));
+  }
+  write_bytes(c.file.path, c.pristine);
+}
+
+void fuzz_truncations(Corpus& c, std::uint64_t seed, int iterations) {
+  util::Rng rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    const std::size_t keep = static_cast<std::size_t>(rng.next_u64() % c.pristine.size());
+    write_bytes(c.file.path, {c.pristine.begin(),
+                              c.pristine.begin() + static_cast<long>(keep)});
+    Snapshot snap;
+    std::string error;
+    // Every strict prefix must be rejected (the header pins file_size).
+    EXPECT_FALSE(snap.open(c.file.path, &error)) << "kept " << keep << " bytes";
+  }
+  write_bytes(c.file.path, c.pristine);
+}
+
+void fuzz_section_swaps(Corpus& c, std::uint64_t seed) {
+  // Swap every pair of section-offset fields in the base header (and, for
+  // v2 files, the extension header): the file then claims sections live
+  // where other sections' bytes are. open() must reject or the downstream
+  // consumers must digest the misdirected bytes without crashing.
+  graph::SnapshotHeader header{};
+  std::memcpy(&header, c.pristine.data(), sizeof(header));
+  std::vector<std::size_t> offset_fields = {
+      offsetof(graph::SnapshotHeader, alive_off),
+      offsetof(graph::SnapshotHeader, offsets_off),
+      offsetof(graph::SnapshotHeader, neighbors_off),
+      offsetof(graph::SnapshotHeader, edge_ctrl_off),
+      offsetof(graph::SnapshotHeader, edge_keys_off),
+  };
+  if (header.version >= graph::kSnapshotVersionEngine) {
+    offset_fields.push_back(sizeof(graph::SnapshotHeader) +
+                            offsetof(graph::SnapshotEngineExt, keys_off));
+    offset_fields.push_back(sizeof(graph::SnapshotHeader) +
+                            offsetof(graph::SnapshotEngineExt, membership_off));
+  }
+  std::uint64_t case_id = 0;
+  for (std::size_t a = 0; a < offset_fields.size(); ++a) {
+    for (std::size_t b = a + 1; b < offset_fields.size(); ++b) {
+      std::vector<std::uint8_t> bytes = c.pristine;
+      for (int byte = 0; byte < 8; ++byte)
+        std::swap(bytes[offset_fields[a] + byte], bytes[offset_fields[b] + byte]);
+      write_bytes(c.file.path, bytes);
+      exercise(c.file.path, seed + case_id++);
+    }
+  }
+  // Physical swap variant: exchange two equal-length 8-aligned chunks of
+  // payload so every header field still validates but section *contents*
+  // moved. Structure may pass; the checksum must not.
+  util::Rng rng(seed);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint8_t> bytes = c.pristine;
+    const std::size_t payload = bytes.size() - sizeof(graph::SnapshotHeader);
+    if (payload < 64) break;
+    const std::size_t len = 8 + static_cast<std::size_t>(rng.next_u64() % 4) * 8;
+    const auto pick = [&] {
+      return sizeof(graph::SnapshotHeader) +
+             (static_cast<std::size_t>(rng.next_u64() % (payload - len)) & ~std::size_t{7});
+    };
+    const std::size_t x = pick();
+    const std::size_t y = pick();
+    if (x == y) continue;
+    for (std::size_t byte = 0; byte < len; ++byte) std::swap(bytes[x + byte], bytes[y + byte]);
+    write_bytes(c.file.path, bytes);
+    exercise(c.file.path, seed + 1000 + static_cast<std::uint64_t>(i));
+  }
+  write_bytes(c.file.path, c.pristine);
+}
+
+class SnapshotFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    v1_ = std::make_unique<Corpus>("v1.snap");
+    v2_ = std::make_unique<Corpus>("v2.snap");
+    build_corpus(*v1_, *v2_, /*n=*/250, /*seed=*/29);
+    // Sanity: the pristine corpus opens, verifies and warm-starts.
+    exercise(v1_->file.path, 1);
+    exercise(v2_->file.path, 1);
+  }
+  std::unique_ptr<Corpus> v1_;
+  std::unique_ptr<Corpus> v2_;
+};
+
+TEST_F(SnapshotFuzz, BitFlipsNeverCrashV1) { fuzz_bit_flips(*v1_, 0xF00D, 200); }
+TEST_F(SnapshotFuzz, BitFlipsNeverCrashV2) { fuzz_bit_flips(*v2_, 0xBEEF, 200); }
+
+TEST_F(SnapshotFuzz, TruncationsAlwaysRejectedV1) { fuzz_truncations(*v1_, 0xACE1, 60); }
+TEST_F(SnapshotFuzz, TruncationsAlwaysRejectedV2) { fuzz_truncations(*v2_, 0xACE2, 60); }
+
+TEST_F(SnapshotFuzz, SectionSwapsNeverCrashV1) { fuzz_section_swaps(*v1_, 0x51AB); }
+TEST_F(SnapshotFuzz, SectionSwapsNeverCrashV2) { fuzz_section_swaps(*v2_, 0x51AC); }
+
+TEST_F(SnapshotFuzz, VersionRelabelingRejected) {
+  // The version field lives OUTSIDE the checksummed payload, so relabeling
+  // a v2 file as v1 (or vice versa) leaves the checksum valid; open() must
+  // still reject because the first section no longer starts at the claimed
+  // version's header end. Without that pin, a downgraded v2 file would pass
+  // deep verify and silently lose its engine state.
+  std::vector<std::uint8_t> bytes = v2_->pristine;
+  ASSERT_EQ(bytes[8], 2);  // u32 version LE, low byte
+  bytes[8] = 1;
+  write_bytes(v2_->file.path, bytes);
+  Snapshot snap;
+  std::string error;
+  EXPECT_FALSE(snap.open(v2_->file.path, &error));
+  EXPECT_NE(error.find("header end"), std::string::npos) << error;
+
+  bytes = v1_->pristine;
+  ASSERT_EQ(bytes[8], 1);
+  bytes[8] = 2;
+  write_bytes(v1_->file.path, bytes);
+  EXPECT_FALSE(snap.open(v1_->file.path, &error));
+
+  write_bytes(v1_->file.path, v1_->pristine);
+  write_bytes(v2_->file.path, v2_->pristine);
+}
+
+TEST_F(SnapshotFuzz, NonFixpointMembershipRejectedByVerifyNotOpen) {
+  // A structurally pristine v2 file whose membership is NOT the greedy
+  // fixpoint (all-zero membership on a non-empty graph, checksum freshly
+  // computed by the writer): open() must accept it — nothing is memory-
+  // unsafe about it — and verify() must name the fixpoint violation.
+  const DynamicGraph g = churned_graph(120, 31);
+  const core::CascadeEngine engine(g, 7);
+  std::vector<std::uint64_t> keys(g.id_bound(), 0);
+  for (NodeId v = 0; v < g.id_bound(); ++v)
+    keys[v] = engine.priorities().key_or_zero(v);
+  const std::vector<std::uint8_t> all_out(g.id_bound(), 0);
+  graph::EngineStateView state;
+  state.keys = keys;
+  state.membership = all_out;
+  state.priority_seed = 7;
+  TempFile file("nonfix.snap");
+  ASSERT_TRUE(graph::save_snapshot(g, state, file.path));
+
+  Snapshot snap;
+  std::string error;
+  ASSERT_TRUE(snap.open(file.path, &error)) << error;
+  EXPECT_FALSE(snap.verify(&error));
+  EXPECT_NE(error.find("fixpoint"), std::string::npos) << error;
+}
+
+}  // namespace

@@ -1,16 +1,22 @@
 // dmis_snapshot — the operator CLI for the binary snapshot + trace formats.
 //
 //   dmis_snapshot save    --out g.snap [--n N --deg D --seed S | --trace t]
-//   dmis_snapshot load    --in g.snap            time mmap-open + bulk load
+//                         [--engine [--priority-seed P]]
+//   dmis_snapshot load    --in g.snap [--warm]   time mmap-open + bulk load
+//                                                (+ warm engine start on v2)
 //   dmis_snapshot verify  --in g.snap            checksum + deep consistency
+//                                                (v2: greedy-fixpoint check)
 //   dmis_snapshot stats   --in g.snap            header, sections, degrees
 //   dmis_snapshot record  --out t.trc --n N --ops K [--deg D --seed S ...]
 //
 // `save` builds a graph — either G(n, m) at the requested average degree or
 // the graph a trace materializes (binary .trc via workload::TraceFile, any
 // other extension read as a text trace) — and writes it as a snapshot.
-// `record` emits a self-contained binary churn trace: the grow history of
-// the warm start graph followed by `--ops` random churn ops, so replaying
+// With `--engine` it additionally runs a CascadeEngine over the graph and
+// writes a version-2 snapshot carrying the engine state (priority keys +
+// membership), which `load --warm` restarts without recomputing the greedy
+// MIS. `record` emits a self-contained binary churn trace: the grow history
+// of the warm start graph followed by `--ops` random churn ops, so replaying
 // the whole file from an empty engine reproduces the workload exactly (that
 // replay is bench_snapshot's rebuild comparator).
 #include <chrono>
@@ -20,6 +26,8 @@
 #include <fstream>
 #include <string>
 
+#include "core/cascade_engine.hpp"
+#include "core/engine_snapshot.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/snapshot.hpp"
@@ -81,12 +89,27 @@ int cmd_save(util::Cli& cli) {
   const auto n = static_cast<NodeId>(cli.flag_int("n", 100'000, "nodes (random graph)"));
   const auto deg = cli.flag_double("deg", 8.0, "average degree (random graph)");
   const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 42, "rng seed"));
+  const bool engine =
+      cli.flag_bool("engine", false, "persist engine state too (version-2 snapshot)");
+  const auto priority_seed = static_cast<std::uint64_t>(
+      cli.flag_int("priority-seed", 42, "priority seed for --engine"));
   cli.finish();
 
   graph::DynamicGraph g;
   if (!build_graph(trace_path, n, deg, seed, g)) return 1;
   const auto t0 = Clock::now();
   std::string error;
+  if (engine) {
+    const core::CascadeEngine e(std::move(g), priority_seed);
+    if (!core::save_snapshot(e, out, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("saved %s (v2): %u nodes, %zu edges, |MIS| %zu in %.3fs\n", out.c_str(),
+                e.graph().node_count(), e.graph().edge_count(), e.mis_size(),
+                seconds_since(t0));
+    return 0;
+  }
   if (!g.save(out, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
@@ -100,6 +123,8 @@ int cmd_load(util::Cli& cli) {
   const auto in = cli.flag_string("in", "graph.snap", "snapshot input path");
   const bool no_mmap =
       cli.flag_bool("no-mmap", false, "force the read fallback instead of mmap");
+  const bool warm = cli.flag_bool(
+      "warm", false, "also warm-start a CascadeEngine from the persisted state (v2)");
   cli.finish();
 
   graph::Snapshot snap;
@@ -118,6 +143,21 @@ int cmd_load(util::Cli& cli) {
               snap.is_mapped() ? "mmap" : "read fallback");
   std::printf("open %.6fs  bulk-load %.6fs  (graph: %u live nodes, %zu edges)\n",
               open_s, load_s, g.node_count(), g.edge_count());
+  if (warm) {
+    if (!snap.has_engine_state()) {
+      std::fprintf(stderr, "error: %s: --warm needs a version-2 snapshot "
+                           "(save with --engine)\n",
+                   in.c_str());
+      return 1;
+    }
+    const auto t2 = Clock::now();
+    const core::CascadeEngine e(snap, snap.priority_seed(), graph::SnapshotLoad::kWarm);
+    const double warm_s = seconds_since(t2);
+    std::printf("warm engine-ready %.6fs  (|MIS| %zu, priority seed %llu, "
+                "zero greedy recompute)\n",
+                warm_s, e.mis_size(),
+                static_cast<unsigned long long>(snap.priority_seed()));
+  }
   return 0;
 }
 
@@ -140,6 +180,15 @@ int cmd_verify(util::Cli& cli) {
   if (!snap.open(in, &error) || !snap.verify(&error)) {
     std::fprintf(stderr, "FAIL: %s\n", error.c_str());
     return 1;
+  }
+  if (snap.has_engine_state()) {
+    std::printf("OK: %s — %u nodes, %llu edges, |MIS| %llu, checksum + deep "
+                "consistency valid, membership is the greedy fixpoint of the "
+                "persisted keys\n",
+                in.c_str(), snap.node_count(),
+                static_cast<unsigned long long>(snap.edge_count()),
+                static_cast<unsigned long long>(snap.mis_size()));
+    return 0;
   }
   std::printf("OK: %s — %u nodes, %llu edges, checksum + deep consistency valid\n",
               in.c_str(), snap.node_count(),
@@ -176,6 +225,15 @@ int cmd_stats(util::Cli& cli) {
               static_cast<unsigned long long>(h.neighbors_off),
               static_cast<unsigned long long>(h.edge_ctrl_off),
               static_cast<unsigned long long>(h.edge_keys_off));
+  if (snap.has_engine_state()) {
+    const auto& ext = snap.engine_ext();
+    std::printf("  engine state     prio-keys@%llu membership@%llu\n",
+                static_cast<unsigned long long>(ext.keys_off),
+                static_cast<unsigned long long>(ext.membership_off));
+    std::printf("  |MIS|            %llu  (priority seed %llu)\n",
+                static_cast<unsigned long long>(ext.mis_size),
+                static_cast<unsigned long long>(ext.priority_seed));
+  }
 
   std::uint32_t max_deg = 0;
   std::uint64_t spilled = 0;  // nodes past the 14-slot inline capacity
