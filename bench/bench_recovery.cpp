@@ -1,0 +1,356 @@
+// bench_recovery — measures what the crash-safe service actually charges
+// for durability, and what checkpoint cadence buys back at recovery time.
+//
+// One cell per checkpoint interval (same workload, same n): ingest a
+// deterministic churn stream through MisService with the given
+// checkpoint_interval_ops and the serving fsync policy (every batch), then
+// drop the service WITHOUT close() — the directory is left crash-shaped,
+// unsealed WAL tail and all — and time RecoveryManager::recover over it
+// --reps times (min reported, with the open/warm/replay breakdown of the
+// fastest rep). Reported per cell:
+//
+//   ingest_ops_per_sec   ingest throughput including WAL append + fsync per
+//                        batch + auto checkpoints — the durability tax on
+//                        the engine's raw update rate,
+//   wal_bytes / checkpoint_bytes / wal_amplification
+//                        bytes the filesystem saw vs. the logical op payload
+//                        (20 B/op + 4 B/neighbor slot): the write
+//                        amplification of framing + checkpoints,
+//   tail_ops             ops past the last checkpoint — what recovery must
+//                        replay; bounded by interval + batch slack (the gate
+//                        checks this intrinsically),
+//   rto_s = open_s + warm_s + replay_s
+//                        time from "directory on disk" to "engine serving":
+//                        checkpoint open+verify, warm start, WAL tail
+//                        replay. Shrinking the interval shrinks tail_ops and
+//                        with it the replay term — the recorded baseline
+//                        demonstrates exactly that trade, and
+//                        scripts/check_bench.py gates it.
+//
+// Every recovered engine is compared against the live pre-drop engine
+// (membership + RNG state) outside the timed region, so a cell that exists
+// has been correctness-checked.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "graph/generators.hpp"
+#include "service/recovery.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::NodeId;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::uint64_t interval = 0;  // checkpoint_interval_ops; 0 = never
+  NodeId n = 0;
+  std::uint64_t ops = 0;
+  double ingest_s = 0;
+  double ingest_ops_per_sec = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t payload_bytes = 0;  // logical op payload (20 B/op + arena)
+  double wal_amplification = 0;     // wal_bytes / payload_bytes
+  std::uint64_t tail_ops = 0;       // replayed on recovery
+  double rto_s = 0;                 // min over reps; breakdown from that rep
+  double open_s = 0;
+  double warm_s = 0;
+  double replay_s = 0;
+};
+
+std::vector<core::Batch> make_stream(NodeId n, double deg, std::uint64_t seed,
+                                     std::uint64_t total_ops, std::size_t ops_per_batch) {
+  util::Rng rng(seed);
+  graph::DynamicGraph g = graph::random_avg_degree(n, deg, rng);
+  const workload::Trace grow = workload::grow_trace(g);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(g, config, seed + 1);
+
+  std::vector<core::Batch> out;
+  core::Batch current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  std::uint64_t ops = 0;
+  for (const workload::GraphOp& op : grow) {
+    workload::append_op(current, op);
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  while (ops < total_ops) {
+    workload::append_op(current, gen.next());
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  flush();
+  return out;
+}
+
+/// Logical bytes of the op stream as the WAL defines payload: one 20-byte
+/// op record per op plus 4 bytes per add-node neighbor slot. Framing
+/// (headers, seals, padding) and checkpoints are amplification on top.
+std::uint64_t payload_bytes(const std::vector<core::Batch>& stream) {
+  std::uint64_t bytes = 0;
+  for (const core::Batch& b : stream) {
+    bytes += b.size() * 20ULL;
+    for (const core::BatchOp& op : b.ops())
+      if (op.kind == core::BatchOp::Kind::kAddNode)
+        bytes += b.neighbors_of(op).size() * 4ULL;
+  }
+  return bytes;
+}
+
+Result run_cell(const std::vector<core::Batch>& stream, std::uint64_t interval,
+                NodeId n, std::uint64_t seed, int reps,
+                const std::filesystem::path& dir) {
+  Result r;
+  r.interval = interval;
+  r.n = n;
+  for (const auto& b : stream) r.ops += b.size();
+  r.payload_bytes = payload_bytes(stream);
+
+  const std::string cell_dir =
+      (dir / ("bench_recovery_" + std::to_string(interval))).string();
+  std::filesystem::remove_all(cell_dir);
+
+  service::ServiceConfig config;
+  config.dir = cell_dir;
+  config.priority_seed = seed;
+  config.fsync = service::FsyncPolicy::kEveryBatch;
+  config.checkpoint_interval_ops = interval;
+  std::string error;
+  auto svc = service::MisService::open(config, &error);
+  if (!svc.has_value()) {
+    std::fprintf(stderr, "service open failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  const auto t0 = Clock::now();
+  for (const core::Batch& batch : stream) {
+    if (!svc->apply(batch, &error)) {
+      std::fprintf(stderr, "apply failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+  r.ingest_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.ingest_ops_per_sec = r.ingest_s > 0 ? static_cast<double>(r.ops) / r.ingest_s : 0;
+  r.wal_bytes = svc->wal_bytes_appended();
+  r.checkpoint_bytes = svc->checkpoint_bytes();
+  r.checkpoints = svc->checkpoints_taken();
+  r.wal_amplification =
+      r.payload_bytes > 0 ? static_cast<double>(r.wal_bytes) / r.payload_bytes : 0;
+  r.tail_ops = r.ops - svc->last_checkpoint_lsn();
+
+  // Keep the live end state for the correctness pin, then drop the service
+  // without close(): no seal, no final sync beyond the policy's — the
+  // directory now looks exactly like the process was shot post-ack.
+  const core::Membership want_membership = svc->engine().membership();
+  const util::Rng::State want_rng = svc->engine().priorities().rng_state();
+  const std::size_t want_mis = svc->engine().mis_size();
+  svc.reset();
+
+  std::size_t sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    service::RecoveryOptions options;
+    options.priority_seed = seed;
+    service::RecoveryManager manager(cell_dir, options);
+    service::RecoveryReport report;
+    const auto t_rec = Clock::now();
+    auto engine = manager.recover(&report, &error);
+    const double rto = std::chrono::duration<double>(Clock::now() - t_rec).count();
+    if (!engine.has_value()) {
+      std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    sink += engine->mis_size();
+    if (report.recovered_lsn != r.ops || report.replayed_ops != r.tail_ops) {
+      std::fprintf(stderr,
+                   "recovery bookkeeping mismatch at interval %llu: lsn %llu/%llu, "
+                   "tail %llu/%llu\n",
+                   static_cast<unsigned long long>(interval),
+                   static_cast<unsigned long long>(report.recovered_lsn),
+                   static_cast<unsigned long long>(r.ops),
+                   static_cast<unsigned long long>(report.replayed_ops),
+                   static_cast<unsigned long long>(r.tail_ops));
+      std::exit(1);
+    }
+    // Correctness pin outside the timed region: the recovered engine must
+    // be differentially identical to the live one that wrote the log.
+    if (engine->mis_size() != want_mis || !(engine->membership() == want_membership) ||
+        !(engine->priorities().rng_state() == want_rng)) {
+      std::fprintf(stderr, "recovered state mismatch at interval %llu\n",
+                   static_cast<unsigned long long>(interval));
+      std::exit(1);
+    }
+    if (rep == 0 || rto < r.rto_s) {
+      r.rto_s = rto;
+      r.open_s = report.open_s;
+      r.warm_s = report.warm_s;
+      r.replay_s = report.replay_s;
+    }
+  }
+  if (sink == 0) std::fprintf(stderr, "(empty MIS — suspicious)\n");
+  std::filesystem::remove_all(cell_dir);
+  return r;
+}
+
+bool validate(const std::vector<Result>& results, std::size_t ops_per_batch) {
+  // Self-check behind --validate: the rules scripts/validate_bench.py
+  // applies to the JSON, plus the intrinsic tail bound the gate enforces.
+  if (results.empty()) {
+    std::fprintf(stderr, "validate: no results\n");
+    return false;
+  }
+  for (const Result& r : results) {
+    const bool ok = r.n >= 2 && r.ops > 0 && r.ingest_s > 0 &&
+                    r.ingest_ops_per_sec > 0 && r.wal_bytes > 0 &&
+                    r.payload_bytes > 0 && r.wal_amplification > 0 && r.rto_s > 0 &&
+                    r.open_s >= 0 && r.warm_s >= 0 && r.replay_s >= 0;
+    if (!ok) {
+      std::fprintf(stderr, "validate: malformed row at interval=%llu\n",
+                   static_cast<unsigned long long>(r.interval));
+      return false;
+    }
+    if (r.interval > 0 && r.tail_ops >= r.interval + ops_per_batch) {
+      std::fprintf(stderr,
+                   "validate: tail_ops %llu breaks the interval %llu + batch bound\n",
+                   static_cast<unsigned long long>(r.tail_ops),
+                   static_cast<unsigned long long>(r.interval));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_json(const std::string& path, const std::vector<Result>& results, NodeId n,
+                double deg, std::uint64_t seed, std::uint64_t ops,
+                std::size_t ops_per_batch, int reps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"n\": %u, \"deg\": %.1f, \"seed\": %llu, "
+               "\"ops\": %llu, \"batch\": %zu, \"reps\": %d, \"fsync\": \"everybatch\"},\n",
+               n, deg, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(ops), ops_per_batch, reps);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"interval\": %llu, \"n\": %u, \"ops\": %llu, "
+                 "\"ingest_s\": %.6f, \"ingest_ops_per_sec\": %.0f, "
+                 "\"wal_bytes\": %llu, \"checkpoint_bytes\": %llu, "
+                 "\"checkpoints\": %llu, \"payload_bytes\": %llu, "
+                 "\"wal_amplification\": %.4f, \"tail_ops\": %llu, "
+                 "\"rto_s\": %.6f, \"open_s\": %.6f, \"warm_s\": %.6f, "
+                 "\"replay_s\": %.6f}%s\n",
+                 static_cast<unsigned long long>(r.interval), r.n,
+                 static_cast<unsigned long long>(r.ops), r.ingest_s,
+                 r.ingest_ops_per_sec, static_cast<unsigned long long>(r.wal_bytes),
+                 static_cast<unsigned long long>(r.checkpoint_bytes),
+                 static_cast<unsigned long long>(r.checkpoints),
+                 static_cast<unsigned long long>(r.payload_bytes),
+                 r.wal_amplification, static_cast<unsigned long long>(r.tail_ops),
+                 r.rto_s, r.open_s, r.warm_s, r.replay_s,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeId n = 1000;
+  double deg = 6.0;
+  std::uint64_t seed = 42;
+  std::uint64_t ops = 120'000;
+  std::size_t batch = 32;
+  int reps = 3;
+  std::vector<std::uint64_t> intervals = {0, 50'000, 10'000, 2'000};
+  std::string out = "BENCH_recovery.json";
+  std::string dir = std::filesystem::temp_directory_path().string();
+  bool validate_flag = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--n") n = static_cast<NodeId>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--deg") deg = std::strtod(next(), nullptr);
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--ops") ops = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--batch") batch = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--reps") reps = static_cast<int>(std::strtol(next(), nullptr, 10));
+    else if (arg == "--out") out = next();
+    else if (arg == "--dir") dir = next();
+    else if (arg == "--validate") validate_flag = true;
+    else if (arg == "--intervals") {
+      intervals.clear();
+      const char* s = next();
+      while (*s != '\0') {
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(s, &end, 10);
+        if (end == s) {
+          std::fprintf(stderr,
+                       "--intervals wants a comma-separated list of op counts "
+                       "(0 = never checkpoint)\n");
+          return 2;
+        }
+        intervals.push_back(parsed);
+        s = *end == ',' ? end + 1 : end;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--intervals a,b,c] [--n N] [--deg D] [--ops K] "
+                   "[--batch B] [--seed S] [--reps R] [--dir TMP] [--out F] "
+                   "[--validate]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (batch == 0) batch = 1;
+
+  using namespace dmis;
+  const auto stream = make_stream(n, deg, seed, ops, batch);
+
+  std::vector<Result> results;
+  for (const std::uint64_t interval : intervals) {
+    const Result r = run_cell(stream, interval, n, seed, reps, dir);
+    results.push_back(r);
+    std::printf("interval=%-8llu ingest=%8.0f ops/s  wal=%-9llu ckpt=%llux%-8llu "
+                "amp=%.2fx  tail=%-7llu rto=%.6fs (open %.6f + warm %.6f + replay %.6f)\n",
+                static_cast<unsigned long long>(r.interval), r.ingest_ops_per_sec,
+                static_cast<unsigned long long>(r.wal_bytes),
+                static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(
+                    r.checkpoints > 0 ? r.checkpoint_bytes / r.checkpoints : 0),
+                r.wal_amplification, static_cast<unsigned long long>(r.tail_ops),
+                r.rto_s, r.open_s, r.warm_s, r.replay_s);
+    std::fflush(stdout);
+  }
+  if (validate_flag && !validate(results, batch)) return 1;
+  return write_json(out, results, n, deg, seed, ops, batch, reps) ? 0 : 1;
+}

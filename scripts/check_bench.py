@@ -38,6 +38,19 @@ Tolerances (CI's contract — change them here, not in the workflow):
   --deterministic-only (where the absolute warm-time band is skipped, like
   every other wall-clock check).
 
+* recovery — the crash-recovery cells (bench_recovery: one per checkpoint
+  interval). Bytes and op counts are deterministic given the seed
+  (wal_bytes, checkpoint_bytes, checkpoints, payload_bytes, tail_ops), so
+  they must be bit-identical across candidate runs and get
+  DETERMINISTIC_TOLERANCE against the reference. rto_s and
+  ingest_ops_per_sec are wall clock: best-of-N fold, THROUGHPUT_TOLERANCE
+  band. Two intrinsic checks need no reference: tail_ops must respect the
+  interval + batch bound (a checkpoint fires at the first batch boundary at
+  or past the interval, so a bigger tail means the cadence logic broke),
+  and across cells the replay term of the RTO must grow with tail_ops
+  (compared at >= 10x tail separation so wall-clock noise cannot flip it) —
+  that is the "checkpoints bound recovery time" claim itself.
+
 Cells present in the candidate but absent from the reference are skipped
 (so a smoke run may sweep a subset); a candidate with *no* matching cell is
 an error, since the gate would otherwise silently gate nothing.
@@ -102,6 +115,29 @@ def merge_best(candidates):
         for cell in cells.values():
             if cell["engine_warm_s"] > 0:
                 cell["warm_speedup"] = cell["engine_cold_s"] / cell["engine_warm_s"]
+        return merged
+    if kind == "recovery":
+        # Cells are (interval, ops): the byte/op fields are deterministic
+        # only for a fixed workload length, so a smoke run must sweep a
+        # subset of the reference's intervals at the reference's --ops.
+        cells = {(r["interval"], r["ops"]): r for r in merged["results"]}
+        for other in candidates[1:]:
+            for row in other["results"]:
+                cell = cells.get((row["interval"], row["ops"]))
+                if cell is None:
+                    continue
+                for field in ("wal_bytes", "checkpoint_bytes", "checkpoints",
+                              "payload_bytes", "tail_ops"):
+                    if row[field] != cell[field]:
+                        raise SystemExit(
+                            f"FAIL: {field} differs between candidate runs at "
+                            f"interval={row['interval']} — nondeterministic "
+                            f"WAL/checkpoint writer")
+                if row["rto_s"] < cell["rto_s"]:
+                    for field in ("rto_s", "open_s", "warm_s", "replay_s"):
+                        cell[field] = row[field]
+                cell["ingest_ops_per_sec"] = max(cell["ingest_ops_per_sec"],
+                                                 row["ingest_ops_per_sec"])
         return merged
     if kind != "update_latency":
         # Other kinds gate deterministic counts only — one run carries all
@@ -223,10 +259,70 @@ def check_snapshot(candidate, reference, tolerance, deterministic_only):
     return failures, matched
 
 
+def check_recovery(candidate, reference, tolerance, deterministic_only):
+    failures = []
+    ref = {(r["interval"], r["ops"]): r for r in reference["results"]}
+    batch = candidate.get("config", {}).get("batch", 1)
+    matched = 0
+    rows = candidate["results"]
+    # Intrinsic: a checkpoint fires at the first batch boundary at or past
+    # the interval, so the replay tail can never reach interval + batch.
+    for row in rows:
+        if row["interval"] > 0 and row["tail_ops"] >= row["interval"] + batch:
+            failures.append(
+                f"interval={row['interval']}: tail_ops {row['tail_ops']} breaks "
+                f"the interval + batch ({batch}) bound — checkpoint cadence broke")
+    # Intrinsic: more tail must cost more replay — the reason checkpoints
+    # exist. Compared at >= 10x tail separation so wall clock cannot flip it.
+    if not deterministic_only and len(rows) >= 2:
+        lo = min(rows, key=lambda r: r["tail_ops"])
+        hi = max(rows, key=lambda r: r["tail_ops"])
+        if hi["tail_ops"] >= 10 * max(lo["tail_ops"], 1) and \
+                hi["replay_s"] <= lo["replay_s"]:
+            failures.append(
+                f"replay_s did not grow with the tail: {hi['tail_ops']} ops "
+                f"replayed in {hi['replay_s']:.6f}s vs {lo['tail_ops']} ops in "
+                f"{lo['replay_s']:.6f}s — checkpoints no longer bound recovery")
+    for row in rows:
+        key = (row["interval"], row["ops"])
+        base = ref.get(key)
+        if base is None:
+            print(f"SKIP interval={row['interval']}: no reference cell at "
+                  f"ops={row['ops']} (intrinsics checked)")
+            continue
+        matched += 1
+        cell_failures = []
+        for field in ("wal_bytes", "checkpoint_bytes", "checkpoints",
+                      "payload_bytes", "tail_ops", "wal_amplification"):
+            got, want = row[field], base[field]
+            if not close(got, want, DETERMINISTIC_TOLERANCE):
+                cell_failures.append(
+                    f"interval={row['interval']}: {field} {got} vs reference {want} — "
+                    f"deterministic quantity moved (> {DETERMINISTIC_TOLERANCE:.0%})")
+        if not deterministic_only:
+            got, want = row["rto_s"], base["rto_s"]
+            if got > want * (1.0 + tolerance) + 1e-3:
+                cell_failures.append(
+                    f"interval={row['interval']}: RTO regression {got:.6f}s vs reference "
+                    f"{want:.6f}s (> {tolerance:.0%} slower)")
+            got, want = row["ingest_ops_per_sec"], base["ingest_ops_per_sec"]
+            if got < want * (1.0 - tolerance):
+                cell_failures.append(
+                    f"interval={row['interval']}: ingest regression {got:.0f} ops/s vs "
+                    f"reference {want:.0f} (> {tolerance:.0%} drop)")
+        if not cell_failures:
+            print(f"OK   interval={row['interval']}: tail {row['tail_ops']} ops, "
+                  f"rto {row['rto_s']:.6f}s "
+                  f"(reference {base['rto_s']:.6f}s)")
+        failures.extend(cell_failures)
+    return failures, matched
+
+
 CHECKERS = {
     "update_latency": check_update_latency,
     "distributed_cost": check_distributed_cost,
     "snapshot": check_snapshot,
+    "recovery": check_recovery,
 }
 
 
@@ -267,6 +363,10 @@ def inject_regression(candidate, deterministic_only):
             # --deterministic-only.
             row["engine_warm_s"] *= 2.0
             row["warm_speedup"] /= 2.0
+        elif kind == "recovery" and deterministic_only:
+            row["wal_amplification"] *= 2.0
+        elif kind == "recovery":
+            row["rto_s"] *= 2.0
     return regressed
 
 

@@ -102,11 +102,37 @@ def validate_snapshot(data):
         require(row["warm_speedup"] > 0, f"bad warm_speedup in {row}")
 
 
+def validate_recovery(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require_metric(row, "interval")
+        require_metric(row, "n", lo=2)
+        require_metric(row, "ops", lo=1)
+        require(row["ingest_s"] > 0 and finite(row["ingest_s"]),
+                f"bad 'ingest_s' in {row}")
+        require_metric(row, "ingest_ops_per_sec", lo=1)
+        require_metric(row, "wal_bytes", lo=1)
+        require_metric(row, "checkpoint_bytes")
+        require_metric(row, "checkpoints")
+        require_metric(row, "payload_bytes", lo=1)
+        require(row["wal_amplification"] >= 1.0,
+                f"wal_amplification below 1 in {row} — framing cannot shrink ops")
+        require_metric(row, "tail_ops")
+        require(row["tail_ops"] <= row["ops"], f"tail_ops exceeds ops in {row}")
+        require(row["rto_s"] > 0 and finite(row["rto_s"]), f"bad 'rto_s' in {row}")
+        for key in ("open_s", "warm_s", "replay_s"):
+            require_metric(row, key)
+        require(row["open_s"] + row["warm_s"] + row["replay_s"] <= row["rto_s"],
+                f"RTO breakdown exceeds rto_s in {row}")
+
+
 VALIDATORS = {
     "update_latency": validate_update_latency,
     "batch_throughput": validate_batch_throughput,
     "distributed_cost": validate_distributed_cost,
     "snapshot": validate_snapshot,
+    "recovery": validate_recovery,
 }
 
 

@@ -51,13 +51,23 @@ void apply_ops_collect_seeds(CascadeEngine& engine, const Batch& batch,
 
 BatchResult apply_batch(CascadeEngine& engine, const Batch& batch) {
   BatchResult result;
+  apply_batch(engine, batch, result);
+  return result;
+}
+
+void apply_batch(CascadeEngine& engine, const Batch& batch, BatchResult& out) {
+  out.new_nodes.clear();
+  out.report.adjustments = 0;
+  out.report.evaluated = 0;
+  out.report.changed.clear();
   // Reused across batches so steady-state batch application performs no
   // per-call allocation for the seed scratch.
   static thread_local std::vector<NodeId> seeds;
   seeds.clear();
-  detail::apply_ops_collect_seeds(engine, batch, seeds, result.new_nodes);
-  result.report = engine.repair(seeds);
-  return result;
+  detail::apply_ops_collect_seeds(engine, batch, seeds, out.new_nodes);
+  // Copy-assign into the caller's report: `changed` reuses its capacity
+  // once it has seen its steady-state maximum.
+  out.report = engine.repair(seeds);
 }
 
 }  // namespace dmis::core

@@ -110,6 +110,12 @@ struct BatchResult {
 /// cascade.
 [[nodiscard]] BatchResult apply_batch(CascadeEngine& engine, const Batch& batch);
 
+/// Same, writing into a caller-owned result whose vectors keep their
+/// capacity across calls — the allocation-free form the service ingest
+/// loop runs (service/service.hpp): in steady state neither the result nor
+/// the engine allocates.
+void apply_batch(CascadeEngine& engine, const Batch& batch, BatchResult& out);
+
 namespace detail {
 /// Shared front half of every batch path (serial and sharded): apply the
 /// topology mutations through the engine's raw_* interface and emit the

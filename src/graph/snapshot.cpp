@@ -1,9 +1,11 @@
 #include "graph/snapshot.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "util/binary_io.hpp"
+#include "util/fs.hpp"
 
 namespace dmis::graph {
 
@@ -205,11 +207,16 @@ bool Snapshot::verify(std::string* error) const {
 namespace {
 
 /// Shared writer body: version 1 when `state` is null, version 2 otherwise.
+/// Crash-safe publish: the bytes stream into `path.tmp`, which is fsynced
+/// and then renamed over `path`, so an interrupted save can never leave a
+/// torn file at the published path — a reader sees the old snapshot or the
+/// new one, never a mixture (util/fs.hpp documents the protocol).
 bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
                         const std::string& path, std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    set_error(error, path + ": cannot open for writing");
+    set_error(error, util::errno_context(tmp, "fopen", errno));
     return false;
   }
 
@@ -299,9 +306,20 @@ bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
   header.payload_checksum = w.checksum();
   ok = ok && std::fseek(f, 0, SEEK_SET) == 0 &&
        std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (!ok) set_error(error, util::errno_context(tmp, "fwrite", errno));
+  // Durability before visibility: the temp file's bytes must be on disk
+  // before the rename makes them the published snapshot.
+  ok = ok && util::fsync_stream(f, tmp, error);
   ok = (std::fclose(f) == 0) && ok;
-  if (!ok) set_error(error, path + ": write failed");
-  return ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (!util::atomic_publish(tmp, path, error)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// MisService — the crash-safe dynamic-MIS process: CascadeEngine + WAL +
+// checkpointer + recovery, composed behind one apply() call.
+//
+// This is the serving shape the ROADMAP's first open item names (WAL +
+// snapshot log-shipping with measured recovery), and it closes the loop
+// the durability PRs opened: snapshot v2 is a complete engine checkpoint,
+// the WAL is the op stream between checkpoints, and opening a service
+// directory *is* recovery — there is no separate "clean open" path whose
+// bugs only surface after a crash.
+//
+// Ingest protocol per apply(batch):
+//   1. append the batch to the WAL (one record, or one per op under
+//      kEveryOp) and fsync per policy — durability first;
+//   2. apply the batch to the engine (single-cascade batch repair,
+//      core/batch.hpp);
+//   3. every checkpoint_interval_ops ops: fsync, snapshot, truncate.
+// apply() returning true is the ack: under kEveryOp / kEveryBatch the
+// batch is then durable; under kInterval it is durable within
+// fsync_interval_records records (durable_lsn() says exactly).
+//
+// Steady state allocates nothing: the WAL serialization buffer, the batch
+// result, and every engine scratch reuse owned capacity; only segment
+// rotation and checkpoints (both amortized by configuration) touch the
+// allocator or the filesystem namespace. tests/test_service_alloc.cpp
+// enforces this with the operator-new counter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "service/checkpoint.hpp"
+#include "service/recovery.hpp"
+#include "service/wal.hpp"
+
+namespace dmis::service {
+
+struct ServiceConfig {
+  std::string dir;
+  /// Cold-start seed (ignored once a checkpoint exists — the persisted
+  /// seed + RNG state win so draw streams continue across crashes).
+  std::uint64_t priority_seed = 42;
+  FsyncPolicy fsync = FsyncPolicy::kEveryBatch;
+  std::uint64_t fsync_interval_records = 64;
+  std::uint64_t segment_bytes = 64ULL << 20;
+  /// Checkpoint every this many ops; 0 = only explicit checkpoint() calls.
+  std::uint64_t checkpoint_interval_ops = 0;
+  bool verify_checkpoint_checksum = true;
+  bool force_read = false;
+  /// Fault injection for tests; empty = real files.
+  util::FileFactory file_factory;
+};
+
+class MisService {
+ public:
+  /// Open (= recover) a service directory, creating it if absent. The
+  /// recovery report of this open is kept (recovery()).
+  static std::optional<MisService> open(ServiceConfig config, std::string* error);
+
+  MisService(MisService&&) = default;
+  MisService& operator=(MisService&&) = default;
+
+  /// Log, sync (per policy), apply, maybe checkpoint. False on I/O
+  /// failure — the engine then still matches the durable log prefix, but
+  /// the service must be reopened (recovered) before further writes.
+  bool apply(const core::Batch& batch, std::string* error);
+
+  /// Fsync the WAL now (advances durable_lsn to lsn).
+  bool sync(std::string* error);
+
+  /// Snapshot the engine at the current lsn and truncate the WAL.
+  bool checkpoint(std::string* error);
+
+  /// Seal the active segment and close the WAL. Further apply() calls
+  /// fail; the directory reopens cleanly.
+  bool close(std::string* error);
+
+  [[nodiscard]] const core::CascadeEngine& engine() const noexcept { return engine_; }
+  /// Ops applied to the engine since lsn 0 (across restarts).
+  [[nodiscard]] std::uint64_t lsn() const noexcept { return lsn_; }
+  /// Ops guaranteed on disk (WAL fsync or checkpoint).
+  [[nodiscard]] std::uint64_t durable_lsn() const noexcept {
+    return wal_.durable_lsn();
+  }
+  [[nodiscard]] std::uint64_t last_checkpoint_lsn() const noexcept {
+    return last_checkpoint_lsn_;
+  }
+  /// Report of the last apply()'s batch repair.
+  [[nodiscard]] const core::BatchResult& last_result() const noexcept {
+    return result_;
+  }
+  /// How this service came up (checkpoint used, ops replayed, RTO parts).
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept { return recovery_; }
+  [[nodiscard]] std::uint64_t wal_bytes_appended() const noexcept {
+    return wal_.bytes_appended();
+  }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return checkpointer_.checkpoints_taken();
+  }
+  [[nodiscard]] std::uint64_t checkpoint_bytes() const noexcept {
+    return checkpointer_.checkpoint_bytes();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  MisService(ServiceConfig config, core::CascadeEngine engine, WalWriter wal,
+             RecoveryReport recovery)
+      : config_(std::move(config)),
+        engine_(std::move(engine)),
+        wal_(std::move(wal)),
+        checkpointer_(config_.dir),
+        recovery_(std::move(recovery)),
+        lsn_(recovery_.recovered_lsn),
+        last_checkpoint_lsn_(recovery_.checkpoint_lsn) {}
+
+  ServiceConfig config_;
+  core::CascadeEngine engine_;
+  WalWriter wal_;
+  Checkpointer checkpointer_;
+  RecoveryReport recovery_;
+  core::BatchResult result_;  // reused per apply
+  std::uint64_t lsn_ = 0;
+  std::uint64_t last_checkpoint_lsn_ = 0;
+};
+
+}  // namespace dmis::service

@@ -1,0 +1,49 @@
+// CRC-32C (Castagnoli) — the per-record checksum of the write-ahead log
+// (service/wal.hpp, docs/FORMATS.md).
+//
+// The snapshot and trace formats use a whole-payload FNV-1a because they
+// are written once and validated once; a WAL record must instead be
+// validated *individually* so a torn final record can be rejected without
+// giving up the valid prefix, and a 32-bit CRC detects the failure mode
+// that actually occurs there — a record whose tail bytes are missing or
+// zero-filled after a crash mid-write. CRC-32C is the conventional choice
+// (iSCSI, ext4, LevelDB/RocksDB record framing); this is the reflected
+// table-driven form, fast enough that framing overhead is invisible next
+// to the fsync the record is about to pay for.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dmis::util {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1U) != 0 ? (0x82F63B78U ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = crc32c_table();
+
+}  // namespace detail
+
+/// CRC-32C of `size` bytes. Chainable: pass a previous result as `seed` to
+/// extend the CRC over discontiguous spans.
+[[nodiscard]] inline std::uint32_t crc32c(const void* data, std::size_t size,
+                                          std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    c = detail::kCrc32cTable[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace dmis::util

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/binary_io.hpp"  // set_error
+#include "util/fs.hpp"         // errno_context
 
 #if !defined(DMIS_NO_MMAP) && (defined(__unix__) || defined(__APPLE__))
 #define DMIS_HAVE_MMAP 1
@@ -28,19 +29,23 @@ bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out,
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
   if (ec) {
-    set_error(error, path + ": " + ec.message());
+    set_error(error, path + ": file_size: " + ec.message() + " (code " +
+                         std::to_string(ec.value()) + ")");
     return false;
   }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    set_error(error, path + ": " + std::strerror(errno));
+    set_error(error, errno_context(path, "fopen", errno));
     return false;
   }
   out.resize(static_cast<std::size_t>(size));
   const std::size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  const int read_errno = errno;
   std::fclose(f);
   if (got != out.size()) {
-    set_error(error, path + ": short read");
+    set_error(error, path + ": fread: short read (" + std::to_string(got) + " of " +
+                         std::to_string(out.size()) + " bytes, " +
+                         std::strerror(read_errno) + ")");
     return false;
   }
   return true;
@@ -77,12 +82,17 @@ bool MmapFile::open(const std::string& path, std::string* error, bool force_read
   if (!force_read) {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-      set_error(error, path + ": " + std::strerror(errno));
+      set_error(error, errno_context(path, "open", errno));
       return false;
     }
     struct stat st {};
-    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
-      set_error(error, path + ": not a regular file");
+    if (::fstat(fd, &st) != 0) {
+      set_error(error, errno_context(path, "fstat", errno));
+      ::close(fd);
+      return false;
+    }
+    if (!S_ISREG(st.st_mode)) {
+      set_error(error, path + ": fstat: not a regular file");
       ::close(fd);
       return false;
     }

@@ -1,0 +1,390 @@
+// MisService end-to-end: open (= recover) → apply → checkpoint → close
+// cycles, differentially checked against an engine that was fed the same
+// batches and never touched a disk. The recovered service must match that
+// reference in graph, membership, and — the strict part — priority RNG
+// state, so that every op applied *after* a restart also matches op for
+// op (recovery.hpp's "differentially identical" contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "graph/generators.hpp"
+#include "service/checkpoint.hpp"
+#include "service/service.hpp"
+#include "service/wal.hpp"
+#include "util/fault_file.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using service::FsyncPolicy;
+using service::MisService;
+using service::ServiceConfig;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("dmis_svc_" + name)).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+/// Deterministic batch stream from an empty graph: grow a random graph op
+/// by op, then mixed churn. Both the service (from lsn 0) and the in-memory
+/// reference apply exactly these batches, so positional node ids line up.
+std::vector<core::Batch> make_stream(std::uint64_t seed, std::size_t total_ops,
+                                     std::size_t ops_per_batch) {
+  util::Rng rng(seed);
+  graph::DynamicGraph g = graph::random_avg_degree(120, 6.0, rng);
+  const workload::Trace grow = workload::grow_trace(g);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(g, config, seed + 1);
+
+  std::vector<core::Batch> out;
+  core::Batch current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  std::size_t ops = 0;
+  for (const workload::GraphOp& op : grow) {
+    workload::append_op(current, op);
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  while (ops < total_ops) {
+    workload::append_op(current, gen.next());
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  flush();
+  return out;
+}
+
+std::size_t total_ops(const std::vector<core::Batch>& batches,
+                      std::size_t first = ~static_cast<std::size_t>(0)) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < batches.size() && i < first; ++i) n += batches[i].size();
+  return n;
+}
+
+core::CascadeEngine reference(const std::vector<core::Batch>& batches,
+                              std::size_t first, std::uint64_t priority_seed) {
+  core::CascadeEngine engine(priority_seed);
+  for (std::size_t i = 0; i < first; ++i) (void)core::apply_batch(engine, batches[i]);
+  return engine;
+}
+
+/// Full-state equality, including the RNG — the property that makes a
+/// recovered replica behave bit-for-bit like the pre-crash process.
+void expect_same(const core::CascadeEngine& got, const core::CascadeEngine& want,
+                 const char* where) {
+  EXPECT_TRUE(got.graph() == want.graph()) << where;
+  EXPECT_TRUE(got.membership() == want.membership()) << where;
+  EXPECT_EQ(got.mis_size(), want.mis_size()) << where;
+  EXPECT_TRUE(got.priorities().rng_state() == want.priorities().rng_state())
+      << where << ": RNG diverged — future draws would differ";
+}
+
+ServiceConfig config_for(const std::string& dir) {
+  ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = 7;
+  return config;
+}
+
+TEST(Service, ColdOpenAppliesAndAcksDurable) {
+  TempDir dir("cold");
+  std::string error;
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->lsn(), 0U);
+  EXPECT_EQ(service->recovery().checkpoint_lsn, 0U);
+  EXPECT_TRUE(service->recovery().checkpoint_path.empty());
+
+  const auto batches = make_stream(101, 600, 8);
+  std::size_t ops = 0;
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(service->apply(batch, &error)) << error;
+    ops += batch.size();
+    ASSERT_EQ(service->lsn(), ops);
+    // kEveryBatch: the ack means this very batch is on disk.
+    ASSERT_EQ(service->durable_lsn(), ops);
+  }
+  expect_same(service->engine(), reference(batches, batches.size(), 7), "cold run");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, CleanRestartContinuesDifferentially) {
+  TempDir dir("restart");
+  const auto batches = make_stream(202, 900, 8);
+  const std::size_t half = batches.size() / 2;
+  std::string error;
+  {
+    auto service = MisService::open(config_for(dir.path), &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (std::size_t i = 0; i < half; ++i)
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    ASSERT_TRUE(service->close(&error)) << error;
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_FALSE(service->recovery().torn_tail) << service->recovery().detail;
+  EXPECT_EQ(service->recovery().recovered_lsn, total_ops(batches, half));
+  expect_same(service->engine(), reference(batches, half, 7), "after clean restart");
+
+  // The recovered process and the never-restarted reference must now agree
+  // op for op — same repair sizes, same fresh-node priority draws.
+  core::CascadeEngine ref = reference(batches, half, 7);
+  for (std::size_t i = half; i < batches.size(); ++i) {
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    const core::BatchResult want = core::apply_batch(ref, batches[i]);
+    ASSERT_EQ(service->last_result().report.adjustments, want.report.adjustments)
+        << "batch " << i;
+    ASSERT_EQ(service->last_result().new_nodes, want.new_nodes) << "batch " << i;
+  }
+  expect_same(service->engine(), ref, "continued churn after restart");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, CrashWithoutCloseReplaysEverything) {
+  TempDir dir("crash");
+  const auto batches = make_stream(303, 700, 8);
+  std::string error;
+  {
+    auto service = MisService::open(config_for(dir.path), &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (const auto& batch : batches)
+      ASSERT_TRUE(service->apply(batch, &error)) << error;
+    // No close(): the segment ends unsealed, exactly like a process that
+    // died between appends. Every record was synced, so nothing is lost.
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->recovery().recovered_lsn, total_ops(batches));
+  EXPECT_EQ(service->recovery().replayed_ops, total_ops(batches));
+  EXPECT_FALSE(service->recovery().torn_tail) << service->recovery().detail;
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "unsealed-tail recovery");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, TornTailKeepsAckedPrefixAndContinuesAcrossSegments) {
+  TempDir dir("torn");
+  const auto batches = make_stream(404, 900, 8);
+  std::string error;
+
+  // Run against a disk that tears a write mid-record: the service acks
+  // some prefix of the stream, then apply() fails.
+  std::size_t acked = 0;
+  {
+    util::FaultPlan plan;
+    plan.write_budget = 64 + 777;  // segment header + a few records, torn mid-record
+    ServiceConfig config = config_for(dir.path);
+    config.file_factory = util::faulty_factory(plan);
+    auto service = MisService::open(config, &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (const auto& batch : batches) {
+      if (!service->apply(batch, &error)) break;
+      ++acked;
+    }
+    ASSERT_LT(acked, batches.size());
+    ASSERT_GT(acked, 0U);
+    // Poisoned writer: nothing more goes through.
+    EXPECT_FALSE(service->apply(batches[acked], &error));
+  }
+
+  // First recovery: the acked prefix survives, the torn record is shed.
+  const std::size_t acked_ops = total_ops(batches, acked);
+  std::size_t more = 0;
+  {
+    auto service = MisService::open(config_for(dir.path), &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    EXPECT_TRUE(service->recovery().torn_tail) << service->recovery().detail;
+    EXPECT_EQ(service->recovery().recovered_lsn, acked_ops);
+    expect_same(service->engine(), reference(batches, acked, 7), "post-tear recovery");
+    // Keep going on the healthy disk: the writer opened segment 2 based at
+    // the recovered lsn, leaving segment 1's dead tail in place.
+    for (std::size_t i = acked; i < batches.size(); ++i) {
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+      ++more;
+    }
+    // Crash again (no close): the next recovery must chain through the
+    // torn segment 1 into segment 2 by the base-lsn continuity rule.
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->recovery().recovered_lsn, total_ops(batches));
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "recovery across a dead tail");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, CheckpointTruncatesWalAndBoundsReplay) {
+  TempDir dir("ckpt");
+  const auto batches = make_stream(505, 900, 8);
+  const std::size_t half = batches.size() / 2;
+  std::string error;
+  std::uint64_t checkpoint_lsn = 0;
+  {
+    ServiceConfig config = config_for(dir.path);
+    config.segment_bytes = 2048;  // many small segments so truncation bites
+    auto service = MisService::open(config, &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (std::size_t i = 0; i < half; ++i)
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    const std::size_t segments_before = service::list_segments(dir.path).size();
+    ASSERT_GT(segments_before, 2U);
+    ASSERT_TRUE(service->checkpoint(&error)) << error;
+    checkpoint_lsn = service->last_checkpoint_lsn();
+    EXPECT_EQ(checkpoint_lsn, service->lsn());
+    // Sealed segments wholly behind the checkpoint are gone; the active
+    // one (and the checkpoint itself) remain.
+    EXPECT_LT(service::list_segments(dir.path).size(), segments_before);
+    EXPECT_EQ(service::list_checkpoints(dir.path).size(), 1U);
+    for (std::size_t i = half; i < batches.size(); ++i)
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    ASSERT_TRUE(service->close(&error)) << error;
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->recovery().checkpoint_lsn, checkpoint_lsn);
+  EXPECT_EQ(service->recovery().replayed_ops, total_ops(batches) - checkpoint_lsn);
+  EXPECT_FALSE(service->recovery().torn_tail) << service->recovery().detail;
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "checkpoint + tail replay");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, AutoCheckpointsAtConfiguredInterval) {
+  TempDir dir("auto");
+  const auto batches = make_stream(606, 800, 8);
+  std::string error;
+  {
+    ServiceConfig config = config_for(dir.path);
+    config.checkpoint_interval_ops = 128;
+    auto service = MisService::open(config, &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (const auto& batch : batches)
+      ASSERT_TRUE(service->apply(batch, &error)) << error;
+    EXPECT_GE(service->checkpoints_taken(), total_ops(batches) / 128 / 2);
+    EXPECT_GT(service->checkpoint_bytes(), 0U);
+    ASSERT_TRUE(service->close(&error)) << error;
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_GT(service->recovery().checkpoint_lsn, 0U);
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "auto-checkpointed restart");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, CorruptCheckpointFallsBackToFullReplay) {
+  TempDir dir("badckpt");
+  const auto batches = make_stream(707, 600, 8);
+  const std::size_t half = batches.size() / 2;
+  std::string error;
+  std::uint64_t checkpoint_lsn = 0;
+  {
+    // One big segment: truncation never removes it (it is the active one),
+    // so the full log from lsn 0 stays available as the fallback.
+    auto service = MisService::open(config_for(dir.path), &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (std::size_t i = 0; i < half; ++i)
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    ASSERT_TRUE(service->checkpoint(&error)) << error;
+    checkpoint_lsn = service->last_checkpoint_lsn();
+    for (std::size_t i = half; i < batches.size(); ++i)
+      ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    ASSERT_TRUE(service->close(&error)) << error;
+  }
+  // Flip one byte deep in the checkpoint: verify() (or open()) must reject
+  // it and recovery must rebuild from lsn 0 instead of trusting it.
+  const std::string cp = service::checkpoint_path(dir.path, checkpoint_lsn);
+  {
+    std::fstream f(cp, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::int64_t>(f.tellg());
+    f.seekp(size - 9, std::ios::beg);
+    char byte = 0;
+    f.seekg(size - 9, std::ios::beg);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(size - 9, std::ios::beg);
+    f.write(&byte, 1);
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->recovery().checkpoints_rejected, 1U);
+  EXPECT_EQ(service->recovery().checkpoint_lsn, 0U);
+  EXPECT_EQ(service->recovery().replayed_ops, total_ops(batches));
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "fallback full replay");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+TEST(Service, MissingCheckpointAfterTruncationIsAHardError) {
+  TempDir dir("gap");
+  const auto batches = make_stream(808, 700, 8);
+  std::string error;
+  std::uint64_t checkpoint_lsn = 0;
+  {
+    ServiceConfig config = config_for(dir.path);
+    config.segment_bytes = 1024;  // force truncation to delete early segments
+    auto service = MisService::open(config, &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (const auto& batch : batches)
+      ASSERT_TRUE(service->apply(batch, &error)) << error;
+    ASSERT_TRUE(service->checkpoint(&error)) << error;
+    checkpoint_lsn = service->last_checkpoint_lsn();
+    ASSERT_TRUE(service->close(&error)) << error;
+  }
+  ASSERT_GT(service::list_segments(dir.path)[0].base_lsn, 0U)
+      << "truncation should have deleted the lsn-0 segment";
+  // Deleting the checkpoint now leaves ops [0, first segment base) existing
+  // nowhere. Recovery must refuse — a silent cold start would serve a
+  // wrong MIS.
+  std::filesystem::remove(service::checkpoint_path(dir.path, checkpoint_lsn));
+  auto service = MisService::open(config_for(dir.path), &error);
+  EXPECT_FALSE(service.has_value());
+  EXPECT_NE(error.find("gap"), std::string::npos) << error;
+}
+
+TEST(Service, EveryOpPolicyRecoversIdentically) {
+  TempDir dir("everyop");
+  const auto batches = make_stream(909, 500, 8);
+  std::string error;
+  {
+    ServiceConfig config = config_for(dir.path);
+    config.fsync = FsyncPolicy::kEveryOp;
+    auto service = MisService::open(config, &error);
+    ASSERT_TRUE(service.has_value()) << error;
+    for (const auto& batch : batches)
+      ASSERT_TRUE(service->apply(batch, &error)) << error;
+    // No close — per-op records must still recover to the same state a
+    // batch-record log would have produced (RNG parity across the split).
+  }
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+  EXPECT_EQ(service->recovery().recovered_lsn, total_ops(batches));
+  expect_same(service->engine(), reference(batches, batches.size(), 7),
+              "per-op records replayed");
+  ASSERT_TRUE(service->close(&error)) << error;
+}
+
+}  // namespace

@@ -250,6 +250,105 @@ TEST_F(SnapshotFuzz, VersionRelabelingRejected) {
   write_bytes(v2_->file.path, v2_->pristine);
 }
 
+/// Every prefix length a crash mid-save could leave behind if the save were
+/// NOT atomic: each section boundary, one byte either side of it, and the
+/// header edges. All must be rejected by open() — and since save_snapshot
+/// publishes via write-tmp/fsync/rename, none of these shapes can ever
+/// appear at the published path in the first place; this pins the defense
+/// in depth for files that arrive by other means (scp, backup restore).
+void truncate_at_boundaries(Corpus& c) {
+  graph::SnapshotHeader header{};
+  std::memcpy(&header, c.pristine.data(), sizeof(header));
+  std::vector<std::size_t> cuts = {
+      0, 1, 7, 8, sizeof(graph::SnapshotHeader) - 1, sizeof(graph::SnapshotHeader),
+      static_cast<std::size_t>(header.alive_off),
+      static_cast<std::size_t>(header.offsets_off),
+      static_cast<std::size_t>(header.neighbors_off),
+      static_cast<std::size_t>(header.edge_ctrl_off),
+      static_cast<std::size_t>(header.edge_keys_off),
+      c.pristine.size() - 1,
+  };
+  if (header.version >= graph::kSnapshotVersionEngine) {
+    graph::SnapshotEngineExt ext{};
+    std::memcpy(&ext, c.pristine.data() + sizeof(header), sizeof(ext));
+    cuts.push_back(sizeof(header) + sizeof(ext));
+    cuts.push_back(static_cast<std::size_t>(ext.keys_off));
+    cuts.push_back(static_cast<std::size_t>(ext.membership_off));
+  }
+  // ±1 around every boundary probes off-by-one acceptance.
+  const std::vector<std::size_t> base = cuts;
+  for (const std::size_t at : base) {
+    if (at > 0) cuts.push_back(at - 1);
+    cuts.push_back(at + 1);
+  }
+  for (const std::size_t keep : cuts) {
+    if (keep >= c.pristine.size()) continue;
+    write_bytes(c.file.path, {c.pristine.begin(),
+                              c.pristine.begin() + static_cast<long>(keep)});
+    Snapshot snap;
+    std::string error;
+    EXPECT_FALSE(snap.open(c.file.path, &error))
+        << "accepted a " << keep << "-byte prefix of a " << c.pristine.size()
+        << "-byte snapshot";
+    EXPECT_FALSE(error.empty());
+  }
+  write_bytes(c.file.path, c.pristine);
+}
+
+TEST_F(SnapshotFuzz, SectionBoundaryTruncationsRejectedV1) {
+  truncate_at_boundaries(*v1_);
+}
+TEST_F(SnapshotFuzz, SectionBoundaryTruncationsRejectedV2) {
+  truncate_at_boundaries(*v2_);
+}
+
+TEST_F(SnapshotFuzz, FailedSaveLeavesExistingSnapshotIntact) {
+  // Atomic publish contract: a save that fails mid-flight must leave a
+  // pre-existing snapshot at the target path byte-identical — the window
+  // where the old file is gone and the new one incomplete must not exist.
+  // Force the failure by squatting a directory on the .tmp staging path.
+  const DynamicGraph g = churned_graph(80, 41);
+  const core::CascadeEngine engine(g, 5);
+  TempFile file("atomic.snap");
+  std::string error;
+  ASSERT_TRUE(core::save_snapshot(engine, file.path, &error)) << error;
+  const std::vector<std::uint8_t> before = read_bytes(file.path);
+
+  const std::string tmp = file.path + ".tmp";
+  std::filesystem::create_directory(tmp);
+  const DynamicGraph g2 = churned_graph(90, 43);
+  const core::CascadeEngine engine2(g2, 5);
+  EXPECT_FALSE(core::save_snapshot(engine2, file.path, &error));
+  EXPECT_NE(error.find(".tmp"), std::string::npos) << error;  // errno context names the staging file
+  std::filesystem::remove_all(tmp);
+
+  EXPECT_EQ(read_bytes(file.path), before);
+  Snapshot snap;
+  ASSERT_TRUE(snap.open(file.path, &error)) << error;
+  EXPECT_TRUE(snap.verify(&error)) << error;
+}
+
+TEST_F(SnapshotFuzz, SuccessfulSaveReplacesAndLeavesNoResidue) {
+  const DynamicGraph g = churned_graph(80, 47);
+  const core::CascadeEngine engine(g, 5);
+  TempFile file("replace.snap");
+  std::string error;
+  ASSERT_TRUE(core::save_snapshot(engine, file.path, &error)) << error;
+
+  // A stale partial .tmp from a hypothetical earlier crash must not block
+  // or corrupt the next save.
+  write_bytes(file.path + ".tmp", {0xDE, 0xAD, 0xBE, 0xEF});
+  const DynamicGraph g2 = churned_graph(100, 53);
+  const core::CascadeEngine engine2(g2, 9);
+  ASSERT_TRUE(core::save_snapshot(engine2, file.path, &error)) << error;
+  EXPECT_FALSE(std::filesystem::exists(file.path + ".tmp"));
+
+  Snapshot snap;
+  ASSERT_TRUE(snap.open(file.path, &error)) << error;
+  EXPECT_TRUE(snap.verify(&error)) << error;
+  EXPECT_EQ(snap.priority_seed(), 9U);  // the new file, not the old one
+}
+
 TEST_F(SnapshotFuzz, NonFixpointMembershipRejectedByVerifyNotOpen) {
   // A structurally pristine v2 file whose membership is NOT the greedy
   // fixpoint (all-zero membership on a non-empty graph, checksum freshly

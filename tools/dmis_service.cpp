@@ -1,0 +1,377 @@
+// dmis_service — operator CLI for the crash-safe dynamic-MIS service
+// (service/service.hpp): run a churn workload through a service directory,
+// crash it on purpose, recover it, and check the recovered state.
+//
+//   dmis_service run     --dir d [--ops K --batch B --seed S]
+//                        [--policy everyop|everybatch|interval]
+//                        [--checkpoint-interval N] [--crash-at L]
+//                        ingest the deterministic workload; with --crash-at
+//                        the process _exit()s the moment lsn ≥ L — no
+//                        close(), no seal, exactly the on-disk shape a
+//                        kill -9 leaves (modulo a mid-write tear).
+//   dmis_service recover --dir d [--verify --ops K --batch B --seed S]
+//                        recover the directory, print the recovery report
+//                        and RTO breakdown; with --verify, regenerate the
+//                        same workload and check the recovered engine is
+//                        differentially identical to a never-crashed
+//                        reference at the recovered lsn (graph, membership,
+//                        MIS size, priority-RNG state).
+//   dmis_service stats   --dir d
+//                        list checkpoints and WAL segments with lsn ranges.
+//
+// The workload is pinned by (--seed, --ops, --batch): grow a random graph
+// op by op from empty, then mixed churn — the same recipe the service and
+// kill -9 tests use, so `run --crash-at` + `recover --verify` is a
+// self-contained crash drill.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "graph/generators.hpp"
+#include "service/checkpoint.hpp"
+#include "service/service.hpp"
+#include "service/wal.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The pinned workload: identical across run / recover --verify.
+std::vector<core::Batch> make_stream(std::uint64_t seed, std::size_t total_ops,
+                                     std::size_t ops_per_batch) {
+  util::Rng rng(seed);
+  graph::DynamicGraph g = graph::random_avg_degree(100, 6.0, rng);
+  const workload::Trace grow = workload::grow_trace(g);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(g, config, seed + 1);
+
+  std::vector<core::Batch> out;
+  core::Batch current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  std::size_t ops = 0;
+  for (const workload::GraphOp& op : grow) {
+    workload::append_op(current, op);
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  while (ops < total_ops) {
+    workload::append_op(current, gen.next());
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  flush();
+  return out;
+}
+
+void append_slice(core::Batch& out, const core::Batch& b, std::size_t from,
+                  std::size_t count) {
+  const auto ops = b.ops();
+  for (std::size_t i = from; i < from + count && i < ops.size(); ++i) {
+    const core::BatchOp& op = ops[i];
+    switch (op.kind) {
+      case core::BatchOp::Kind::kAddEdge: out.add_edge(op.u, op.v); break;
+      case core::BatchOp::Kind::kRemoveEdge: out.remove_edge(op.u, op.v); break;
+      case core::BatchOp::Kind::kAddNode: out.add_node(b.neighbors_of(op)); break;
+      case core::BatchOp::Kind::kRemoveNode: out.remove_node(op.u); break;
+    }
+  }
+}
+
+/// Reference engine fed the first `ops` ops (splitting a batch if needed).
+core::CascadeEngine reference_prefix(const std::vector<core::Batch>& stream,
+                                     std::uint64_t ops, std::uint64_t priority_seed) {
+  core::CascadeEngine engine(priority_seed);
+  core::Batch partial;
+  std::uint64_t done = 0;
+  for (const core::Batch& b : stream) {
+    if (done == ops) break;
+    if (done + b.size() <= ops) {
+      (void)core::apply_batch(engine, b);
+      done += b.size();
+    } else {
+      partial.clear();
+      append_slice(partial, b, 0, static_cast<std::size_t>(ops - done));
+      (void)core::apply_batch(engine, partial);
+      done = ops;
+    }
+  }
+  return engine;
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
+                      std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-independent engine fingerprint: membership bytes + RNG state. Two
+/// engines with equal fingerprints serve the same MIS and will draw the
+/// same priorities forever.
+std::uint64_t fingerprint(const core::CascadeEngine& engine) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (graph::NodeId v = 0; v < engine.graph().id_bound(); ++v) {
+    const std::uint8_t byte = engine.in_mis(v) ? 1 : 0;
+    h = fnv1a64(&byte, 1, h);
+  }
+  const util::Rng::State rng = engine.priorities().rng_state();
+  for (const std::uint64_t word : rng)
+    h = fnv1a64(reinterpret_cast<const std::uint8_t*>(&word), sizeof(word), h);
+  return h;
+}
+
+bool parse_policy(const std::string& name, service::FsyncPolicy& out) {
+  if (name == "everyop") out = service::FsyncPolicy::kEveryOp;
+  else if (name == "everybatch") out = service::FsyncPolicy::kEveryBatch;
+  else if (name == "interval") out = service::FsyncPolicy::kInterval;
+  else return false;
+  return true;
+}
+
+int cmd_run(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-service", "service directory");
+  const auto ops = static_cast<std::size_t>(cli.flag_int("ops", 5000, "workload ops"));
+  const auto batch_ops =
+      static_cast<std::size_t>(cli.flag_int("batch", 8, "ops per batch"));
+  const auto seed = static_cast<std::uint64_t>(cli.flag_int("seed", 42, "workload seed"));
+  const auto priority_seed =
+      static_cast<std::uint64_t>(cli.flag_int("priority-seed", 7, "engine seed"));
+  const auto policy_name =
+      cli.flag_string("policy", "everybatch", "fsync policy: everyop|everybatch|interval");
+  const auto checkpoint_interval = static_cast<std::uint64_t>(
+      cli.flag_int("checkpoint-interval", 0, "auto-checkpoint every N ops (0 = never)"));
+  const auto crash_at = static_cast<std::uint64_t>(
+      cli.flag_int("crash-at", 0, "simulate kill -9 once lsn reaches this (0 = run out)"));
+  cli.finish();
+
+  service::ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = priority_seed;
+  config.checkpoint_interval_ops = checkpoint_interval;
+  if (!parse_policy(policy_name, config.fsync)) {
+    std::fprintf(stderr, "error: unknown --policy '%s'\n", policy_name.c_str());
+    return 1;
+  }
+  std::string error;
+  auto svc = service::MisService::open(config, &error);
+  if (!svc.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (svc->lsn() != 0)
+    std::printf("resumed at lsn %llu (checkpoint %llu, %llu ops replayed)\n",
+                static_cast<unsigned long long>(svc->lsn()),
+                static_cast<unsigned long long>(svc->recovery().checkpoint_lsn),
+                static_cast<unsigned long long>(svc->recovery().replayed_ops));
+
+  const auto stream = make_stream(seed, ops, batch_ops);
+  const auto t0 = Clock::now();
+  std::uint64_t skipped = 0;
+  for (const core::Batch& batch : stream) {
+    // Idempotent restart: skip batches the directory already holds.
+    if (svc->lsn() >= skipped + batch.size()) {
+      skipped += batch.size();
+      continue;
+    }
+    if (!svc->apply(batch, &error)) {
+      std::fprintf(stderr, "error: apply at lsn %llu: %s\n",
+                   static_cast<unsigned long long>(svc->lsn()), error.c_str());
+      return 1;
+    }
+    skipped += batch.size();
+    if (crash_at != 0 && svc->lsn() >= crash_at) {
+      std::printf("crash-at %llu reached at lsn %llu — dying without close "
+                  "(fingerprint %016llx)\n",
+                  static_cast<unsigned long long>(crash_at),
+                  static_cast<unsigned long long>(svc->lsn()),
+                  static_cast<unsigned long long>(fingerprint(svc->engine())));
+      std::fflush(stdout);
+#if defined(__unix__) || defined(__APPLE__)
+      _exit(137);  // the kill -9 exit code; no destructors, no seal
+#else
+      std::abort();
+#endif
+    }
+  }
+  const double run_s = seconds_since(t0);
+  const std::uint64_t lsn = svc->lsn();
+  std::printf("ingested to lsn %llu in %.3fs (%.0f ops/s), |MIS| %zu, "
+              "wal %llu bytes, %llu checkpoints (%llu bytes), fingerprint %016llx\n",
+              static_cast<unsigned long long>(lsn), run_s,
+              run_s > 0 ? static_cast<double>(lsn) / run_s : 0.0,
+              svc->engine().mis_size(),
+              static_cast<unsigned long long>(svc->wal_bytes_appended()),
+              static_cast<unsigned long long>(svc->checkpoints_taken()),
+              static_cast<unsigned long long>(svc->checkpoint_bytes()),
+              static_cast<unsigned long long>(fingerprint(svc->engine())));
+  if (!svc->close(&error)) {
+    std::fprintf(stderr, "error: close: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_recover(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-service", "service directory");
+  const bool verify = cli.flag_bool(
+      "verify", false, "check the recovered engine against the regenerated workload");
+  const auto ops = static_cast<std::size_t>(
+      cli.flag_int("ops", 5000, "workload ops (--verify; must match run)"));
+  const auto batch_ops = static_cast<std::size_t>(
+      cli.flag_int("batch", 8, "ops per batch (--verify; must match run)"));
+  const auto seed = static_cast<std::uint64_t>(
+      cli.flag_int("seed", 42, "workload seed (--verify; must match run)"));
+  const auto priority_seed =
+      static_cast<std::uint64_t>(cli.flag_int("priority-seed", 7, "engine seed"));
+  cli.finish();
+
+  service::ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = priority_seed;
+  const auto t0 = Clock::now();
+  std::string error;
+  auto svc = service::MisService::open(config, &error);
+  if (!svc.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const double rto_s = seconds_since(t0);
+  const service::RecoveryReport& r = svc->recovery();
+  std::printf("recovered to lsn %llu: checkpoint %llu (%s), %llu records / %llu ops "
+              "replayed, %llu segments%s\n",
+              static_cast<unsigned long long>(r.recovered_lsn),
+              static_cast<unsigned long long>(r.checkpoint_lsn),
+              r.checkpoint_path.empty() ? "none" : r.checkpoint_path.c_str(),
+              static_cast<unsigned long long>(r.records_replayed),
+              static_cast<unsigned long long>(r.replayed_ops),
+              static_cast<unsigned long long>(r.segments_scanned),
+              r.torn_tail ? ", torn tail shed" : "");
+  std::printf("rto %.6fs = open %.6fs + warm %.6fs + replay %.6fs (+ wal writer)\n",
+              rto_s, r.open_s, r.warm_s, r.replay_s);
+  if (!r.detail.empty()) std::printf("detail:\n%s", r.detail.c_str());
+  std::printf("|MIS| %zu, fingerprint %016llx\n", svc->engine().mis_size(),
+              static_cast<unsigned long long>(fingerprint(svc->engine())));
+
+  if (verify) {
+    const auto stream = make_stream(seed, ops, batch_ops);
+    std::uint64_t total = 0;
+    for (const auto& b : stream) total += b.size();
+    if (r.recovered_lsn > total) {
+      std::fprintf(stderr, "FAIL: recovered lsn %llu beyond the %llu-op workload "
+                           "(wrong --ops/--seed?)\n",
+                   static_cast<unsigned long long>(r.recovered_lsn),
+                   static_cast<unsigned long long>(total));
+      return 1;
+    }
+    const core::CascadeEngine ref = reference_prefix(stream, r.recovered_lsn,
+                                                     priority_seed);
+    const bool same_graph = svc->engine().graph() == ref.graph();
+    const bool same_membership = svc->engine().membership() == ref.membership();
+    const bool same_rng =
+        svc->engine().priorities().rng_state() == ref.priorities().rng_state();
+    if (!same_graph || !same_membership || !same_rng) {
+      std::fprintf(stderr,
+                   "FAIL: recovered state diverges from the reference at lsn %llu "
+                   "(graph %d, membership %d, rng %d)\n",
+                   static_cast<unsigned long long>(r.recovered_lsn), same_graph,
+                   same_membership, same_rng);
+      return 1;
+    }
+    svc->engine().verify();
+    std::printf("OK: recovered engine is differentially identical to the reference "
+                "at lsn %llu (graph, membership, |MIS| %zu, rng)\n",
+                static_cast<unsigned long long>(r.recovered_lsn),
+                svc->engine().mis_size());
+  }
+  if (!svc->close(&error)) {
+    std::fprintf(stderr, "error: close: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_stats(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-service", "service directory");
+  cli.finish();
+
+  const auto checkpoints = service::list_checkpoints(dir);
+  std::printf("%zu checkpoint(s):\n", checkpoints.size());
+  for (const auto& cp : checkpoints)
+    std::printf("  %s  lsn %llu\n", cp.path.c_str(),
+                static_cast<unsigned long long>(cp.lsn));
+  std::vector<std::string> skipped;
+  const auto segments = service::list_segments(dir, &skipped);
+  std::printf("%zu wal segment(s):\n", segments.size());
+  for (const auto& seg : segments) {
+    service::WalSegmentReader reader;
+    std::string error;
+    if (!reader.open(seg.path, &error)) {
+      std::printf("  %s  UNREADABLE: %s\n", seg.path.c_str(), error.c_str());
+      continue;
+    }
+    service::WalRecordView view;
+    std::uint64_t records = 0;
+    service::WalSegmentReader::Next state;
+    while ((state = reader.next(&view)) == service::WalSegmentReader::Next::kRecord)
+      ++records;
+    const char* tail = state == service::WalSegmentReader::Next::kSealed ? "sealed"
+                       : state == service::WalSegmentReader::Next::kEnd  ? "unsealed"
+                                                                         : "torn";
+    std::printf("  %s  seq %llu, lsn [%llu, %llu), %llu records, %s\n",
+                seg.path.c_str(), static_cast<unsigned long long>(seg.seq),
+                static_cast<unsigned long long>(seg.base_lsn),
+                static_cast<unsigned long long>(reader.next_lsn()),
+                static_cast<unsigned long long>(records), tail);
+    if (state == service::WalSegmentReader::Next::kTorn)
+      std::printf("    %s\n", reader.tail_detail().c_str());
+  }
+  for (const auto& s : skipped) std::printf("  skipped: %s\n", s.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <run|recover|stats> [flags]\n"
+                 "run a subcommand with --help for its flags\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  dmis::util::Cli cli(argc - 1, argv + 1);
+  if (cmd == "run") return cmd_run(cli);
+  if (cmd == "recover") return cmd_recover(cli);
+  if (cmd == "stats") return cmd_stats(cli);
+  std::fprintf(stderr, "unknown subcommand '%s' (want run|recover|stats)\n",
+               cmd.c_str());
+  return 2;
+}
