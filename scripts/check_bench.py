@@ -51,6 +51,19 @@ Tolerances (CI's contract — change them here, not in the workflow):
   (compared at >= 10x tail separation so wall-clock noise cannot flip it) —
   that is the "checkpoints bound recovery time" claim itself.
 
+* replication — the leader/follower cells (bench_replication: one per
+  fsync policy). The wire and lag fields are deterministic given the seed
+  and the loss-free in-process transport (wal_bytes, shipped_bytes,
+  shipments, applied_ops, mean_lag_ops, max_lag_ops — the bench itself
+  aborts if they drift between reps), so they must be bit-identical across
+  candidate runs and get DETERMINISTIC_TOLERANCE against the reference.
+  ingest_ops_per_sec (max fold) and failover_rto_s / catchup_s (min fold)
+  are wall clock: THROUGHPUT_TOLERANCE band. One intrinsic check needs no
+  reference: the synchronous policies (everyop, everybatch) must report
+  zero lag — the durable-cursor contract, not a tuning outcome. A cell
+  that exists has already survived the bench's own failover differential
+  check (promoted follower == never-crashed reference).
+
 Cells present in the candidate but absent from the reference are skipped
 (so a smoke run may sweep a subset); a candidate with *no* matching cell is
 an error, since the gate would otherwise silently gate nothing.
@@ -138,6 +151,31 @@ def merge_best(candidates):
                         cell[field] = row[field]
                 cell["ingest_ops_per_sec"] = max(cell["ingest_ops_per_sec"],
                                                  row["ingest_ops_per_sec"])
+        return merged
+    if kind == "replication":
+        # Cells are (policy, ops): the wire/lag fields are deterministic
+        # only for a fixed workload length, so a smoke run must sweep a
+        # subset of the reference's policies at the reference's --ops.
+        cells = {(r["policy"], r["ops"]): r for r in merged["results"]}
+        for other in candidates[1:]:
+            for row in other["results"]:
+                cell = cells.get((row["policy"], row["ops"]))
+                if cell is None:
+                    continue
+                for field in ("wal_bytes", "shipped_bytes", "shipments",
+                              "applied_ops", "promoted_lsn",
+                              "mean_lag_ops", "max_lag_ops"):
+                    if row[field] != cell[field]:
+                        raise SystemExit(
+                            f"FAIL: {field} differs between candidate runs at "
+                            f"policy={row['policy']} — nondeterministic "
+                            f"shipping pipeline")
+                if row["ingest_ops_per_sec"] > cell["ingest_ops_per_sec"]:
+                    cell["ingest_ops_per_sec"] = row["ingest_ops_per_sec"]
+                    cell["ingest_s"] = row["ingest_s"]
+                cell["catchup_s"] = min(cell["catchup_s"], row["catchup_s"])
+                cell["failover_rto_s"] = min(cell["failover_rto_s"],
+                                             row["failover_rto_s"])
         return merged
     if kind != "update_latency":
         # Other kinds gate deterministic counts only — one run carries all
@@ -318,11 +356,64 @@ def check_recovery(candidate, reference, tolerance, deterministic_only):
     return failures, matched
 
 
+def check_replication(candidate, reference, tolerance, deterministic_only):
+    failures = []
+    ref = {(r["policy"], r["ops"]): r for r in reference["results"]}
+    matched = 0
+    # Intrinsic: synchronous policies ship through the durable cursor, which
+    # covers every applied op the moment the batch's fsync lands — lag is a
+    # contract there, not a tuning outcome. No reference needed.
+    for row in candidate["results"]:
+        if row["policy"] in ("everyop", "everybatch") and row["max_lag_ops"] != 0:
+            failures.append(
+                f"policy={row['policy']}: max_lag_ops {row['max_lag_ops']} != 0 "
+                f"— the durable-cursor contract broke for a synchronous policy")
+    for row in candidate["results"]:
+        key = (row["policy"], row["ops"])
+        base = ref.get(key)
+        if base is None:
+            print(f"SKIP policy={row['policy']}: no reference cell at "
+                  f"ops={row['ops']} (intrinsics checked)")
+            continue
+        matched += 1
+        cell_failures = []
+        for field in ("wal_bytes", "shipped_bytes", "shipments", "applied_ops",
+                      "promoted_lsn", "mean_lag_ops", "max_lag_ops"):
+            got, want = row[field], base[field]
+            if not close(got, want, DETERMINISTIC_TOLERANCE):
+                cell_failures.append(
+                    f"policy={row['policy']}: {field} {got} vs reference {want} — "
+                    f"deterministic quantity moved (> {DETERMINISTIC_TOLERANCE:.0%})")
+        if not deterministic_only:
+            got, want = row["failover_rto_s"], base["failover_rto_s"]
+            if got > want * (1.0 + tolerance) + 1e-3:
+                cell_failures.append(
+                    f"policy={row['policy']}: failover RTO regression {got:.6f}s "
+                    f"vs reference {want:.6f}s (> {tolerance:.0%} slower)")
+            got, want = row["catchup_s"], base["catchup_s"]
+            if got > want * (1.0 + tolerance) + 1e-3:
+                cell_failures.append(
+                    f"policy={row['policy']}: catch-up regression {got:.6f}s vs "
+                    f"reference {want:.6f}s (> {tolerance:.0%} slower)")
+            got, want = row["ingest_ops_per_sec"], base["ingest_ops_per_sec"]
+            if got < want * (1.0 - tolerance):
+                cell_failures.append(
+                    f"policy={row['policy']}: ingest regression {got:.0f} ops/s "
+                    f"vs reference {want:.0f} (> {tolerance:.0%} drop)")
+        if not cell_failures:
+            print(f"OK   policy={row['policy']}: lag mean {row['mean_lag_ops']:.1f} "
+                  f"max {row['max_lag_ops']}, rto {row['failover_rto_s']:.6f}s "
+                  f"(reference {base['failover_rto_s']:.6f}s)")
+        failures.extend(cell_failures)
+    return failures, matched
+
+
 CHECKERS = {
     "update_latency": check_update_latency,
     "distributed_cost": check_distributed_cost,
     "snapshot": check_snapshot,
     "recovery": check_recovery,
+    "replication": check_replication,
 }
 
 
@@ -367,6 +458,10 @@ def inject_regression(candidate, deterministic_only):
             row["wal_amplification"] *= 2.0
         elif kind == "recovery":
             row["rto_s"] *= 2.0
+        elif kind == "replication" and deterministic_only:
+            row["shipped_bytes"] *= 2
+        elif kind == "replication":
+            row["failover_rto_s"] *= 2.0
     return regressed
 
 

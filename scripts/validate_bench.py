@@ -127,12 +127,46 @@ def validate_recovery(data):
                 f"RTO breakdown exceeds rto_s in {row}")
 
 
+def validate_replication(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require(row.get("policy") in ("everyop", "everybatch", "interval"),
+                f"unknown fsync policy in {row}")
+        require_metric(row, "n", lo=2)
+        require_metric(row, "ops", lo=1)
+        require(row["ingest_s"] > 0 and finite(row["ingest_s"]),
+                f"bad 'ingest_s' in {row}")
+        require_metric(row, "ingest_ops_per_sec", lo=1)
+        require_metric(row, "wal_bytes", lo=1)
+        require_metric(row, "shipped_bytes", lo=1)
+        require(row["shipped_bytes"] >= row["wal_bytes"],
+                f"shipped_bytes below wal_bytes in {row} — the follower "
+                f"cannot hold the full log with fewer bytes than the leader wrote")
+        require_metric(row, "shipments", lo=1)
+        require_metric(row, "applied_ops", lo=1)
+        require(row["applied_ops"] == row["ops"],
+                f"applied_ops != ops in {row} — follower lost operations")
+        require(row["promoted_lsn"] == row["ops"],
+                f"promoted_lsn != ops in {row} — promotion lost the tail")
+        require_metric(row, "mean_lag_ops")
+        require_metric(row, "max_lag_ops")
+        require(row["mean_lag_ops"] <= row["max_lag_ops"],
+                f"mean lag exceeds max lag in {row}")
+        if row["policy"] in ("everyop", "everybatch"):
+            require(row["max_lag_ops"] == 0,
+                    f"synchronous policy reports nonzero lag in {row}")
+        for key in ("catchup_s", "failover_rto_s"):
+            require_metric(row, key)
+
+
 VALIDATORS = {
     "update_latency": validate_update_latency,
     "batch_throughput": validate_batch_throughput,
     "distributed_cost": validate_distributed_cost,
     "snapshot": validate_snapshot,
     "recovery": validate_recovery,
+    "replication": validate_replication,
 }
 
 

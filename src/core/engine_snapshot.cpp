@@ -46,11 +46,16 @@ bool save_driver(const Driver& engine, const std::string& path, std::string* err
 
 bool save_snapshot(const CascadeEngine& engine, const std::string& path,
                    std::string* error) {
+  return save_snapshot(engine, path, util::FileFactory{}, error);
+}
+
+bool save_snapshot(const CascadeEngine& engine, const std::string& path,
+                   const util::FileFactory& factory, std::string* error) {
   graph::EngineStateView state;
   state.keys = keys_view(engine.priorities(), engine.graph());
   state.membership = engine.membership();
   fill_rng(state, engine.priorities());
-  return graph::save_snapshot(engine.graph(), state, path, error);
+  return graph::save_snapshot(engine.graph(), state, path, factory, error);
 }
 
 bool save_snapshot(const ShardedCascadeEngine& engine, const std::string& path,

@@ -18,6 +18,7 @@
 #include "core/cascade_engine.hpp"
 #include "core/dist_mis.hpp"
 #include "core/sharded_engine.hpp"
+#include "util/fault_file.hpp"  // util::FileFactory
 
 namespace dmis::core {
 
@@ -27,6 +28,10 @@ namespace dmis::core {
 /// public calls.
 bool save_snapshot(const CascadeEngine& engine, const std::string& path,
                    std::string* error = nullptr);
+/// With a non-empty `factory`, all file bytes route through it (the
+/// Checkpointer's fault-injection seam — graph/snapshot.hpp).
+bool save_snapshot(const CascadeEngine& engine, const std::string& path,
+                   const util::FileFactory& factory, std::string* error = nullptr);
 bool save_snapshot(const ShardedCascadeEngine& engine, const std::string& path,
                    std::string* error = nullptr);
 bool save_snapshot(const DistMis& engine, const std::string& path,

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/binary_io.hpp"
+#include "util/fault_file.hpp"
 #include "util/fs.hpp"
 
 namespace dmis::graph {
@@ -206,67 +207,65 @@ bool Snapshot::verify(std::string* error) const {
 
 namespace {
 
-/// Shared writer body: version 1 when `state` is null, version 2 otherwise.
-/// Crash-safe publish: the bytes stream into `path.tmp`, which is fsynced
-/// and then renamed over `path`, so an interrupted save can never leave a
-/// torn file at the published path — a reader sees the old snapshot or the
-/// new one, never a mixture (util/fs.hpp documents the protocol).
-bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
-                        const std::string& path, std::string* error) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    set_error(error, util::errno_context(tmp, "fopen", errno));
-    return false;
-  }
-
-  SnapshotHeader header{};
-  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
-  header.version = state == nullptr ? kSnapshotVersion : kSnapshotVersionEngine;
-  header.endian_tag = kSnapshotEndianTag;
-  header.id_bound = g.id_bound();
-  header.node_count = g.node_count();
-  header.edge_count = g.edge_count();
+/// Compute the header (and, for v2, the extension header) a save will
+/// write: section offsets, counts, file size — everything except the
+/// payload checksum, which only exists once the payload has streamed.
+void layout_snapshot(const DynamicGraph& g, const EngineStateView* state,
+                     SnapshotHeader* header, SnapshotEngineExt* ext) {
+  std::memcpy(header->magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header->version = state == nullptr ? kSnapshotVersion : kSnapshotVersionEngine;
+  header->endian_tag = kSnapshotEndianTag;
+  header->id_bound = g.id_bound();
+  header->node_count = g.node_count();
+  header->edge_count = g.edge_count();
   const util::FlatSet& edges = g.edge_set();
-  header.edge_capacity = edges.capacity();
-  header.edge_occupied = edges.occupied();
+  header->edge_capacity = edges.capacity();
+  header->edge_occupied = edges.occupied();
 
-  SnapshotEngineExt ext{};
   if (state != nullptr) {
-    DMIS_ASSERT_MSG(state->keys.size() <= header.id_bound &&
-                        state->membership.size() <= header.id_bound,
+    DMIS_ASSERT_MSG(state->keys.size() <= header->id_bound &&
+                        state->membership.size() <= header->id_bound,
                     "engine state spans exceed the graph's id bound");
-    ext.priority_seed = state->priority_seed;
-    for (int w = 0; w < 4; ++w) ext.rng_state[w] = state->rng_state[w];
-    for (const std::uint8_t m : state->membership) ext.mis_size += m;
+    ext->priority_seed = state->priority_seed;
+    for (int w = 0; w < 4; ++w) ext->rng_state[w] = state->rng_state[w];
+    for (const std::uint8_t m : state->membership) ext->mis_size += m;
   }
 
   // Lay out the sections up front so the header can be written first.
   std::uint64_t off = sizeof(SnapshotHeader);
   if (state != nullptr) off += sizeof(SnapshotEngineExt);
-  header.alive_off = off;
-  off = pad8(off + header.id_bound);
-  header.offsets_off = off;
-  off = pad8(off + (static_cast<std::uint64_t>(header.id_bound) + 1) * 8);
-  header.neighbors_off = off;
-  off = pad8(off + 2 * header.edge_count * sizeof(NodeId));
-  header.edge_ctrl_off = off;
-  off = pad8(off + header.edge_capacity);
-  header.edge_keys_off = off;
-  off = pad8(off + header.edge_capacity * 8);
+  header->alive_off = off;
+  off = pad8(off + header->id_bound);
+  header->offsets_off = off;
+  off = pad8(off + (static_cast<std::uint64_t>(header->id_bound) + 1) * 8);
+  header->neighbors_off = off;
+  off = pad8(off + 2 * header->edge_count * sizeof(NodeId));
+  header->edge_ctrl_off = off;
+  off = pad8(off + header->edge_capacity);
+  header->edge_keys_off = off;
+  off = pad8(off + header->edge_capacity * 8);
   if (state != nullptr) {
-    ext.keys_off = off;
-    off = pad8(off + static_cast<std::uint64_t>(header.id_bound) * 8);
-    ext.membership_off = off;
-    off = pad8(off + header.id_bound);
+    ext->keys_off = off;
+    off = pad8(off + static_cast<std::uint64_t>(header->id_bound) * 8);
+    ext->membership_off = off;
+    off = pad8(off + header->id_bound);
   }
-  header.file_size = off;
+  header->file_size = off;
+}
 
-  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
-  util::PayloadWriter w(f, sizeof(SnapshotHeader));
+/// Stream the checksummed payload (everything after SnapshotHeader) through
+/// `w` — any sink with PayloadWriter's write/align8/position interface:
+/// the stdio writer, the pre-pass hasher, or an append-only WritableFile.
+/// One template so the byte stream cannot drift between the paths.
+template <class Sink>
+bool stream_snapshot_payload(const DynamicGraph& g, const SnapshotHeader& header,
+                             const SnapshotEngineExt* ext,
+                             const EngineStateView* state, Sink& w) {
+  const util::FlatSet& edges = g.edge_set();
+  bool ok = true;
   // The extension header is part of the checksummed payload, so it streams
   // through the writer like any section (and is never patched afterwards).
-  if (state != nullptr) ok = ok && w.write(&ext, sizeof(ext));
+  if (state != nullptr) ok = w.write(ext, sizeof(*ext));
   for (NodeId v = 0; ok && v < header.id_bound; ++v) {
     const std::uint8_t alive = g.has_node(v) ? 1 : 0;
     ok = w.write(&alive, 1);
@@ -301,6 +300,62 @@ bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
     ok = ok && w.align8();
   }
   DMIS_ASSERT(!ok || w.position() == header.file_size);
+  return ok;
+}
+
+/// Payload sink over an append-only util::WritableFile (write failures are
+/// remembered; the caller reads the final verdict from ok()).
+class WritableFileSink {
+ public:
+  WritableFileSink(util::WritableFile* file, std::uint64_t header_bytes,
+                   std::string* error)
+      : file_(file), header_bytes_(header_bytes), error_(error) {}
+
+  bool write(const void* data, std::size_t bytes) {
+    if (bytes == 0) return true;
+    if (!file_->write(data, bytes, error_)) return false;
+    written_ += bytes;
+    return true;
+  }
+
+  bool align8() {
+    static constexpr std::uint8_t zeros[8] = {};
+    const std::uint64_t target = pad8(position());
+    return write(zeros, static_cast<std::size_t>(target - position()));
+  }
+
+  [[nodiscard]] std::uint64_t position() const noexcept {
+    return header_bytes_ + written_;
+  }
+
+ private:
+  util::WritableFile* file_;
+  std::uint64_t header_bytes_;
+  std::uint64_t written_ = 0;
+  std::string* error_;
+};
+
+/// Shared writer body: version 1 when `state` is null, version 2 otherwise.
+/// Crash-safe publish: the bytes stream into `path.tmp`, which is fsynced
+/// and then renamed over `path`, so an interrupted save can never leave a
+/// torn file at the published path — a reader sees the old snapshot or the
+/// new one, never a mixture (util/fs.hpp documents the protocol).
+bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
+                        const std::string& path, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, util::errno_context(tmp, "fopen", errno));
+    return false;
+  }
+
+  SnapshotHeader header{};
+  SnapshotEngineExt ext{};
+  layout_snapshot(g, state, &header, &ext);
+
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  util::PayloadWriter w(f, sizeof(SnapshotHeader));
+  ok = ok && stream_snapshot_payload(g, header, &ext, state, w);
 
   // Patch the checksum now that the payload has streamed through the hash.
   header.payload_checksum = w.checksum();
@@ -322,6 +377,43 @@ bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
   return true;
 }
 
+/// The factory-backed save: same bytes, same publish protocol, but every
+/// file operation goes through an injectable WritableFile so tests can
+/// fail the temp write or the pre-publish fsync at an exact byte
+/// (util/fault_file.hpp). WritableFile is append-only — no seeking back to
+/// patch the header — so this runs two passes: hash the payload first,
+/// then write the finished header followed by the payload. The extra pass
+/// costs one walk over in-memory state and buys the property the
+/// Checkpointer tests pin: a save that dies at ANY point leaves the
+/// previously published snapshot untouched.
+bool save_snapshot_via_factory(const DynamicGraph& g, const EngineStateView* state,
+                               const std::string& path,
+                               const util::FileFactory& factory,
+                               std::string* error) {
+  SnapshotHeader header{};
+  SnapshotEngineExt ext{};
+  layout_snapshot(g, state, &header, &ext);
+
+  util::PayloadHasher hasher(sizeof(SnapshotHeader));
+  stream_snapshot_payload(g, header, &ext, state, hasher);
+  header.payload_checksum = hasher.checksum();
+
+  const std::string tmp = path + ".tmp";
+  auto file = factory(tmp, error);
+  if (file == nullptr) return false;
+  WritableFileSink sink(file.get(), sizeof(SnapshotHeader), error);
+  bool ok = file->write(&header, sizeof(header), error) &&
+            stream_snapshot_payload(g, header, &ext, state, sink) &&
+            file->sync(error);
+  ok = file->close(ok ? error : nullptr) && ok;
+  if (ok && !util::atomic_publish(tmp, path, error)) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* error) {
@@ -331,6 +423,13 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path, std::string* 
 bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
                    const std::string& path, std::string* error) {
   return save_snapshot_impl(g, &state, path, error);
+}
+
+bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
+                   const std::string& path, const util::FileFactory& factory,
+                   std::string* error) {
+  if (!factory) return save_snapshot_impl(g, &state, path, error);
+  return save_snapshot_via_factory(g, &state, path, factory, error);
 }
 
 DynamicGraph DynamicGraph::load(const Snapshot& snapshot) {

@@ -49,6 +49,7 @@
 #include <string>
 
 #include "graph/dynamic_graph.hpp"
+#include "util/fault_file.hpp"  // util::FileFactory (fault-injectable saves)
 #include "util/mmap_file.hpp"
 
 namespace dmis::graph {
@@ -219,5 +220,14 @@ bool save_snapshot(const DynamicGraph& g, const std::string& path,
 /// computes mis_size itself.
 bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
                    const std::string& path, std::string* error = nullptr);
+
+/// As above, with every file operation routed through `factory` (empty
+/// falls back to the stdio path) — the fault-injection seam the
+/// Checkpointer tests use to fail a save mid-write/fsync/publish and prove
+/// the previously published snapshot survives. Bytes on disk are identical
+/// to the stdio path's.
+bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
+                   const std::string& path, const util::FileFactory& factory,
+                   std::string* error = nullptr);
 
 }  // namespace dmis::graph

@@ -49,7 +49,7 @@ bool Checkpointer::checkpoint(const core::CascadeEngine& engine, std::uint64_t l
   // Step 1 — the only step that creates state. core::save_snapshot writes
   // temp + fsync + rename (graph/snapshot.cpp), so the published path only
   // ever holds a complete checkpoint.
-  if (!core::save_snapshot(engine, path, error)) return false;
+  if (!core::save_snapshot(engine, path, file_factory_, error)) return false;
   ++taken_;
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);

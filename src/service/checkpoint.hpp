@@ -41,7 +41,11 @@ struct CheckpointInfo {
 class Checkpointer {
  public:
   Checkpointer() = default;
-  explicit Checkpointer(std::string dir) : dir_(std::move(dir)) {}
+  /// `file_factory` (empty = real files) routes the checkpoint temp file's
+  /// writes/fsyncs through a test seam — util/fault_file.hpp budgets prove
+  /// a failed publish leaves the previous checkpoint recoverable.
+  explicit Checkpointer(std::string dir, util::FileFactory file_factory = {})
+      : dir_(std::move(dir)), file_factory_(std::move(file_factory)) {}
 
   /// Publish a checkpoint of `engine` at `lsn` and truncate behind it.
   /// Failures during cleanup (step 2–3) are non-fatal — the checkpoint
@@ -60,6 +64,7 @@ class Checkpointer {
 
  private:
   std::string dir_;
+  util::FileFactory file_factory_;
   std::uint64_t taken_ = 0;
   std::uint64_t bytes_ = 0;
 };

@@ -1,0 +1,151 @@
+// IngestQueue — the concurrent front door of the replicated service: N
+// producer threads submit client update ops, one consumer thread
+// admission-batches them into core::Batch and feeds MisService::apply.
+//
+// Why a queue at all: the paper's O(1)-adjustment guarantee makes *batched*
+// repair the throughput lever (one cascade per batch, PR 2), but clients
+// arrive concurrently and MisService is single-writer by design — the WAL
+// serializes ops, and that serialization must match the engine's apply
+// order exactly or recovery diverges. So concurrency stops here: each
+// producer owns one SpscRing (no locks, no CAS, no allocation after
+// construction), and the consumer's drain() round-robins the rings into a
+// batch, fixing the one global order that then flows through WAL, engine,
+// followers, and recovery identically.
+//
+// Admission control is backpressure, not loss: try_submit() refuses when
+// the producer's ring is full, submit() spins with yield until space frees
+// (counting the waits — saturation is observable, not silent). The ack
+// protocol is per-producer monotone counters: after MisService::apply
+// succeeds for a drained batch, ack() publishes the new per-producer
+// acked counts; a producer reading acked(p) == submitted(p) knows every op
+// it submitted is applied (and durable, per the service's fsync policy).
+//
+// The whole path is allocation-free in steady state — rings are sized at
+// construction, ClientOp is a flat POD (neighbor lists inline, capped at
+// kMaxInlineNeighbors), and drain() writes into a caller-owned batch that
+// keeps its capacity. tests/test_ingest.cpp enforces this with the repo's
+// operator-new counter and runs the multi-producer stress under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/batch.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace dmis::service {
+
+/// One client update, flat: neighbor lists for add-node ride inline so the
+/// op crosses the ring without touching the allocator. Admission rejects
+/// adds with more than kMaxInlineNeighbors neighbors — bulk loads go
+/// through MisService::apply directly, the concurrent path is for
+/// steady-state churn (avg degree ~6 in every workload here).
+struct ClientOp {
+  static constexpr std::uint32_t kMaxInlineNeighbors = 8;
+
+  core::BatchOp::Kind kind = core::BatchOp::Kind::kAddEdge;
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  std::uint32_t nbr_count = 0;
+  graph::NodeId nbrs[kMaxInlineNeighbors] = {};
+
+  static ClientOp add_edge(graph::NodeId u, graph::NodeId v) {
+    ClientOp op;
+    op.kind = core::BatchOp::Kind::kAddEdge;
+    op.u = u;
+    op.v = v;
+    return op;
+  }
+  static ClientOp remove_edge(graph::NodeId u, graph::NodeId v) {
+    ClientOp op = add_edge(u, v);
+    op.kind = core::BatchOp::Kind::kRemoveEdge;
+    return op;
+  }
+  static ClientOp remove_node(graph::NodeId v) {
+    ClientOp op;
+    op.kind = core::BatchOp::Kind::kRemoveNode;
+    op.u = v;
+    op.v = v;
+    return op;
+  }
+  /// False (op unusable) if `count` exceeds the inline cap.
+  static bool add_node(std::span<const graph::NodeId> neighbors, ClientOp* out) {
+    if (neighbors.size() > kMaxInlineNeighbors) return false;
+    *out = ClientOp{};
+    out->kind = core::BatchOp::Kind::kAddNode;
+    out->nbr_count = static_cast<std::uint32_t>(neighbors.size());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) out->nbrs[i] = neighbors[i];
+    return true;
+  }
+};
+
+struct IngestOptions {
+  /// Producer lanes; each gets its own ring. Producer indices are
+  /// [0, producers).
+  unsigned producers = 1;
+  /// Slots per producer ring (power of two).
+  std::size_t ring_capacity = 1024;
+  /// drain() stops filling the batch at this many ops — the admission
+  /// batch size, i.e. the ops-per-cascade knob.
+  std::size_t max_batch_ops = 256;
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestOptions options);
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  // --- producer side (one thread per lane) ---------------------------------
+
+  /// Enqueue on `producer`'s lane; false when the ring is full
+  /// (backpressure — the caller decides whether to retry, shed, or block).
+  bool try_submit(unsigned producer, const ClientOp& op);
+
+  /// Blocking submit: spin with yield until the consumer frees a slot.
+  void submit(unsigned producer, const ClientOp& op);
+
+  /// Ops this lane has pushed (written by the producer thread; readable
+  /// anywhere for stats).
+  [[nodiscard]] std::uint64_t submitted(unsigned producer) const;
+  /// Ops of this lane applied + acked by the consumer. Monotone;
+  /// acked(p) == submitted(p) ⇒ everything lane p sent is applied.
+  [[nodiscard]] std::uint64_t acked(unsigned producer) const;
+  /// Full-ring stalls lane p's blocking submit() has waited through.
+  [[nodiscard]] std::uint64_t backpressure_waits(unsigned producer) const;
+
+  // --- consumer side (exactly one thread) ----------------------------------
+
+  /// Round-robin the lanes into `batch` (cleared first), up to
+  /// max_batch_ops. Returns ops drained (0 = all rings empty). The drained
+  /// ops are remembered per lane until the next ack().
+  std::size_t drain(core::Batch& batch);
+
+  /// Publish the last drain()'s ops as applied. Call after
+  /// MisService::apply succeeded for the drained batch — acked counts must
+  /// never run ahead of the WAL.
+  void ack();
+
+  [[nodiscard]] unsigned producers() const noexcept { return options_.producers; }
+  [[nodiscard]] const IngestOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint64_t total_acked() const;
+
+ private:
+  /// Per-producer lane, cache-line separated: ring + the producer's
+  /// submitted/waits counters + the consumer's acked counter and
+  /// not-yet-acked drain count.
+  struct alignas(64) Lane {
+    util::SpscRing<ClientOp> ring;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> waits{0};
+    std::atomic<std::uint64_t> acked{0};
+    std::uint64_t pending_ack = 0;  // consumer-owned
+  };
+
+  IngestOptions options_;
+  std::unique_ptr<Lane[]> lanes_;
+  unsigned cursor_ = 0;  // consumer-owned round-robin start lane
+};
+
+}  // namespace dmis::service

@@ -22,13 +22,11 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Apply ops [from, end) of one WAL record through the same batch path the
-/// live service uses (service/service.cpp). Identical code path ⇒
-/// identical RNG draw order, so a recovered engine's future add-node
-/// priorities match the pre-crash process draw for draw.
-void replay_record(core::CascadeEngine& engine, const WalRecordView& view,
-                   std::size_t from, core::Batch& batch,
-                   core::BatchResult& result) {
+}  // namespace
+
+void replay_wal_record(core::CascadeEngine& engine, const WalRecordView& view,
+                       std::size_t from, core::Batch& batch,
+                       core::BatchResult& result) {
   batch.clear();
   for (std::size_t i = from; i < view.ops.size(); ++i) {
     const WalOpRecord& op = view.ops[i];
@@ -50,8 +48,6 @@ void replay_record(core::CascadeEngine& engine, const WalRecordView& view,
   }
   core::apply_batch(engine, batch, result);
 }
-
-}  // namespace
 
 std::optional<core::CascadeEngine> RecoveryManager::recover(RecoveryReport* report,
                                                             std::string* error) {
@@ -140,7 +136,7 @@ std::optional<core::CascadeEngine> RecoveryManager::recover(RecoveryReport* repo
       const std::uint64_t record_end = view.lsn + view.ops.size();
       if (record_end <= r.recovered_lsn) continue;  // inside the checkpoint
       const auto from = static_cast<std::size_t>(r.recovered_lsn - view.lsn);
-      replay_record(*engine, view, from, batch, result);
+      replay_wal_record(*engine, view, from, batch, result);
       ++r.records_replayed;
       r.replayed_ops += view.ops.size() - from;
       r.recovered_lsn = record_end;

@@ -43,8 +43,18 @@
 
 #include "core/batch.hpp"
 #include "core/cascade_engine.hpp"
+#include "service/wal.hpp"
 
 namespace dmis::service {
+
+/// Apply ops [from, end) of one WAL record through the same batch path the
+/// live service uses (service/service.cpp). Identical code path ⇒
+/// identical RNG draw order, so a recovered (or follower — replication.hpp)
+/// engine's future add-node priorities match the live process draw for
+/// draw. `batch`/`result` are caller-owned scratch, reused across records.
+void replay_wal_record(core::CascadeEngine& engine, const WalRecordView& view,
+                       std::size_t from, core::Batch& batch,
+                       core::BatchResult& result);
 
 struct RecoveryOptions {
   /// Priority seed for a cold start (no checkpoint). With a checkpoint the

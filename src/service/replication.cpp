@@ -1,0 +1,503 @@
+#include "service/replication.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "graph/snapshot.hpp"
+#include "service/checkpoint.hpp"
+#include "service/recovery.hpp"  // replay_wal_record
+#include "util/assert.hpp"
+#include "util/binary_io.hpp"  // set_error
+#include "util/fs.hpp"
+
+namespace dmis::service {
+
+using util::set_error;
+
+namespace {
+
+/// The partially shipped form of a checkpoint. Published (renamed to the
+/// real checkpoint name) only once every byte arrived and the file
+/// fsynced, so list_checkpoints/recovery never see a half checkpoint —
+/// the same visibility rule the leader's own save obeys.
+std::string partial_suffix() { return ".ship"; }
+
+std::uint64_t local_file_size(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) && !ec;
+}
+
+bool read_chunk(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                std::vector<std::uint8_t>& buf) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  buf.resize(static_cast<std::size_t>(len));
+  const bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+                  std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+// --- DirectTransport -------------------------------------------------------
+
+std::optional<ShipAck> DirectTransport::deliver(const Shipment& shipment) {
+  return follower_->receive(shipment);
+}
+
+// --- FaultyTransport -------------------------------------------------------
+
+bool FaultyTransport::chance(double p) {
+  if (p <= 0.0) return false;
+  constexpr std::uint64_t kScale = 1u << 24;
+  return rng_.below(kScale) < static_cast<std::uint64_t>(p * kScale);
+}
+
+std::optional<ShipAck> FaultyTransport::deliver_one(const Shipment& shipment) {
+  if (chance(faults_.drop)) {
+    ++drops_;
+    return std::nullopt;
+  }
+  Shipment t = shipment;
+  if (chance(faults_.truncate) && !t.bytes.empty()) {
+    // A torn shipment: some prefix (possibly empty) of the payload
+    // arrives. The follower appends it — byte counts stay honest, the
+    // missing suffix is re-shipped via the resume rule.
+    t.bytes.resize(static_cast<std::size_t>(rng_.below(t.bytes.size())));
+    ++truncations_;
+  }
+  if (!held_.has_value() && chance(faults_.reorder)) {
+    // Hold this shipment back; it will be delivered around the *next*
+    // send (out of order). To the shipper it looks lost now.
+    held_ = std::move(t);
+    ++reorders_;
+    return std::nullopt;
+  }
+  std::optional<ShipAck> ack = inner_->deliver(t);
+  if (chance(faults_.duplicate)) {
+    ++duplicates_;
+    const std::optional<ShipAck> again = inner_->deliver(t);
+    if (again.has_value()) ack = again;
+  }
+  return ack;
+}
+
+std::optional<ShipAck> FaultyTransport::deliver(const Shipment& shipment) {
+  // A held shipment is flushed around this one — before or after, coin
+  // flip — so reordering is bounded (one shipment deep) and nothing is
+  // held forever as long as the shipper keeps retrying.
+  std::optional<Shipment> held;
+  held.swap(held_);
+  const bool flush_before = held.has_value() && chance(0.5);
+  if (flush_before) (void)inner_->deliver(*held);
+  std::optional<ShipAck> ack = deliver_one(shipment);
+  if (held.has_value() && !flush_before) (void)inner_->deliver(*held);
+  return ack;
+}
+
+// --- FollowerService -------------------------------------------------------
+
+std::optional<FollowerService> FollowerService::open(std::string dir,
+                                                     FollowerOptions options,
+                                                     std::string* error) {
+  if (!util::ensure_dir(dir, error)) return std::nullopt;
+  FollowerService follower(std::move(dir), std::move(options));
+  return std::optional<FollowerService>(std::move(follower));
+}
+
+std::string FollowerService::target_path(const Shipment& shipment) const {
+  if (shipment.kind == Shipment::Kind::kSegment)
+    return segment_path(dir_, shipment.id);
+  return checkpoint_path(dir_, shipment.id) + partial_suffix();
+}
+
+void FollowerService::drop_sink() {
+  if (sink_ == nullptr) return;
+  (void)sink_->sync(nullptr);
+  (void)sink_->close(nullptr);
+  sink_.reset();
+  sink_path_.clear();
+  sink_have_ = 0;
+}
+
+bool FollowerService::ensure_sink(const std::string& path, std::uint64_t* have) {
+  if (sink_ != nullptr && sink_path_ == path) {
+    *have = sink_have_;
+    return true;
+  }
+  drop_sink();
+  auto file = options_.file_factory ? options_.file_factory(path, nullptr)
+                                    : util::open_appendable(path, nullptr);
+  if (file == nullptr) return false;
+  sink_ = std::move(file);
+  sink_path_ = path;
+  sink_have_ = local_file_size(path);  // append mode: existing bytes survive
+  *have = sink_have_;
+  return true;
+}
+
+ShipAck FollowerService::receive(const Shipment& shipment) {
+  const std::string path = target_path(shipment);
+
+  if (shipment.kind == Shipment::Kind::kCheckpoint) {
+    // Already published (a duplicate arriving after completion): the
+    // authoritative byte count is the final file's.
+    const std::string final_path = checkpoint_path(dir_, shipment.id);
+    const std::uint64_t published = local_file_size(final_path);
+    if (published == shipment.file_size && published > 0) return {published};
+  }
+
+  std::uint64_t have = 0;
+  if (!ensure_sink(path, &have)) {
+    ++stats_.receive_errors;
+    return {local_file_size(path)};
+  }
+
+  const std::uint64_t offset = shipment.offset;
+  const std::uint64_t len = shipment.bytes.size();
+  if (offset > have) {
+    // A hole: some earlier chunk never arrived (drop / reorder / truncated
+    // predecessor / follower restart). Reject; the ack's `have` tells the
+    // shipper where to resume.
+    ++stats_.chunks_rejected;
+    return {have};
+  }
+  const std::uint64_t skip = have - offset;  // duplicate/overlap prefix
+  if (len > skip) {
+    const std::uint64_t fresh = len - skip;
+    if (!sink_->write(shipment.bytes.data() + skip,
+                      static_cast<std::size_t>(fresh), nullptr)) {
+      // Local write failure (fault seam): drop the poisoned sink and
+      // re-stat — a short write may have landed a prefix, which is still
+      // a valid prefix of the stream.
+      ++stats_.receive_errors;
+      drop_sink();
+      return {local_file_size(path)};
+    }
+    sink_have_ += fresh;
+    stats_.bytes_persisted += fresh;
+  }
+  ++stats_.chunks_accepted;
+
+  if (shipment.kind == Shipment::Kind::kCheckpoint && shipment.file_size > 0 &&
+      sink_have_ >= shipment.file_size) {
+    // Complete: durability before visibility, then the atomic rename.
+    const std::string final_path = checkpoint_path(dir_, shipment.id);
+    std::string publish_error;
+    bool ok = sink_->sync(&publish_error);
+    ok = sink_->close(ok ? &publish_error : nullptr) && ok;
+    const std::uint64_t have_now = sink_have_;
+    sink_.reset();
+    sink_path_.clear();
+    sink_have_ = 0;
+    ok = ok && util::atomic_publish(path, final_path, &publish_error);
+    if (!ok) {
+      // Failed publish: scrap the partial and ask for a clean re-ship.
+      ++stats_.receive_errors;
+      std::remove(path.c_str());
+      return {0};
+    }
+    ++stats_.checkpoints_published;
+    return {have_now};
+  }
+  return {sink_have_};
+}
+
+bool FollowerService::try_rewarm(std::string* error) {
+  (void)error;
+  const std::vector<CheckpointInfo> checkpoints = list_checkpoints(dir_);
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    if (engine_.has_value() && it->lsn <= applied_lsn_) break;
+    graph::Snapshot snapshot;
+    std::string cp_error;
+    bool good = snapshot.open(it->path, &cp_error, options_.force_read);
+    good = good && snapshot.has_engine_state();
+    good = good && (!options_.verify_checkpoint_checksum || snapshot.verify(&cp_error));
+    if (!good) continue;  // like recovery: try the next-newest
+    engine_.emplace(snapshot, snapshot.priority_seed(), graph::SnapshotLoad::kWarm);
+    applied_lsn_ = it->lsn;
+    checkpoint_lsn_ = it->lsn;
+    ++stats_.rewarms;
+    reader_ = WalSegmentReader{};
+    reader_open_ = false;
+    reader_seq_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool FollowerService::open_reader_at_applied(std::string* error) {
+  (void)error;
+  const std::vector<SegmentInfo> segments = list_segments(dir_);
+  const SegmentInfo* best = nullptr;
+  for (const SegmentInfo& seg : segments) {
+    if (seg.base_lsn > applied_lsn_) continue;
+    if (best == nullptr || seg.base_lsn > best->base_lsn ||
+        (seg.base_lsn == best->base_lsn && seg.seq > best->seq))
+      best = &seg;
+  }
+  if (best == nullptr) return false;  // not shipped yet — wait
+  WalSegmentReader reader;
+  std::string open_error;
+  // A partially shipped header fails open; that is "wait", not an error.
+  if (!reader.open(best->path, &open_error, options_.force_read)) return false;
+  reader_ = std::move(reader);
+  reader_open_ = true;
+  reader_seq_ = best->seq;
+  return true;
+}
+
+bool FollowerService::poll(std::string* error) {
+  for (;;) {
+    if (!engine_.has_value()) {
+      if (!try_rewarm(error)) {
+        // No checkpoint yet: a cold start is only sound if the log reaches
+        // back to lsn 0.
+        bool has_base0 = false;
+        for (const SegmentInfo& seg : list_segments(dir_))
+          if (seg.base_lsn == 0) has_base0 = true;
+        if (!has_base0) return true;  // wait for more shipments
+        engine_.emplace(options_.priority_seed);
+        applied_lsn_ = 0;
+      }
+    }
+    if (!reader_open_ && !open_reader_at_applied(error)) {
+      // No local segment covers applied_lsn_. Either the chain has not
+      // shipped this far yet (wait) or it was truncated behind a newer
+      // checkpoint (jump via that checkpoint when it lands).
+      return true;
+    }
+
+    WalRecordView view;
+    for (;;) {
+      const WalSegmentReader::Next state = reader_.next(&view);
+      if (state == WalSegmentReader::Next::kRecord) {
+        const std::uint64_t record_end = view.lsn + view.ops.size();
+        if (record_end <= applied_lsn_) continue;  // behind the warm start
+        const auto from = static_cast<std::size_t>(applied_lsn_ - view.lsn);
+        replay_wal_record(*engine_, view, from, batch_, result_);
+        ++stats_.records_applied;
+        stats_.ops_applied += view.ops.size() - from;
+        applied_lsn_ = record_end;
+        continue;
+      }
+      if (state != WalSegmentReader::Next::kSealed) {
+        // kEnd / kTorn: the segment may simply not have shipped further
+        // yet. refresh() re-maps on growth and rescans prefix-safely.
+        if (reader_.refresh(nullptr)) continue;
+      }
+      // No growth (or a seal). Advance iff a later local segment chains at
+      // exactly the reader's lsn — the leader rotated (or re-based at
+      // failover) and the rest of this segment, if any, is a dead tail.
+      const std::uint64_t chain_lsn = reader_.next_lsn();
+      const std::vector<SegmentInfo> segments = list_segments(dir_);
+      const SegmentInfo* successor = nullptr;
+      for (const SegmentInfo& seg : segments) {
+        if (seg.seq <= reader_seq_ || seg.base_lsn != chain_lsn) continue;
+        if (successor == nullptr || seg.seq < successor->seq) successor = &seg;
+      }
+      if (successor != nullptr) {
+        WalSegmentReader next_reader;
+        std::string open_error;
+        if (!next_reader.open(successor->path, &open_error, options_.force_read))
+          return true;  // header not fully shipped yet — wait
+        reader_ = std::move(next_reader);
+        reader_seq_ = successor->seq;
+        break;  // scan the successor
+      }
+      // Stuck at this lsn. If a newer checkpoint landed (the leader
+      // truncated the chain before we caught up), jump through it.
+      if (try_rewarm(error)) break;
+      return true;  // wait for more shipments
+    }
+  }
+}
+
+std::optional<MisService> FollowerService::promote(ServiceConfig config,
+                                                   std::string* error) {
+  DMIS_ASSERT_MSG(config.dir.empty() || config.dir == dir_,
+                  "promote serves the follower's own directory");
+  config.dir = dir_;
+  if (!poll(error)) return std::nullopt;
+  drop_sink();
+  reader_ = WalSegmentReader{};
+  reader_open_ = false;
+  if (!engine_.has_value()) {
+    // Nothing ever shipped: promote to an empty leader at lsn 0.
+    engine_.emplace(options_.priority_seed);
+    applied_lsn_ = 0;
+  }
+  std::optional<MisService> service = MisService::adopt(
+      std::move(config), std::move(*engine_), applied_lsn_, checkpoint_lsn_, error);
+  engine_.reset();
+  return service;
+}
+
+// --- LogShipper ------------------------------------------------------------
+
+LogShipper::LogShipper(std::string leader_dir, ShipmentTransport* transport,
+                       LogShipperOptions options)
+    : leader_dir_(std::move(leader_dir)),
+      transport_(transport),
+      options_(options),
+      next_backoff_(options.backoff_start) {}
+
+void LogShipper::lose() {
+  ++stats_.lost;
+  backoff_remaining_ = next_backoff_;
+  next_backoff_ = std::min(next_backoff_ * 2, options_.backoff_cap);
+}
+
+LogShipper::Pump LogShipper::ship(const Shipment& shipment, std::uint64_t* cursor) {
+  ++stats_.shipments;
+  const std::optional<ShipAck> ack = transport_->deliver(shipment);
+  if (!ack.has_value()) {
+    lose();
+    return Pump::kShipped;
+  }
+  ++stats_.delivered;
+  stats_.bytes_shipped += shipment.bytes.size();
+  next_backoff_ = options_.backoff_start;
+  if (ack->have < shipment.offset) ++stats_.rewinds;
+  // The ack is the resume protocol: rewind or fast-forward to exactly what
+  // the follower holds.
+  *cursor = ack->have;
+  return Pump::kShipped;
+}
+
+LogShipper::Pump LogShipper::pump(std::string* error) {
+  (void)error;
+  if (backoff_remaining_ > 0) {
+    --backoff_remaining_;
+    ++stats_.backoff_ticks;
+    return Pump::kBackoff;
+  }
+
+  // Plan: pick the newest checkpoint (warm-start sync) and the segment
+  // chain anchor. Runs on first pump and again whenever the source files
+  // change under us (checkpoint truncation on the leader).
+  if (!cp_active_ && seg_seq_ == 0) {
+    const std::vector<CheckpointInfo> checkpoints = list_checkpoints(leader_dir_);
+    const std::vector<SegmentInfo> segments = list_segments(leader_dir_);
+    std::uint64_t anchor = 0;
+    if (!checkpoints.empty() && checkpoints.back().lsn > cp_shipped_lsn_) {
+      const CheckpointInfo& cp = checkpoints.back();
+      cp_active_ = true;
+      cp_lsn_ = cp.lsn;
+      cp_size_ = local_file_size(cp.path);
+      cp_offset_ = 0;
+      anchor = cp.lsn;
+    } else {
+      anchor = cp_shipped_lsn_;
+    }
+    const SegmentInfo* start = nullptr;
+    for (const SegmentInfo& seg : segments) {
+      if (seg.base_lsn > anchor) continue;
+      if (start == nullptr || seg.base_lsn > start->base_lsn ||
+          (seg.base_lsn == start->base_lsn && seg.seq > start->seq))
+        start = &seg;
+    }
+    if (start == nullptr && !segments.empty()) start = &segments.front();
+    if (start != nullptr) {
+      seg_seq_ = start->seq;
+      seg_offset_ = 0;
+    }
+    if (!cp_active_ && seg_seq_ == 0) return Pump::kIdle;  // empty leader dir
+  }
+
+  if (cp_active_) {
+    const std::string path = checkpoint_path(leader_dir_, cp_lsn_);
+    if (cp_offset_ >= cp_size_) {
+      cp_active_ = false;
+      cp_shipped_lsn_ = cp_lsn_;
+      return Pump::kShipped;
+    }
+    const std::uint64_t len =
+        std::min<std::uint64_t>(options_.chunk_bytes, cp_size_ - cp_offset_);
+    if (!read_chunk(path, cp_offset_, len, buf_)) {
+      // Checkpoint vanished (truncated behind an even newer one): re-plan.
+      cp_active_ = false;
+      seg_seq_ = 0;
+      ++stats_.replans;
+      return Pump::kShipped;
+    }
+    Shipment shipment;
+    shipment.kind = Shipment::Kind::kCheckpoint;
+    shipment.id = cp_lsn_;
+    shipment.offset = cp_offset_;
+    shipment.file_size = cp_size_;
+    shipment.bytes = buf_;
+    return ship(shipment, &cp_offset_);
+  }
+
+  DMIS_ASSERT(seg_seq_ != 0);
+  const std::string path = segment_path(leader_dir_, seg_seq_);
+  if (!file_exists(path)) {
+    // The segment was truncated away before we shipped it — a newer
+    // checkpoint must exist; restart planning from it.
+    seg_seq_ = 0;
+    cp_shipped_lsn_ = 0;
+    ++stats_.replans;
+    return Pump::kShipped;
+  }
+  const std::uint64_t size = local_file_size(path);
+  std::uint64_t cap = size;
+  if (leader_ != nullptr && seg_seq_ == leader_->wal_segment_seq())
+    cap = std::min(cap, leader_->wal_durable_segment_bytes());
+  if (seg_offset_ < cap) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(options_.chunk_bytes, cap - seg_offset_);
+    if (!read_chunk(path, seg_offset_, len, buf_)) {
+      seg_seq_ = 0;
+      cp_shipped_lsn_ = 0;
+      ++stats_.replans;
+      return Pump::kShipped;
+    }
+    Shipment shipment;
+    shipment.kind = Shipment::Kind::kSegment;
+    shipment.id = seg_seq_;
+    shipment.offset = seg_offset_;
+    shipment.file_size = size;
+    shipment.bytes = buf_;
+    return ship(shipment, &seg_offset_);
+  }
+
+  // Shipped everything visible in this segment. Advance once the *whole*
+  // file is shipped and a successor exists (rotation sealed this one).
+  if (seg_offset_ >= size) {
+    const std::vector<SegmentInfo> segments = list_segments(leader_dir_);
+    const SegmentInfo* successor = nullptr;
+    for (const SegmentInfo& seg : segments) {
+      if (seg.seq <= seg_seq_) continue;
+      if (successor == nullptr || seg.seq < successor->seq) successor = &seg;
+    }
+    if (successor != nullptr) {
+      seg_seq_ = successor->seq;
+      seg_offset_ = 0;
+      return Pump::kShipped;
+    }
+  }
+  return Pump::kIdle;
+}
+
+bool LogShipper::drain(std::string* error, std::uint64_t max_ticks) {
+  for (std::uint64_t tick = 0; tick < max_ticks; ++tick) {
+    const Pump state = pump(error);
+    if (state == Pump::kIdle) return true;
+    if (state == Pump::kError) return false;
+  }
+  set_error(error, "log shipper did not reach idle within the tick budget");
+  return false;
+}
+
+}  // namespace dmis::service

@@ -41,6 +41,38 @@ std::optional<MisService> MisService::open(ServiceConfig config, std::string* er
   return service;
 }
 
+std::optional<MisService> MisService::adopt(ServiceConfig config,
+                                            core::CascadeEngine engine,
+                                            std::uint64_t lsn,
+                                            std::uint64_t checkpoint_lsn,
+                                            std::string* error) {
+  if (!util::ensure_dir(config.dir, error)) return std::nullopt;
+
+  // Same fresh-segment rule as open(): the promoted leader's first record
+  // lands in segment max_seq + 1 based at the adopted lsn, which is what
+  // orphans any shipped-but-unapplied dead tail (recovery's continuity
+  // rule skips a tail whose successor segment starts at the same lsn).
+  std::uint64_t max_seq = 0;
+  for (const SegmentInfo& seg : list_segments(config.dir)) max_seq = seg.seq;
+
+  WalWriterOptions wal_options;
+  wal_options.fsync = config.fsync;
+  wal_options.fsync_interval_records = config.fsync_interval_records;
+  wal_options.segment_bytes = config.segment_bytes;
+  wal_options.file_factory = config.file_factory;
+  WalWriter wal;
+  if (!wal.open(config.dir, max_seq + 1, lsn, std::move(wal_options), error))
+    return std::nullopt;
+
+  RecoveryReport report;
+  report.recovered_lsn = lsn;
+  report.checkpoint_lsn = checkpoint_lsn;
+  report.detail = "adopted (follower promotion)";
+  MisService service(std::move(config), std::move(engine), std::move(wal),
+                     std::move(report));
+  return service;
+}
+
 bool MisService::apply(const core::Batch& batch, std::string* error) {
   if (batch.empty()) return true;
   // Durability before application: the op must be on the log (and synced,

@@ -49,8 +49,13 @@ struct ServiceConfig {
   std::uint64_t checkpoint_interval_ops = 0;
   bool verify_checkpoint_checksum = true;
   bool force_read = false;
-  /// Fault injection for tests; empty = real files.
+  /// Fault injection for tests; empty = real files. Applies to WAL
+  /// segment files only.
   util::FileFactory file_factory;
+  /// Separate seam for checkpoint temp files, so a WAL fault schedule's
+  /// shared nth-file counter is not perturbed by checkpoint opens (and
+  /// vice versa).
+  util::FileFactory checkpoint_file_factory;
 };
 
 class MisService {
@@ -58,6 +63,20 @@ class MisService {
   /// Open (= recover) a service directory, creating it if absent. The
   /// recovery report of this open is kept (recovery()).
   static std::optional<MisService> open(ServiceConfig config, std::string* error);
+
+  /// Failover promotion: wrap an engine that is *already* at `lsn` (a
+  /// caught-up follower — service/replication.hpp) in a serving MisService
+  /// without re-running recovery. Opens a fresh WAL segment after the
+  /// highest existing seq in config.dir, based at `lsn` — the "seal,
+  /// re-base, keep serving" shape: any dead tail past `lsn` in shipped
+  /// segments is orphaned by the new segment's base_lsn, exactly like a
+  /// post-crash reopen. `checkpoint_lsn` is the lsn of the newest local
+  /// checkpoint (0 if none); it only seeds last_checkpoint_lsn().
+  static std::optional<MisService> adopt(ServiceConfig config,
+                                         core::CascadeEngine engine,
+                                         std::uint64_t lsn,
+                                         std::uint64_t checkpoint_lsn,
+                                         std::string* error);
 
   MisService(MisService&&) = default;
   MisService& operator=(MisService&&) = default;
@@ -96,6 +115,14 @@ class MisService {
   [[nodiscard]] std::uint64_t wal_bytes_appended() const noexcept {
     return wal_.bytes_appended();
   }
+  /// Active WAL segment seq + its fsync-covered byte watermark: the durable
+  /// cursor a LogShipper caps live shipping at (service/replication.hpp).
+  [[nodiscard]] std::uint64_t wal_segment_seq() const noexcept {
+    return wal_.segment_seq();
+  }
+  [[nodiscard]] std::uint64_t wal_durable_segment_bytes() const noexcept {
+    return wal_.durable_segment_bytes();
+  }
   [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
     return checkpointer_.checkpoints_taken();
   }
@@ -110,7 +137,7 @@ class MisService {
       : config_(std::move(config)),
         engine_(std::move(engine)),
         wal_(std::move(wal)),
-        checkpointer_(config_.dir),
+        checkpointer_(config_.dir, config_.checkpoint_file_factory),
         recovery_(std::move(recovery)),
         lsn_(recovery_.recovered_lsn),
         last_checkpoint_lsn_(recovery_.checkpoint_lsn) {}

@@ -109,6 +109,7 @@ bool WalWriter::open_segment(std::uint64_t seq, std::uint64_t base_lsn,
   }
   seq_ = seq;
   segment_bytes_ = sizeof(header);
+  durable_segment_bytes_ = sizeof(header);
   total_bytes_ += sizeof(header);
   records_since_sync_ = 0;
   return true;
@@ -211,6 +212,7 @@ bool WalWriter::sync(std::string* error) {
     return false;
   }
   durable_lsn_ = next_lsn_;
+  durable_segment_bytes_ = segment_bytes_;
   records_since_sync_ = 0;
   return true;
 }
@@ -227,6 +229,7 @@ bool WalWriter::close(std::string* error) {
   ok = ok && file_->sync(error);
   if (ok) {
     durable_lsn_ = next_lsn_;
+    durable_segment_bytes_ = segment_bytes_;
     records_since_sync_ = 0;
   } else {
     broken_ = true;
@@ -259,6 +262,28 @@ bool WalSegmentReader::open(const std::string& path, std::string* error,
   if (header_.segment_seq == 0) return fail("segment seq 0 (seqs are 1-based)");
   pos_ = sizeof(WalSegmentHeader);
   expected_lsn_ = header_.base_lsn;
+  force_read_ = force_read;
+  return true;
+}
+
+bool WalSegmentReader::refresh(std::string* error) {
+  DMIS_ASSERT_MSG(file_.is_open(), "WalSegmentReader::refresh before open");
+  if (done_ && done_state_ == Next::kSealed) return false;
+  std::error_code ec;
+  const std::uintmax_t on_disk = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    set_error(error, path_ + ": " + ec.message());
+    return false;
+  }
+  if (on_disk <= file_.size()) return false;
+  // Map the grown file fresh; pos_/expected_lsn_ carry over, so the next
+  // next() revalidates exactly the bytes the previous scan stopped on.
+  util::MmapFile grown;
+  if (!grown.open(path_, error, force_read_)) return false;
+  file_ = std::move(grown);
+  done_ = false;
+  done_state_ = Next::kEnd;
+  tail_detail_.clear();
   return true;
 }
 

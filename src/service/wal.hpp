@@ -167,6 +167,13 @@ class WalWriter {
   /// Every op below this lsn has been fsynced.
   [[nodiscard]] std::uint64_t durable_lsn() const noexcept { return durable_lsn_; }
   [[nodiscard]] std::uint64_t segment_seq() const noexcept { return seq_; }
+  /// Bytes of the active segment covered by the last successful fsync.
+  /// Replication ships the active segment only up to this watermark: bytes
+  /// past it could still vanish in a leader crash, and a follower must
+  /// never apply ops the leader itself would not recover.
+  [[nodiscard]] std::uint64_t durable_segment_bytes() const noexcept {
+    return durable_segment_bytes_;
+  }
   /// Lifetime bytes handed to the filesystem (headers + records + seals,
   /// across rotations) — the numerator of the bench's WAL amplification.
   [[nodiscard]] std::uint64_t bytes_appended() const noexcept { return total_bytes_; }
@@ -185,6 +192,7 @@ class WalWriter {
   std::uint64_t durable_lsn_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t segment_bytes_ = 0;  // bytes in the active segment
+  std::uint64_t durable_segment_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t records_since_sync_ = 0;
   bool broken_ = false;  // a write/sync failed; the log must be recovered
@@ -198,7 +206,11 @@ struct WalRecordView {
   std::span<const std::uint32_t> arena;
 };
 
-/// Sequential validating reader over one segment file.
+/// Sequential validating reader over one segment file. Safe on a *live*
+/// segment: kEnd/kTorn leave the scan position on the first unconsumed
+/// byte, and refresh() re-maps the file after it grows, so a follower can
+/// tail the leader's active segment without ever re-reading (or worse,
+/// re-applying) the valid prefix it already consumed.
 class WalSegmentReader {
  public:
   /// Map the segment and validate its header.
@@ -220,6 +232,16 @@ class WalSegmentReader {
   /// valid prefix before it is intact either way.
   Next next(WalRecordView* out);
 
+  /// Tail-follow: re-map the file if it has grown since open()/the last
+  /// refresh and clear a kEnd/kTorn terminal state so next() rescans from
+  /// the first unconsumed byte. Returns true iff new bytes are visible.
+  /// Prefix-safe by construction: next() never advances past an invalid
+  /// byte, so a torn tail that later completes (the writer was mid-append)
+  /// revalidates from the same offset and yields each record exactly once.
+  /// A kSealed terminal state is permanent — sealed segments are immutable
+  /// and a follower moves on to the successor segment instead.
+  bool refresh(std::string* error);
+
   /// Lsn one past the last valid record returned so far.
   [[nodiscard]] std::uint64_t next_lsn() const noexcept { return expected_lsn_; }
   /// Why the terminal state was kTorn ("" otherwise).
@@ -234,6 +256,7 @@ class WalSegmentReader {
   std::uint64_t pos_ = 0;
   std::uint64_t expected_lsn_ = 0;
   bool done_ = false;
+  bool force_read_ = false;
   Next done_state_ = Next::kEnd;
   std::string tail_detail_;
 };

@@ -70,4 +70,36 @@ class PayloadWriter {
   std::uint64_t hash_ = kFnv1aSeed;
 };
 
+/// PayloadWriter's interface with the file removed: a checksum pre-pass.
+/// Writers that cannot seek back to patch a header (append-only
+/// WritableFile sinks, e.g. fault-injected checkpoint saves) stream the
+/// payload through this first, then write the finished header up front and
+/// the payload second.
+class PayloadHasher {
+ public:
+  explicit PayloadHasher(std::uint64_t header_bytes) : header_bytes_(header_bytes) {}
+
+  bool write(const void* data, std::size_t bytes) {
+    hash_ = fnv1a64(static_cast<const std::uint8_t*>(data), bytes, hash_);
+    written_ += bytes;
+    return true;
+  }
+
+  bool align8() {
+    static constexpr std::uint8_t zeros[8] = {};
+    const std::uint64_t target = pad8(position());
+    return write(zeros, static_cast<std::size_t>(target - position()));
+  }
+
+  [[nodiscard]] std::uint64_t position() const noexcept {
+    return header_bytes_ + written_;
+  }
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t header_bytes_;
+  std::uint64_t written_ = 0;
+  std::uint64_t hash_ = kFnv1aSeed;
+};
+
 }  // namespace dmis::util

@@ -166,13 +166,34 @@ bool FaultFile::sync(std::string* error) {
   return inner_->sync(error);
 }
 
-FileFactory faulty_factory(FaultPlan plan, std::uint64_t nth) {
+std::unique_ptr<WritableFile> open_appendable(const std::string& path,
+                                              std::string* error) {
+#if defined(DMIS_HAVE_POSIX_FS)
+  const int fd = ::open(path.c_str(), O_CREAT | O_APPEND | O_WRONLY, 0644);
+  if (fd < 0) {
+    set_error(error, errno_context(path, "open", errno));
+    return nullptr;
+  }
+  return std::make_unique<PosixWritableFile>(fd, path);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    set_error(error, errno_context(path, "fopen", errno));
+    return nullptr;
+  }
+  return std::make_unique<StdioWritableFile>(f, path);
+#endif
+}
+
+FileFactory faulty_factory(FaultPlan plan, std::uint64_t nth, FileFactory base) {
   // Shared counter: the factory is copied into the WAL writer, but every
   // copy must agree on which file is the nth.
   auto opened = std::make_shared<std::uint64_t>(0);
-  return [plan, nth, opened](const std::string& path,
-                             std::string* error) -> std::unique_ptr<WritableFile> {
-    auto inner = open_writable(path, error);
+  if (!base) base = open_writable;
+  return [plan, nth, opened, base](
+             const std::string& path,
+             std::string* error) -> std::unique_ptr<WritableFile> {
+    auto inner = base(path, error);
     if (inner == nullptr) return nullptr;
     if ((*opened)++ != nth) return inner;
     return std::make_unique<FaultFile>(std::move(inner), plan);

@@ -51,6 +51,14 @@ class WritableFile {
 std::unique_ptr<WritableFile> open_writable(const std::string& path,
                                             std::string* error);
 
+/// Open `path` for appending, keeping existing contents (created empty if
+/// absent). bytes_written() counts only bytes written through this handle,
+/// not the pre-existing size. The follower side of log shipping lives on
+/// this: a restarted follower must extend its partially shipped files, and
+/// open_writable would truncate them.
+std::unique_ptr<WritableFile> open_appendable(const std::string& path,
+                                              std::string* error);
+
 /// How tests make writable files: defaults to open_writable; fault tests
 /// substitute a factory that wraps the result in a FaultFile.
 using FileFactory = std::function<std::unique_ptr<WritableFile>(
@@ -98,10 +106,11 @@ class FaultFile final : public WritableFile {
   bool tripped_ = false;  // a failure happened; everything fails from now on
 };
 
-/// Convenience factory: open through `open_writable` and apply `plan` to
-/// the `nth` file opened (0-based), passing others through untouched. The
-/// returned factory shares a counter, so one instance injects into exactly
-/// one file of a multi-segment log.
-FileFactory faulty_factory(FaultPlan plan, std::uint64_t nth = 0);
+/// Convenience factory: open through `base` (defaults to open_writable)
+/// and apply `plan` to the `nth` file opened (0-based), passing others
+/// through untouched. The returned factory shares a counter, so one
+/// instance injects into exactly one file of a multi-segment log.
+FileFactory faulty_factory(FaultPlan plan, std::uint64_t nth = 0,
+                           FileFactory base = {});
 
 }  // namespace dmis::util

@@ -1,0 +1,224 @@
+// IngestQueue under concurrency: multi-producer stress with per-lane FIFO
+// and exactly-once checks, ack-counter monotonicity (acked never runs ahead
+// of submitted, never goes backward), blocking-submit backpressure, and the
+// allocation-free steady state (operator new counted, as in
+// test_update_alloc). This binary also runs under TSan in CI — the
+// SpscRing + ack-counter memory orderings are the thing being proven.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "service/ingest.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dmis;
+using service::ClientOp;
+using service::IngestOptions;
+using service::IngestQueue;
+
+TEST(Ingest, SingleProducerDrainsInOrderAndAcks) {
+  IngestOptions options;
+  options.producers = 1;
+  options.ring_capacity = 64;
+  options.max_batch_ops = 16;
+  IngestQueue queue(options);
+
+  for (std::uint64_t i = 0; i < 40; ++i)
+    ASSERT_TRUE(queue.try_submit(0, ClientOp::add_edge(i, i + 1)));
+  EXPECT_EQ(queue.submitted(0), 40U);
+  EXPECT_EQ(queue.acked(0), 0U);
+
+  core::Batch batch;
+  std::uint64_t seen = 0;
+  while (std::size_t n = queue.drain(batch)) {
+    EXPECT_LE(n, options.max_batch_ops);
+    for (const core::BatchOp& op : batch.ops()) {
+      EXPECT_EQ(op.kind, core::BatchOp::Kind::kAddEdge);
+      EXPECT_EQ(op.u, seen);  // single lane: strict FIFO
+      EXPECT_EQ(op.v, seen + 1);
+      ++seen;
+    }
+    queue.ack();
+  }
+  EXPECT_EQ(seen, 40U);
+  EXPECT_EQ(queue.acked(0), 40U);
+  EXPECT_EQ(queue.total_acked(), 40U);
+}
+
+TEST(Ingest, OpKindsSurviveTheRing) {
+  IngestQueue queue(IngestOptions{});
+  const graph::NodeId nbrs[3] = {5, 9, 11};
+  ClientOp add_node;
+  ASSERT_TRUE(ClientOp::add_node(std::span<const graph::NodeId>(nbrs), &add_node));
+  ASSERT_TRUE(queue.try_submit(0, ClientOp::add_edge(1, 2)));
+  ASSERT_TRUE(queue.try_submit(0, ClientOp::remove_edge(3, 4)));
+  ASSERT_TRUE(queue.try_submit(0, add_node));
+  ASSERT_TRUE(queue.try_submit(0, ClientOp::remove_node(7)));
+
+  core::Batch batch;
+  ASSERT_EQ(queue.drain(batch), 4U);
+  ASSERT_EQ(batch.size(), 4U);
+  const auto& ops = batch.ops();
+  EXPECT_EQ(ops[0].kind, core::BatchOp::Kind::kAddEdge);
+  EXPECT_EQ(ops[1].kind, core::BatchOp::Kind::kRemoveEdge);
+  EXPECT_EQ(ops[2].kind, core::BatchOp::Kind::kAddNode);
+  const auto got = batch.neighbors_of(ops[2]);
+  ASSERT_EQ(got.size(), 3U);
+  EXPECT_EQ(got[0], 5U);
+  EXPECT_EQ(got[2], 11U);
+  EXPECT_EQ(ops[3].kind, core::BatchOp::Kind::kRemoveNode);
+  EXPECT_EQ(ops[3].u, 7U);
+}
+
+TEST(Ingest, AddNodeOverInlineCapIsRefused) {
+  std::vector<graph::NodeId> nbrs(ClientOp::kMaxInlineNeighbors + 1, 1);
+  ClientOp op;
+  EXPECT_FALSE(ClientOp::add_node(std::span<const graph::NodeId>(nbrs), &op));
+  nbrs.resize(ClientOp::kMaxInlineNeighbors);
+  EXPECT_TRUE(ClientOp::add_node(std::span<const graph::NodeId>(nbrs), &op));
+  EXPECT_EQ(op.nbr_count, ClientOp::kMaxInlineNeighbors);
+}
+
+TEST(Ingest, TrySubmitRefusesWhenRingFull) {
+  IngestOptions options;
+  options.producers = 1;
+  options.ring_capacity = 8;
+  IngestQueue queue(options);
+  std::size_t accepted = 0;
+  while (queue.try_submit(0, ClientOp::add_edge(accepted, accepted + 1))) ++accepted;
+  EXPECT_GT(accepted, 0U);
+  EXPECT_LE(accepted, options.ring_capacity);
+  // Draining frees exactly that much headroom again.
+  core::Batch batch;
+  (void)queue.drain(batch);
+  queue.ack();
+  EXPECT_TRUE(queue.try_submit(0, ClientOp::add_edge(0, 1)));
+}
+
+/// The concurrent contract, all in one stress: P producer threads each
+/// blocking-submit a tagged op stream while the consumer drains, applies
+/// (here: records), and acks. Checks per-lane FIFO + exactly-once on the
+/// consumer side and, from an independent observer thread, that every
+/// lane's acked counter is monotone and never overtakes submitted.
+TEST(Ingest, MultiProducerStressKeepsLaneFifoAndAckMonotone) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kOpsPerProducer = 20000;
+
+  IngestOptions options;
+  options.producers = kProducers;
+  options.ring_capacity = 128;  // small on purpose: forces backpressure
+  options.max_batch_ops = 64;
+  IngestQueue queue(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone_ok{true};
+
+  std::thread observer([&] {
+    std::uint64_t last_acked[kProducers] = {};
+    while (!done.load(std::memory_order_acquire)) {
+      for (unsigned p = 0; p < kProducers; ++p) {
+        const std::uint64_t acked = queue.acked(p);
+        const std::uint64_t submitted = queue.submitted(p);
+        if (acked < last_acked[p] || acked > submitted)
+          monotone_ok.store(false, std::memory_order_relaxed);
+        last_acked[p] = acked;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kOpsPerProducer; ++i) {
+        // Tag: u = producer, v = per-producer sequence number.
+        queue.submit(p, ClientOp::add_edge(p, i));
+      }
+    });
+  }
+
+  // Consumer (this thread): drain until every op is seen exactly once, in
+  // per-lane order.
+  core::Batch batch;
+  std::uint64_t next_seq[kProducers] = {};
+  std::uint64_t total = 0;
+  while (total < kProducers * kOpsPerProducer) {
+    const std::size_t n = queue.drain(batch);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const core::BatchOp& op : batch.ops()) {
+      ASSERT_LT(op.u, kProducers);
+      ASSERT_EQ(op.v, next_seq[op.u]) << "lane " << op.u << " broke FIFO";
+      ++next_seq[op.u];
+    }
+    total += n;
+    queue.ack();  // "applied": the consumer recorded them
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_TRUE(monotone_ok.load());
+  for (unsigned p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(queue.submitted(p), kOpsPerProducer);
+    EXPECT_EQ(queue.acked(p), kOpsPerProducer);
+    EXPECT_EQ(next_seq[p], kOpsPerProducer);
+  }
+  EXPECT_EQ(queue.total_acked(), kProducers * kOpsPerProducer);
+}
+
+TEST(Ingest, SteadyStateSubmitDrainAckIsAllocationFree) {
+  IngestOptions options;
+  options.producers = 2;
+  options.ring_capacity = 256;
+  options.max_batch_ops = 32;
+  IngestQueue queue(options);
+  core::Batch batch;
+  batch.reserve(options.max_batch_ops, 8 * options.max_batch_ops);
+
+  // Warm one full cycle (the batch may still grow its arenas here).
+  for (std::uint64_t i = 0; i < 64; ++i) queue.submit(i % 2, ClientOp::add_edge(i, i + 1));
+  while (queue.drain(batch) != 0) queue.ack();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    for (std::uint64_t i = 0; i < 64; ++i)
+      queue.submit(i % 2, ClientOp::add_edge(i, i + 1));
+    while (queue.drain(batch) != 0) queue.ack();
+  }
+  const std::uint64_t allocations =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocations, 0U)
+      << "submit/drain/ack steady state must not touch the allocator";
+}
+
+}  // namespace

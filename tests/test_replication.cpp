@@ -1,0 +1,464 @@
+// Leader–follower replication, differentially checked the PR 5/6 way: a
+// follower that tailed shipped WAL bytes (through drops, duplicates,
+// reorders, torn shipments, local write faults, and process restarts on
+// both ends) must be *identical* — graph, membership, MIS size, priority
+// RNG state — to an in-memory reference engine fed the same batch prefix.
+// Then the failover half: promote the follower, keep applying churn, and
+// the promoted service must stay op-for-op equal to a leader that never
+// crashed, and its directory must recover to the same state again.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "graph/generators.hpp"
+#include "service/recovery.hpp"
+#include "service/replication.hpp"
+#include "service/service.hpp"
+#include "util/fault_file.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using service::DirectTransport;
+using service::FaultyTransport;
+using service::FollowerOptions;
+using service::FollowerService;
+using service::FsyncPolicy;
+using service::LogShipper;
+using service::LogShipperOptions;
+using service::MisService;
+using service::ServiceConfig;
+using service::TransportFaults;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("dmis_repl_" + name)).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::vector<core::Batch> make_stream(std::uint64_t seed, std::size_t total_ops,
+                                     std::size_t ops_per_batch) {
+  util::Rng rng(seed);
+  graph::DynamicGraph g = graph::random_avg_degree(120, 6.0, rng);
+  const workload::Trace grow = workload::grow_trace(g);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(g, config, seed + 1);
+
+  std::vector<core::Batch> out;
+  core::Batch current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  std::size_t ops = 0;
+  for (const workload::GraphOp& op : grow) {
+    workload::append_op(current, op);
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  while (ops < total_ops) {
+    workload::append_op(current, gen.next());
+    ++ops;
+    if (current.size() >= ops_per_batch) flush();
+  }
+  flush();
+  return out;
+}
+
+core::CascadeEngine reference(const std::vector<core::Batch>& batches,
+                              std::size_t first, std::uint64_t priority_seed) {
+  core::CascadeEngine engine(priority_seed);
+  for (std::size_t i = 0; i < first; ++i) (void)core::apply_batch(engine, batches[i]);
+  return engine;
+}
+
+void expect_same(const core::CascadeEngine& got, const core::CascadeEngine& want,
+                 const std::string& where) {
+  EXPECT_TRUE(got.graph() == want.graph()) << where;
+  EXPECT_TRUE(got.membership() == want.membership()) << where;
+  EXPECT_EQ(got.mis_size(), want.mis_size()) << where;
+  EXPECT_TRUE(got.priorities().rng_state() == want.priorities().rng_state())
+      << where << ": RNG diverged — future draws would differ";
+}
+
+ServiceConfig leader_config(const std::string& dir) {
+  ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = 7;
+  config.fsync = FsyncPolicy::kEveryBatch;
+  config.segment_bytes = 16 << 10;  // force rotations so shipping chains segments
+  return config;
+}
+
+FollowerOptions follower_options() {
+  FollowerOptions options;
+  options.priority_seed = 7;
+  return options;
+}
+
+/// Pump the shipper and the follower until both report nothing left to do.
+void settle(LogShipper& shipper, FollowerService& follower) {
+  std::string error;
+  ASSERT_TRUE(shipper.drain(&error)) << error;
+  ASSERT_TRUE(follower.poll(&error)) << error;
+}
+
+TEST(Replication, LiveTailTracksLeaderAcrossRotations) {
+  TempDir leader_dir("live_leader");
+  TempDir follower_dir("live_follower");
+  std::string error;
+
+  auto leader = MisService::open(leader_config(leader_dir.path), &error);
+  ASSERT_TRUE(leader.has_value()) << error;
+  auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+
+  DirectTransport transport(&*follower);
+  LogShipperOptions ship_options;
+  ship_options.chunk_bytes = 1 << 10;  // small chunks: many shipments per segment
+  LogShipper shipper(leader_dir.path, &transport, ship_options);
+  shipper.attach_durable_cursor(&*leader);
+
+  const auto batches = make_stream(501, 3000, 8);
+  std::uint64_t ops = 0;
+  for (const core::Batch& batch : batches) {
+    ASSERT_TRUE(leader->apply(batch, &error)) << error;
+    ops += batch.size();
+    // Interleave shipping with ingest — the follower tails a *live*
+    // segment, exercising refresh() growth and rotation advances.
+    ASSERT_TRUE(shipper.drain(&error)) << error;
+    ASSERT_TRUE(follower->poll(&error)) << error;
+  }
+  settle(shipper, *follower);
+
+  ASSERT_TRUE(follower->has_engine());
+  EXPECT_EQ(follower->applied_lsn(), ops);
+  expect_same(follower->engine(), reference(batches, batches.size(), 7), "live tail");
+  EXPECT_EQ(shipper.stats().rewinds, 0U);  // loss-free transport never rewinds
+  EXPECT_GT(shipper.stats().delivered, 0U);
+}
+
+TEST(Replication, DurableCursorHoldsBackUnsyncedTail) {
+  TempDir leader_dir("cursor_leader");
+  TempDir follower_dir("cursor_follower");
+  std::string error;
+
+  ServiceConfig config = leader_config(leader_dir.path);
+  config.fsync = FsyncPolicy::kInterval;  // batches land un-synced
+  config.fsync_interval_records = 1u << 30;
+  auto leader = MisService::open(config, &error);
+  ASSERT_TRUE(leader.has_value()) << error;
+  auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+
+  DirectTransport transport(&*follower);
+  LogShipper shipper(leader_dir.path, &transport);
+  shipper.attach_durable_cursor(&*leader);
+
+  const auto batches = make_stream(502, 800, 8);
+  for (const core::Batch& batch : batches) ASSERT_TRUE(leader->apply(batch, &error));
+  ASSERT_TRUE(shipper.drain(&error)) << error;
+  ASSERT_TRUE(follower->poll(&error)) << error;
+
+  // Nothing was fsynced since the segment header: the follower must not
+  // have applied ops the leader itself could lose in a crash.
+  EXPECT_EQ(follower->applied_lsn(), leader->durable_lsn());
+  EXPECT_LT(follower->applied_lsn(), leader->lsn());
+
+  // After an explicit checkpoint (which syncs), the tail becomes durable
+  // and ships.
+  ASSERT_TRUE(leader->checkpoint(&error)) << error;
+  settle(shipper, *follower);
+  EXPECT_EQ(follower->applied_lsn(), leader->lsn());
+  expect_same(follower->engine(), reference(batches, batches.size(), 7),
+              "after durable catch-up");
+}
+
+TEST(Replication, CheckpointShipsAndWarmStartsFollower) {
+  TempDir leader_dir("warm_leader");
+  TempDir follower_dir("warm_follower");
+  std::string error;
+
+  // Leader runs alone first, checkpointing often enough that truncation
+  // deletes the early segments — a late-joining follower cannot replay
+  // from lsn 0 and MUST warm-start from the shipped checkpoint.
+  ServiceConfig config = leader_config(leader_dir.path);
+  config.checkpoint_interval_ops = 600;
+  auto leader = MisService::open(config, &error);
+  ASSERT_TRUE(leader.has_value()) << error;
+  const auto batches = make_stream(503, 2500, 8);
+  for (const core::Batch& batch : batches) ASSERT_TRUE(leader->apply(batch, &error));
+  ASSERT_GT(leader->last_checkpoint_lsn(), 0U);
+  {
+    bool has_base0 = false;
+    for (const service::SegmentInfo& seg : service::list_segments(leader_dir.path))
+      if (seg.base_lsn == 0) has_base0 = true;
+    ASSERT_FALSE(has_base0) << "truncation should have deleted the base segment";
+  }
+
+  auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+  DirectTransport transport(&*follower);
+  LogShipper shipper(leader_dir.path, &transport);
+  shipper.attach_durable_cursor(&*leader);
+  settle(shipper, *follower);
+
+  ASSERT_TRUE(follower->has_engine());
+  EXPECT_GE(follower->stats().rewarms, 1U);
+  EXPECT_GE(follower->stats().checkpoints_published, 1U);
+  EXPECT_EQ(follower->applied_lsn(), leader->lsn());
+  expect_same(follower->engine(), reference(batches, batches.size(), 7),
+              "warm-started follower");
+
+  // The follower directory is a valid service directory in its own right:
+  // plain recovery on it lands on the same state.
+  leader.reset();
+  follower.reset();
+  service::RecoveryManager recovery(follower_dir.path, {.priority_seed = 7});
+  service::RecoveryReport report;
+  auto recovered = recovery.recover(&report, &error);
+  ASSERT_TRUE(recovered.has_value()) << error;
+  expect_same(*recovered, reference(batches, batches.size(), 7),
+              "recovery of follower dir");
+}
+
+TEST(Replication, BothEndsRestartAndResumeFromHave) {
+  TempDir leader_dir("resume_leader");
+  TempDir follower_dir("resume_follower");
+  std::string error;
+
+  auto leader = MisService::open(leader_config(leader_dir.path), &error);
+  ASSERT_TRUE(leader.has_value()) << error;
+  const auto batches = make_stream(504, 2000, 8);
+  const std::size_t half = batches.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) ASSERT_TRUE(leader->apply(batches[i], &error));
+
+  // First shipping session: partial (bounded ticks), then both ends die.
+  std::uint64_t persisted_before = 0;
+  {
+    auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+    ASSERT_TRUE(follower.has_value()) << error;
+    DirectTransport transport(&*follower);
+    LogShipperOptions ship_options;
+    ship_options.chunk_bytes = 512;
+    LogShipper shipper(leader_dir.path, &transport, ship_options);
+    shipper.attach_durable_cursor(&*leader);
+    for (int tick = 0; tick < 20; ++tick) (void)shipper.pump(&error);
+    ASSERT_TRUE(follower->poll(&error)) << error;
+    persisted_before = follower->stats().bytes_persisted;
+    // follower destroyed here: sink closed, partial files stay on disk
+  }
+  ASSERT_GT(persisted_before, 0U);
+
+  for (std::size_t i = half; i < batches.size(); ++i)
+    ASSERT_TRUE(leader->apply(batches[i], &error));
+
+  // Second session: fresh shipper (offset 0) against a warm follower dir.
+  // The first ack rewinds nothing and fast-forwards the shipper past
+  // everything already persisted — history is not re-applied.
+  auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+  DirectTransport transport(&*follower);
+  LogShipper shipper(leader_dir.path, &transport);
+  shipper.attach_durable_cursor(&*leader);
+  settle(shipper, *follower);
+
+  EXPECT_EQ(follower->applied_lsn(), leader->lsn());
+  expect_same(follower->engine(), reference(batches, batches.size(), 7),
+              "resumed across double restart");
+  // The restarted shipper's very first segment chunk lands at offset 0
+  // against a follower that has more — accepted as a duplicate no-op.
+  EXPECT_GT(follower->stats().chunks_accepted, 0U);
+}
+
+TEST(Replication, FaultyTransportConvergesAndStaysExact) {
+  // The differential fuzz: seeds × fault mixes, every combination must
+  // converge to the exact reference state. Faults are deterministic per
+  // seed, so any failure here replays.
+  struct Mix {
+    const char* name;
+    TransportFaults faults;
+  };
+  const Mix mixes[] = {
+      {"droppy", {.drop = 0.3, .duplicate = 0.0, .reorder = 0.0, .truncate = 0.0}},
+      {"dupey", {.drop = 0.0, .duplicate = 0.4, .reorder = 0.0, .truncate = 0.0}},
+      {"reordery", {.drop = 0.0, .duplicate = 0.0, .reorder = 0.4, .truncate = 0.0}},
+      {"torn", {.drop = 0.0, .duplicate = 0.0, .reorder = 0.0, .truncate = 0.5}},
+      {"storm", {.drop = 0.25, .duplicate = 0.25, .reorder = 0.25, .truncate = 0.25}},
+  };
+  for (const Mix& mix : mixes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const std::string where = std::string(mix.name) + "/seed" + std::to_string(seed);
+      TempDir leader_dir("fuzz_leader");
+      TempDir follower_dir("fuzz_follower");
+      std::string error;
+
+      ServiceConfig config = leader_config(leader_dir.path);
+      config.checkpoint_interval_ops = 700;  // checkpoints ship through faults too
+      auto leader = MisService::open(config, &error);
+      ASSERT_TRUE(leader.has_value()) << error;
+      auto follower =
+          FollowerService::open(follower_dir.path, follower_options(), &error);
+      ASSERT_TRUE(follower.has_value()) << error;
+
+      DirectTransport direct(&*follower);
+      TransportFaults faults = mix.faults;
+      faults.seed = seed * 7919;
+      FaultyTransport transport(&direct, faults);
+      LogShipperOptions ship_options;
+      ship_options.chunk_bytes = 1 << 10;
+      LogShipper shipper(leader_dir.path, &transport, ship_options);
+      shipper.attach_durable_cursor(&*leader);
+
+      const auto batches = make_stream(505 + seed, 2000, 8);
+      for (const core::Batch& batch : batches) {
+        ASSERT_TRUE(leader->apply(batch, &error)) << where << ": " << error;
+        ASSERT_TRUE(shipper.drain(&error)) << where << ": " << error;
+        ASSERT_TRUE(follower->poll(&error)) << where << ": " << error;
+      }
+      ASSERT_TRUE(shipper.drain(&error)) << where << ": " << error;
+      ASSERT_TRUE(follower->poll(&error)) << where << ": " << error;
+
+      EXPECT_EQ(follower->applied_lsn(), leader->lsn()) << where;
+      expect_same(follower->engine(), reference(batches, batches.size(), 7), where);
+    }
+  }
+}
+
+TEST(Replication, FollowerLocalWriteFaultsForceReshipNotCorruption) {
+  TempDir leader_dir("sinkfault_leader");
+  TempDir follower_dir("sinkfault_follower");
+  std::string error;
+
+  auto leader = MisService::open(leader_config(leader_dir.path), &error);
+  ASSERT_TRUE(leader.has_value()) << error;
+
+  // Every 3rd file the follower opens fails after a 700-byte short write —
+  // the shipped prefix survives, the suffix is re-shipped via `have`.
+  util::FaultPlan plan;
+  plan.write_budget = 700;
+  plan.short_write = true;
+  FollowerOptions options = follower_options();
+  options.file_factory = util::faulty_factory(plan, 2, util::open_appendable);
+  auto follower = FollowerService::open(follower_dir.path, options, &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+
+  DirectTransport transport(&*follower);
+  LogShipperOptions ship_options;
+  ship_options.chunk_bytes = 512;
+  LogShipper shipper(leader_dir.path, &transport, ship_options);
+  shipper.attach_durable_cursor(&*leader);
+
+  const auto batches = make_stream(506, 1500, 8);
+  for (const core::Batch& batch : batches) {
+    ASSERT_TRUE(leader->apply(batch, &error)) << error;
+    ASSERT_TRUE(shipper.drain(&error)) << error;
+    ASSERT_TRUE(follower->poll(&error)) << error;
+  }
+  settle(shipper, *follower);
+
+  EXPECT_GT(follower->stats().receive_errors, 0U);
+  EXPECT_EQ(follower->applied_lsn(), leader->lsn());
+  expect_same(follower->engine(), reference(batches, batches.size(), 7),
+              "through local write faults");
+}
+
+TEST(Replication, FailoverPromotesAndContinuesOpForOp) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const std::string where = "failover/seed" + std::to_string(seed);
+    TempDir leader_dir("failover_leader");
+    TempDir follower_dir("failover_follower");
+    std::string error;
+
+    auto leader = MisService::open(leader_config(leader_dir.path), &error);
+    ASSERT_TRUE(leader.has_value()) << error;
+    auto follower =
+        FollowerService::open(follower_dir.path, follower_options(), &error);
+    ASSERT_TRUE(follower.has_value()) << error;
+
+    DirectTransport direct(&*follower);
+    TransportFaults faults;
+    faults.drop = 0.2;
+    faults.duplicate = 0.2;
+    faults.reorder = 0.2;
+    faults.truncate = 0.2;
+    faults.seed = seed * 104729;
+    FaultyTransport transport(&direct, faults);
+    LogShipperOptions ship_options;
+    ship_options.chunk_bytes = 1 << 10;
+    LogShipper shipper(leader_dir.path, &transport, ship_options);
+    shipper.attach_durable_cursor(&*leader);
+
+    const auto batches = make_stream(600 + seed, 2400, 8);
+    const std::size_t crash_at = batches.size() / 2;
+    std::uint64_t crash_lsn = 0;
+    for (std::size_t i = 0; i < crash_at; ++i) {
+      ASSERT_TRUE(leader->apply(batches[i], &error)) << where << ": " << error;
+      crash_lsn += batches[i].size();
+      ASSERT_TRUE(shipper.drain(&error)) << where << ": " << error;
+    }
+
+    // Leader dies mid-ingest. Its disk is the recovery truth now: detach
+    // the durable cursor and drain whatever the dead leader's directory
+    // holds through the still-faulty link.
+    leader.reset();
+    shipper.detach_durable_cursor();
+    ASSERT_TRUE(shipper.drain(&error)) << where << ": " << error;
+    ASSERT_TRUE(follower->poll(&error)) << where << ": " << error;
+    ASSERT_EQ(follower->applied_lsn(), crash_lsn) << where;
+
+    // Promote: the follower becomes a serving leader in its own directory.
+    auto promoted = follower->promote(leader_config(follower_dir.path), &error);
+    ASSERT_TRUE(promoted.has_value()) << where << ": " << error;
+    EXPECT_EQ(promoted->lsn(), crash_lsn) << where;
+    expect_same(promoted->engine(), reference(batches, crash_at, 7),
+                where + ": at promotion");
+
+    // Continued churn after promotion is op-for-op equal to a leader that
+    // never crashed (the RNG-state check above is what guarantees this).
+    core::CascadeEngine never_crashed = reference(batches, batches.size(), 7);
+    for (std::size_t i = crash_at; i < batches.size(); ++i)
+      ASSERT_TRUE(promoted->apply(batches[i], &error)) << where << ": " << error;
+    expect_same(promoted->engine(), never_crashed, where + ": after promotion");
+
+    // And the promoted directory — shipped files + re-based WAL — recovers.
+    ASSERT_TRUE(promoted->checkpoint(&error)) << where << ": " << error;
+    promoted.reset();
+    auto reopened = MisService::open(leader_config(follower_dir.path), &error);
+    ASSERT_TRUE(reopened.has_value()) << where << ": " << error;
+    expect_same(reopened->engine(), never_crashed, where + ": recovery after failover");
+  }
+}
+
+TEST(Replication, PromoteWithNothingShippedServesFromEmpty) {
+  TempDir follower_dir("empty_promote");
+  std::string error;
+  auto follower = FollowerService::open(follower_dir.path, follower_options(), &error);
+  ASSERT_TRUE(follower.has_value()) << error;
+  auto promoted = follower->promote(leader_config(follower_dir.path), &error);
+  ASSERT_TRUE(promoted.has_value()) << error;
+  EXPECT_EQ(promoted->lsn(), 0U);
+  const auto batches = make_stream(700, 400, 8);
+  for (const core::Batch& batch : batches)
+    ASSERT_TRUE(promoted->apply(batch, &error)) << error;
+  expect_same(promoted->engine(), reference(batches, batches.size(), 7),
+              "cold promoted service");
+}
+
+}  // namespace

@@ -387,4 +387,135 @@ TEST(Service, EveryOpPolicyRecoversIdentically) {
   ASSERT_TRUE(service->close(&error)) << error;
 }
 
+// --- Checkpoint publish under fault injection ------------------------------
+//
+// The publish path is temp-write → fsync → rename. Whichever step fails,
+// the contract is the same: the previous checkpoint (and the WAL behind
+// it) survives untouched, the service keeps serving, and recovery lands on
+// the exact reference state. config.checkpoint_file_factory is a seam
+// separate from the WAL's so these schedules don't shift the WAL fault
+// counter.
+
+TEST(Service, CheckpointTempWriteFailureLeavesPreviousCheckpointIntact) {
+  TempDir dir("cp_write_fault");
+  ServiceConfig config = config_for(dir.path);
+  // File #0 through this factory is the first checkpoint's temp file
+  // (clean); file #1 — the second checkpoint — dies after 256 bytes.
+  util::FaultPlan plan;
+  plan.write_budget = 256;
+  config.checkpoint_file_factory = util::faulty_factory(plan, 1);
+  std::string error;
+  auto service = MisService::open(config, &error);
+  ASSERT_TRUE(service.has_value()) << error;
+
+  const auto batches = make_stream(901, 1200, 8);
+  const std::size_t half = batches.size() / 2;
+  std::uint64_t half_lsn = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    half_lsn += batches[i].size();
+  }
+  ASSERT_TRUE(service->checkpoint(&error)) << error;
+  EXPECT_EQ(service->last_checkpoint_lsn(), half_lsn);
+
+  for (std::size_t i = half; i < batches.size(); ++i)
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+  error.clear();
+  EXPECT_FALSE(service->checkpoint(&error)) << "injected write failure must surface";
+  EXPECT_EQ(service->last_checkpoint_lsn(), half_lsn) << "failed publish moved the lsn";
+
+  // The failed attempt left no debris that recovery could mistake for a
+  // checkpoint, and the good one is still there.
+  const auto checkpoints = service::list_checkpoints(dir.path);
+  ASSERT_EQ(checkpoints.size(), 1U);
+  EXPECT_EQ(checkpoints[0].lsn, half_lsn);
+
+  // The service itself is unharmed: the WAL keeps acking ops after the
+  // failed checkpoint.
+  core::Batch extra;
+  extra.add_node(std::span<const graph::NodeId>{});  // always valid under churn
+  ASSERT_TRUE(service->apply(extra, &error)) << error;
+  ASSERT_TRUE(service->close(&error)) << error;
+
+  auto reopened = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(reopened.has_value()) << error;
+  core::CascadeEngine want = reference(batches, batches.size(), 7);
+  (void)core::apply_batch(want, extra);
+  expect_same(reopened->engine(), want, "recovery after failed checkpoint write");
+  EXPECT_EQ(reopened->recovery().checkpoint_lsn, half_lsn)
+      << "recovery must warm-start from the surviving checkpoint";
+}
+
+TEST(Service, CheckpointFsyncFailureLeavesPreviousCheckpointIntact) {
+  TempDir dir("cp_sync_fault");
+  ServiceConfig config = config_for(dir.path);
+  util::FaultPlan plan;
+  plan.sync_budget = 0;  // first fsync on the temp file fails
+  config.checkpoint_file_factory = util::faulty_factory(plan, 1);
+  std::string error;
+  auto service = MisService::open(config, &error);
+  ASSERT_TRUE(service.has_value()) << error;
+
+  const auto batches = make_stream(902, 1000, 8);
+  const std::size_t half = batches.size() / 2;
+  std::uint64_t half_lsn = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    half_lsn += batches[i].size();
+  }
+  ASSERT_TRUE(service->checkpoint(&error)) << error;
+  for (std::size_t i = half; i < batches.size(); ++i)
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+  EXPECT_FALSE(service->checkpoint(&error)) << "unsynced checkpoint must not publish";
+
+  const auto checkpoints = service::list_checkpoints(dir.path);
+  ASSERT_EQ(checkpoints.size(), 1U);
+  EXPECT_EQ(checkpoints[0].lsn, half_lsn);
+  ASSERT_TRUE(service->close(&error)) << error;
+
+  auto reopened = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(reopened.has_value()) << error;
+  expect_same(reopened->engine(), reference(batches, batches.size(), 7),
+              "recovery after failed checkpoint fsync");
+}
+
+TEST(Service, CheckpointRenameFailureLeavesPreviousCheckpointIntact) {
+  TempDir dir("cp_rename_fault");
+  std::string error;
+  auto service = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(service.has_value()) << error;
+
+  const auto batches = make_stream(903, 1000, 8);
+  const std::size_t half = batches.size() / 2;
+  std::uint64_t half_lsn = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    half_lsn += batches[i].size();
+  }
+  ASSERT_TRUE(service->checkpoint(&error)) << error;
+  std::uint64_t full_lsn = half_lsn;
+  for (std::size_t i = half; i < batches.size(); ++i) {
+    ASSERT_TRUE(service->apply(batches[i], &error)) << error;
+    full_lsn += batches[i].size();
+  }
+
+  // Make the rename step itself fail: a directory squats on the final
+  // checkpoint path (temp write and fsync both succeed first).
+  std::filesystem::create_directories(service::checkpoint_path(dir.path, full_lsn));
+  EXPECT_FALSE(service->checkpoint(&error)) << "rename onto a directory must fail";
+  EXPECT_EQ(service->last_checkpoint_lsn(), half_lsn);
+
+  // list_checkpoints must not report the squatter; the old checkpoint wins.
+  const auto checkpoints = service::list_checkpoints(dir.path);
+  ASSERT_EQ(checkpoints.size(), 1U);
+  EXPECT_EQ(checkpoints[0].lsn, half_lsn);
+  ASSERT_TRUE(service->close(&error)) << error;
+
+  auto reopened = MisService::open(config_for(dir.path), &error);
+  ASSERT_TRUE(reopened.has_value()) << error;
+  expect_same(reopened->engine(), reference(batches, batches.size(), 7),
+              "recovery after failed checkpoint rename");
+  std::filesystem::remove_all(service::checkpoint_path(dir.path, full_lsn));
+}
+
 }  // namespace

@@ -412,4 +412,103 @@ TEST(Wal, ListSegmentsSkipsAlienFiles) {
   EXPECT_EQ(skipped.size(), 1U);  // junk .seg reported, notes.txt ignored
 }
 
+TEST(Wal, RefreshFollowsLiveSegmentThroughGrowthAndSeal) {
+  // Tail-follow: a reader holds a live segment open while the writer keeps
+  // appending. refresh() picks up growth, is a no-op without growth, and a
+  // seal, once seen, is permanent.
+  TempDir dir("refresh");
+  WalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.open(dir.path, 1, 0, {}, &error)) << error;
+  util::Rng rng(23);
+  const core::Batch first = make_batch(rng, 5);
+  ASSERT_TRUE(writer.append(first, &error)) << error;
+
+  WalSegmentReader reader;
+  ASSERT_TRUE(reader.open(service::segment_path(dir.path, 1), &error)) << error;
+  WalRecordView view;
+  std::uint64_t ops_seen = 0;
+  while (reader.next(&view) == WalSegmentReader::Next::kRecord)
+    ops_seen += view.ops.size();
+  EXPECT_EQ(ops_seen, first.size());
+  EXPECT_FALSE(reader.refresh(&error)) << "no growth yet";
+
+  const core::Batch second = make_batch(rng, 7);
+  ASSERT_TRUE(writer.append(second, &error)) << error;
+  ASSERT_TRUE(reader.refresh(&error)) << error;
+  while (reader.next(&view) == WalSegmentReader::Next::kRecord)
+    ops_seen += view.ops.size();
+  EXPECT_EQ(ops_seen, first.size() + second.size());
+  EXPECT_EQ(reader.next_lsn(), ops_seen);
+
+  ASSERT_TRUE(writer.close(&error)) << error;  // writes the seal marker
+  ASSERT_TRUE(reader.refresh(&error)) << error;
+  EXPECT_EQ(reader.next(&view), WalSegmentReader::Next::kSealed);
+  EXPECT_FALSE(reader.refresh(&error)) << "sealed is terminal";
+  EXPECT_EQ(reader.next(&view), WalSegmentReader::Next::kSealed);
+}
+
+TEST(Wal, RefreshHealsTornTailOnceBytesArrive) {
+  // The log-shipping shape: the follower's copy ends mid-record (a torn
+  // shipment), then the missing suffix arrives as an append. refresh()
+  // must rescan from the same byte position — the acked record prefix is
+  // untouched — and yield the completed record.
+  TempDir full_dir("refresh_full");
+  std::string error;
+  std::uint64_t ops = 0;
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(full_dir.path, 1, 0, {}, &error)) << error;
+    util::Rng rng(29);
+    for (int b = 0; b < 6; ++b) {
+      const core::Batch batch = make_batch(rng, 4 + b);
+      ops += batch.size();
+      ASSERT_TRUE(writer.append(batch, &error)) << error;
+    }
+    ASSERT_TRUE(writer.close(&error)) << error;
+  }
+  std::vector<char> bytes;
+  {
+    std::ifstream is(service::segment_path(full_dir.path, 1), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 200U);
+
+  for (const std::size_t cut_back : {45U, 90U, 170U}) {
+    TempDir dir("refresh_torn");
+    const std::string path = service::segment_path(dir.path, 1);
+    const std::size_t cut = bytes.size() - cut_back;
+    {
+      std::ofstream os(path, std::ios::binary);
+      os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    WalSegmentReader reader;
+    ASSERT_TRUE(reader.open(path, &error)) << error;
+    WalRecordView view;
+    std::uint64_t ops_before = 0;
+    WalSegmentReader::Next state;
+    while ((state = reader.next(&view)) == WalSegmentReader::Next::kRecord)
+      ops_before += view.ops.size();
+    ASSERT_NE(state, WalSegmentReader::Next::kSealed);
+    ASSERT_LT(ops_before, ops);
+    const std::uint64_t resume_lsn = reader.next_lsn();
+
+    // The rest of the file arrives (append — the prefix is never rewritten).
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      os.write(bytes.data() + cut, static_cast<std::streamsize>(bytes.size() - cut));
+    }
+    ASSERT_TRUE(reader.refresh(&error)) << error;
+    std::uint64_t ops_after = ops_before;
+    bool first = true;
+    while ((state = reader.next(&view)) == WalSegmentReader::Next::kRecord) {
+      if (first) EXPECT_EQ(view.lsn, resume_lsn) << "resumed past or before the tear";
+      first = false;
+      ops_after += view.ops.size();
+    }
+    EXPECT_EQ(state, WalSegmentReader::Next::kSealed);
+    EXPECT_EQ(ops_after, ops);
+  }
+}
+
 }  // namespace

@@ -16,18 +16,42 @@
 //                        differentially identical to a never-crashed
 //                        reference at the recovered lsn (graph, membership,
 //                        MIS size, priority-RNG state).
-//   dmis_service stats   --dir d
+//   dmis_service serve   --dir d [--producers P --ops K --batch B --seed S]
+//                        [--policy ...] [--crash-at L]
+//                        concurrent ingest: P producer threads submit edge
+//                        toggles through IngestQueue, the consumer thread
+//                        admission-batches them into the service. Each
+//                        producer owns a hash partition of the edge space,
+//                        so any admission interleaving is a valid op
+//                        stream; the WAL records the one the consumer
+//                        chose. The printed fingerprint therefore must
+//                        equal a later `recover`'s — that pair is the
+//                        concurrent-ingest differential check.
+//   dmis_service follow  --dir f --leader-dir d [--until-lsn L]
+//                        [--drop/--dup/--reorder/--trunc p --fault-seed S]
+//                        ship the leader directory into follower dir f
+//                        (optionally through a seeded faulty transport)
+//                        and tail-apply until caught up (or --until-lsn).
+//   dmis_service promote --dir f [--verify --ops K --batch B --seed S]
+//                        promote follower dir f to a serving leader
+//                        (fresh WAL segment based at the applied lsn),
+//                        print the RTO; --verify checks the promoted
+//                        engine against the regenerated workload prefix.
+//   dmis_service stats   --dir d [--json]
 //                        list checkpoints and WAL segments with lsn ranges.
 //
 // The workload is pinned by (--seed, --ops, --batch): grow a random graph
 // op by op from empty, then mixed churn — the same recipe the service and
 // kill -9 tests use, so `run --crash-at` + `recover --verify` is a
-// self-contained crash drill.
+// self-contained crash drill, and `run --crash-at` + `follow` + `promote
+// --verify` is a self-contained failover drill.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -38,10 +62,13 @@
 #include "core/cascade_engine.hpp"
 #include "graph/generators.hpp"
 #include "service/checkpoint.hpp"
+#include "service/ingest.hpp"
+#include "service/replication.hpp"
 #include "service/service.hpp"
 #include "service/wal.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/batched.hpp"
 #include "workload/churn.hpp"
 #include "workload/trace.hpp"
@@ -317,40 +344,414 @@ int cmd_recover(util::Cli& cli) {
   return 0;
 }
 
-int cmd_stats(util::Cli& cli) {
+/// Concurrent ingest: P producers toggle edges in their own hash partition
+/// of the pairs over [0, nodes); the consumer (this thread) drains, applies,
+/// acks. Partitioned ownership + per-lane FIFO makes every admission
+/// interleaving a valid stream, so the WAL'd serialization is self-
+/// consistent — recover must reproduce the printed fingerprint exactly.
+int cmd_serve(util::Cli& cli) {
   const auto dir = cli.flag_string("dir", "mis-service", "service directory");
+  const auto producers = static_cast<unsigned>(
+      cli.flag_int("producers", 4, "producer threads (ingest lanes)"));
+  const auto ops =
+      static_cast<std::uint64_t>(cli.flag_int("ops", 20000, "total client ops"));
+  const auto batch_ops = static_cast<std::size_t>(
+      cli.flag_int("batch", 64, "max ops per admission batch"));
+  const auto nodes =
+      static_cast<std::uint64_t>(cli.flag_int("nodes", 100, "base node count"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.flag_int("seed", 42, "workload seed"));
+  const auto priority_seed =
+      static_cast<std::uint64_t>(cli.flag_int("priority-seed", 7, "engine seed"));
+  const auto policy_name =
+      cli.flag_string("policy", "everybatch", "fsync policy: everyop|everybatch|interval");
+  const auto checkpoint_interval = static_cast<std::uint64_t>(
+      cli.flag_int("checkpoint-interval", 0, "auto-checkpoint every N ops (0 = never)"));
+  const auto crash_at = static_cast<std::uint64_t>(
+      cli.flag_int("crash-at", 0, "simulate kill -9 once lsn reaches this (0 = run out)"));
   cli.finish();
 
+  if (producers == 0 || nodes < 2) {
+    std::fprintf(stderr, "error: need --producers >= 1 and --nodes >= 2\n");
+    return 1;
+  }
+  service::ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = priority_seed;
+  config.checkpoint_interval_ops = checkpoint_interval;
+  if (!parse_policy(policy_name, config.fsync)) {
+    std::fprintf(stderr, "error: unknown --policy '%s'\n", policy_name.c_str());
+    return 1;
+  }
+  std::string error;
+  auto svc = service::MisService::open(config, &error);
+  if (!svc.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (svc->lsn() != 0) {
+    std::fprintf(stderr, "error: serve needs a fresh directory (lsn %llu != 0); "
+                         "producers assume every owned edge starts absent\n",
+                 static_cast<unsigned long long>(svc->lsn()));
+    return 1;
+  }
+
+  // Seed the base nodes up front, before any concurrency.
+  {
+    core::Batch base;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+      base.add_node(std::span<const graph::NodeId>{});
+    if (!svc->apply(base, &error)) {
+      std::fprintf(stderr, "error: seeding base nodes: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  service::IngestOptions ingest_options;
+  ingest_options.producers = producers;
+  ingest_options.max_batch_ops = batch_ops;
+  service::IngestQueue queue(ingest_options);
+  const std::uint64_t per_producer = ops / producers;
+
+  // (u, v) with u < v belongs to exactly one producer.
+  const auto owner = [&](std::uint64_t u, std::uint64_t v) {
+    return static_cast<unsigned>((u * 2654435761ULL + v * 40503ULL) % producers);
+  };
+
+  std::atomic<bool> producers_done{false};
+  util::ThreadPool pool(producers);
+  std::thread driver([&] {
+    pool.run_indexed(producers, [&](unsigned p) {
+      util::Rng rng(seed * 9176 + p);
+      // Local view of the producer's own edges; nobody else touches them,
+      // so validity (add absent / remove present) holds under any
+      // cross-lane interleaving the consumer picks.
+      std::vector<bool> present(nodes * nodes, false);
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        std::uint64_t u, v;
+        do {
+          u = rng.below(nodes);
+          v = rng.below(nodes);
+          if (u > v) std::swap(u, v);
+        } while (u == v || owner(u, v) != p);
+        const std::uint64_t slot = u * nodes + v;
+        const bool had = present[slot];
+        present[slot] = !had;
+        queue.submit(p, had ? service::ClientOp::remove_edge(u, v)
+                            : service::ClientOp::add_edge(u, v));
+      }
+    });
+    producers_done.store(true, std::memory_order_release);
+  });
+
+  const std::uint64_t expected = nodes + per_producer * producers;
+  const auto t0 = Clock::now();
+  core::Batch batch;
+  bool crashed_requested = false;
+  while (svc->lsn() < expected) {
+    const std::size_t drained = queue.drain(batch);
+    if (drained == 0) {
+      if (producers_done.load(std::memory_order_acquire) && queue.drain(batch) == 0)
+        break;
+      std::this_thread::yield();
+      continue;
+    }
+    if (!svc->apply(batch, &error)) {
+      std::fprintf(stderr, "error: apply at lsn %llu: %s\n",
+                   static_cast<unsigned long long>(svc->lsn()), error.c_str());
+      return 1;
+    }
+    queue.ack();
+    if (crash_at != 0 && svc->lsn() >= crash_at) {
+      crashed_requested = true;
+      break;
+    }
+  }
+  if (crashed_requested) {
+    std::printf("crash-at %llu reached at lsn %llu — dying without close "
+                "(fingerprint %016llx)\n",
+                static_cast<unsigned long long>(crash_at),
+                static_cast<unsigned long long>(svc->lsn()),
+                static_cast<unsigned long long>(fingerprint(svc->engine())));
+    std::fflush(stdout);
+#if defined(__unix__) || defined(__APPLE__)
+    _exit(137);  // producers never joined — exactly what kill -9 does
+#else
+    std::abort();
+#endif
+  }
+  driver.join();
+  const double run_s = seconds_since(t0);
+
+  std::uint64_t waits = 0;
+  for (unsigned p = 0; p < producers; ++p) waits += queue.backpressure_waits(p);
+  for (unsigned p = 0; p < producers; ++p) {
+    if (queue.acked(p) != queue.submitted(p)) {
+      std::fprintf(stderr, "FAIL: lane %u acked %llu != submitted %llu\n", p,
+                   static_cast<unsigned long long>(queue.acked(p)),
+                   static_cast<unsigned long long>(queue.submitted(p)));
+      return 1;
+    }
+  }
+  std::printf("served %llu ops from %u producers to lsn %llu in %.3fs "
+              "(%.0f ops/s), %llu backpressure waits, |MIS| %zu, "
+              "fingerprint %016llx\n",
+              static_cast<unsigned long long>(queue.total_acked()), producers,
+              static_cast<unsigned long long>(svc->lsn()), run_s,
+              run_s > 0 ? static_cast<double>(svc->lsn()) / run_s : 0.0,
+              static_cast<unsigned long long>(waits), svc->engine().mis_size(),
+              static_cast<unsigned long long>(fingerprint(svc->engine())));
+  if (!svc->close(&error)) {
+    std::fprintf(stderr, "error: close: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_follow(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-follower", "follower directory");
+  const auto leader_dir =
+      cli.flag_string("leader-dir", "mis-service", "leader directory to ship from");
+  const auto until_lsn = static_cast<std::uint64_t>(cli.flag_int(
+      "until-lsn", 0, "stop once this lsn is applied (0 = ship everything durable)"));
+  const auto max_pumps = static_cast<std::uint64_t>(
+      cli.flag_int("max-pumps", 1 << 22, "shipper tick budget"));
+  const auto chunk = static_cast<std::uint64_t>(
+      cli.flag_int("chunk", 64 << 10, "shipment chunk bytes"));
+  const double drop = cli.flag_double("drop", 0.0, "P(shipment dropped)");
+  const double dup = cli.flag_double("dup", 0.0, "P(shipment duplicated)");
+  const double reorder = cli.flag_double("reorder", 0.0, "P(shipment held + reordered)");
+  const double trunc = cli.flag_double("trunc", 0.0, "P(shipment payload torn)");
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.flag_int("fault-seed", 1, "transport fault seed"));
+  const auto priority_seed = static_cast<std::uint64_t>(
+      cli.flag_int("priority-seed", 7, "engine seed (cold start only)"));
+  cli.finish();
+
+  std::string error;
+  service::FollowerOptions options;
+  options.priority_seed = priority_seed;
+  auto follower = service::FollowerService::open(dir, options, &error);
+  if (!follower.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  service::DirectTransport direct(&*follower);
+  service::TransportFaults faults;
+  faults.drop = drop;
+  faults.duplicate = dup;
+  faults.reorder = reorder;
+  faults.truncate = trunc;
+  faults.seed = fault_seed;
+  service::FaultyTransport faulty(&direct, faults);
+  const bool lossy = drop > 0 || dup > 0 || reorder > 0 || trunc > 0;
+  service::ShipmentTransport* transport =
+      lossy ? static_cast<service::ShipmentTransport*>(&faulty) : &direct;
+  service::LogShipperOptions ship_options;
+  ship_options.chunk_bytes = chunk;
+  service::LogShipper shipper(leader_dir, transport, ship_options);
+
+  const auto t0 = Clock::now();
+  std::uint64_t pumps = 0;
+  bool idle = false;
+  while (pumps < max_pumps) {
+    const auto state = shipper.pump(&error);
+    ++pumps;
+    if (state == service::LogShipper::Pump::kError) {
+      std::fprintf(stderr, "error: pump: %s\n", error.c_str());
+      return 1;
+    }
+    if (!follower->poll(&error)) {
+      std::fprintf(stderr, "error: poll: %s\n", error.c_str());
+      return 1;
+    }
+    if (until_lsn != 0 && follower->applied_lsn() >= until_lsn) break;
+    if (state == service::LogShipper::Pump::kIdle) {
+      idle = true;
+      break;
+    }
+  }
+  const double ship_s = seconds_since(t0);
+  const service::FollowerStats& fs = follower->stats();
+  const service::ShipperStats& ss = shipper.stats();
+  std::printf("followed to lsn %llu in %.3fs (%s after %llu pumps): "
+              "%llu shipments (%llu delivered, %llu lost, %llu rewinds, "
+              "%llu bytes), follower %llu accepted / %llu rejected, "
+              "%llu checkpoints published, %llu rewarms, %llu ops applied\n",
+              static_cast<unsigned long long>(follower->applied_lsn()), ship_s,
+              idle ? "idle" : "target reached",
+              static_cast<unsigned long long>(pumps),
+              static_cast<unsigned long long>(ss.shipments),
+              static_cast<unsigned long long>(ss.delivered),
+              static_cast<unsigned long long>(ss.lost),
+              static_cast<unsigned long long>(ss.rewinds),
+              static_cast<unsigned long long>(ss.bytes_shipped),
+              static_cast<unsigned long long>(fs.chunks_accepted),
+              static_cast<unsigned long long>(fs.chunks_rejected),
+              static_cast<unsigned long long>(fs.checkpoints_published),
+              static_cast<unsigned long long>(fs.rewarms),
+              static_cast<unsigned long long>(fs.ops_applied));
+  if (lossy)
+    std::printf("transport faults: %llu dropped, %llu duplicated, %llu reordered, "
+                "%llu torn\n",
+                static_cast<unsigned long long>(faulty.drops()),
+                static_cast<unsigned long long>(faulty.duplicates()),
+                static_cast<unsigned long long>(faulty.reorders()),
+                static_cast<unsigned long long>(faulty.truncations()));
+  if (follower->has_engine())
+    std::printf("fingerprint %016llx\n",
+                static_cast<unsigned long long>(fingerprint(follower->engine())));
+  if (until_lsn != 0 && follower->applied_lsn() < until_lsn) {
+    std::fprintf(stderr, "FAIL: applied lsn %llu short of --until-lsn %llu\n",
+                 static_cast<unsigned long long>(follower->applied_lsn()),
+                 static_cast<unsigned long long>(until_lsn));
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_promote(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-follower", "follower directory");
+  const bool verify = cli.flag_bool(
+      "verify", false, "check the promoted engine against the regenerated workload");
+  const auto ops = static_cast<std::size_t>(
+      cli.flag_int("ops", 5000, "workload ops (--verify; must match the leader's run)"));
+  const auto batch_ops = static_cast<std::size_t>(
+      cli.flag_int("batch", 8, "ops per batch (--verify; must match run)"));
+  const auto seed = static_cast<std::uint64_t>(
+      cli.flag_int("seed", 42, "workload seed (--verify; must match run)"));
+  const auto priority_seed =
+      static_cast<std::uint64_t>(cli.flag_int("priority-seed", 7, "engine seed"));
+  cli.finish();
+
+  std::string error;
+  service::FollowerOptions options;
+  options.priority_seed = priority_seed;
+  const auto t0 = Clock::now();
+  auto follower = service::FollowerService::open(dir, options, &error);
+  if (!follower.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  service::ServiceConfig config;
+  config.dir = dir;
+  config.priority_seed = priority_seed;
+  auto svc = follower->promote(config, &error);
+  if (!svc.has_value()) {
+    std::fprintf(stderr, "error: promote: %s\n", error.c_str());
+    return 1;
+  }
+  const double rto_s = seconds_since(t0);
+  std::printf("promoted to leader at lsn %llu in %.6fs (wal segment %llu), "
+              "|MIS| %zu, fingerprint %016llx\n",
+              static_cast<unsigned long long>(svc->lsn()), rto_s,
+              static_cast<unsigned long long>(svc->wal_segment_seq()),
+              svc->engine().mis_size(),
+              static_cast<unsigned long long>(fingerprint(svc->engine())));
+
+  if (verify) {
+    const auto stream = make_stream(seed, ops, batch_ops);
+    const core::CascadeEngine ref =
+        reference_prefix(stream, svc->lsn(), priority_seed);
+    const bool same_graph = svc->engine().graph() == ref.graph();
+    const bool same_membership = svc->engine().membership() == ref.membership();
+    const bool same_rng =
+        svc->engine().priorities().rng_state() == ref.priorities().rng_state();
+    if (!same_graph || !same_membership || !same_rng) {
+      std::fprintf(stderr,
+                   "FAIL: promoted state diverges from the reference at lsn %llu "
+                   "(graph %d, membership %d, rng %d)\n",
+                   static_cast<unsigned long long>(svc->lsn()), same_graph,
+                   same_membership, same_rng);
+      return 1;
+    }
+    svc->engine().verify();
+    std::printf("OK: promoted engine is differentially identical to the reference "
+                "at lsn %llu (graph, membership, |MIS| %zu, rng)\n",
+                static_cast<unsigned long long>(svc->lsn()),
+                svc->engine().mis_size());
+  }
+  if (!svc->close(&error)) {
+    std::fprintf(stderr, "error: close: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_stats(util::Cli& cli) {
+  const auto dir = cli.flag_string("dir", "mis-service", "service directory");
+  const bool json = cli.flag_bool("json", false, "emit machine-readable JSON");
+  cli.finish();
+
+  struct SegmentRow {
+    service::SegmentInfo info;
+    std::uint64_t records = 0;
+    std::uint64_t end_lsn = 0;
+    const char* tail = "unreadable";
+    std::string detail;
+  };
   const auto checkpoints = service::list_checkpoints(dir);
+  std::vector<std::string> skipped;
+  const auto segments = service::list_segments(dir, &skipped);
+  std::vector<SegmentRow> rows;
+  rows.reserve(segments.size());
+  for (const auto& seg : segments) {
+    SegmentRow row;
+    row.info = seg;
+    row.end_lsn = seg.base_lsn;
+    service::WalSegmentReader reader;
+    std::string error;
+    if (reader.open(seg.path, &error)) {
+      service::WalRecordView view;
+      service::WalSegmentReader::Next state;
+      while ((state = reader.next(&view)) == service::WalSegmentReader::Next::kRecord)
+        ++row.records;
+      row.end_lsn = reader.next_lsn();
+      row.tail = state == service::WalSegmentReader::Next::kSealed ? "sealed"
+                 : state == service::WalSegmentReader::Next::kEnd  ? "unsealed"
+                                                                   : "torn";
+      if (state == service::WalSegmentReader::Next::kTorn)
+        row.detail = reader.tail_detail();
+    } else {
+      row.detail = error;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (json) {
+    std::printf("{\n  \"dir\": \"%s\",\n  \"checkpoints\": [", dir.c_str());
+    for (std::size_t i = 0; i < checkpoints.size(); ++i)
+      std::printf("%s\n    {\"path\": \"%s\", \"lsn\": %llu}", i ? "," : "",
+                  checkpoints[i].path.c_str(),
+                  static_cast<unsigned long long>(checkpoints[i].lsn));
+    std::printf("%s],\n  \"segments\": [", checkpoints.empty() ? "" : "\n  ");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      std::printf("%s\n    {\"path\": \"%s\", \"seq\": %llu, \"base_lsn\": %llu, "
+                  "\"end_lsn\": %llu, \"records\": %llu, \"tail\": \"%s\"}",
+                  i ? "," : "", rows[i].info.path.c_str(),
+                  static_cast<unsigned long long>(rows[i].info.seq),
+                  static_cast<unsigned long long>(rows[i].info.base_lsn),
+                  static_cast<unsigned long long>(rows[i].end_lsn),
+                  static_cast<unsigned long long>(rows[i].records), rows[i].tail);
+    std::printf("%s],\n  \"skipped\": [", rows.empty() ? "" : "\n  ");
+    for (std::size_t i = 0; i < skipped.size(); ++i)
+      std::printf("%s\"%s\"", i ? ", " : "", skipped[i].c_str());
+    std::printf("]\n}\n");
+    return 0;
+  }
+
   std::printf("%zu checkpoint(s):\n", checkpoints.size());
   for (const auto& cp : checkpoints)
     std::printf("  %s  lsn %llu\n", cp.path.c_str(),
                 static_cast<unsigned long long>(cp.lsn));
-  std::vector<std::string> skipped;
-  const auto segments = service::list_segments(dir, &skipped);
-  std::printf("%zu wal segment(s):\n", segments.size());
-  for (const auto& seg : segments) {
-    service::WalSegmentReader reader;
-    std::string error;
-    if (!reader.open(seg.path, &error)) {
-      std::printf("  %s  UNREADABLE: %s\n", seg.path.c_str(), error.c_str());
-      continue;
-    }
-    service::WalRecordView view;
-    std::uint64_t records = 0;
-    service::WalSegmentReader::Next state;
-    while ((state = reader.next(&view)) == service::WalSegmentReader::Next::kRecord)
-      ++records;
-    const char* tail = state == service::WalSegmentReader::Next::kSealed ? "sealed"
-                       : state == service::WalSegmentReader::Next::kEnd  ? "unsealed"
-                                                                         : "torn";
+  std::printf("%zu wal segment(s):\n", rows.size());
+  for (const auto& row : rows) {
     std::printf("  %s  seq %llu, lsn [%llu, %llu), %llu records, %s\n",
-                seg.path.c_str(), static_cast<unsigned long long>(seg.seq),
-                static_cast<unsigned long long>(seg.base_lsn),
-                static_cast<unsigned long long>(reader.next_lsn()),
-                static_cast<unsigned long long>(records), tail);
-    if (state == service::WalSegmentReader::Next::kTorn)
-      std::printf("    %s\n", reader.tail_detail().c_str());
+                row.info.path.c_str(), static_cast<unsigned long long>(row.info.seq),
+                static_cast<unsigned long long>(row.info.base_lsn),
+                static_cast<unsigned long long>(row.end_lsn),
+                static_cast<unsigned long long>(row.records), row.tail);
+    if (!row.detail.empty()) std::printf("    %s\n", row.detail.c_str());
   }
   for (const auto& s : skipped) std::printf("  skipped: %s\n", s.c_str());
   return 0;
@@ -361,7 +762,7 @@ int cmd_stats(util::Cli& cli) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <run|recover|stats> [flags]\n"
+                 "usage: %s <run|serve|recover|follow|promote|stats> [flags]\n"
                  "run a subcommand with --help for its flags\n",
                  argv[0]);
     return 2;
@@ -369,9 +770,13 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   dmis::util::Cli cli(argc - 1, argv + 1);
   if (cmd == "run") return cmd_run(cli);
+  if (cmd == "serve") return cmd_serve(cli);
   if (cmd == "recover") return cmd_recover(cli);
+  if (cmd == "follow") return cmd_follow(cli);
+  if (cmd == "promote") return cmd_promote(cli);
   if (cmd == "stats") return cmd_stats(cli);
-  std::fprintf(stderr, "unknown subcommand '%s' (want run|recover|stats)\n",
+  std::fprintf(stderr,
+               "unknown subcommand '%s' (want run|serve|recover|follow|promote|stats)\n",
                cmd.c_str());
   return 2;
 }
