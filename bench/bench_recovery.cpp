@@ -19,10 +19,12 @@
 //   tail_ops             ops past the last checkpoint — what recovery must
 //                        replay; bounded by interval + batch slack (the gate
 //                        checks this intrinsically),
-//   rto_s = open_s + warm_s + replay_s
+//   rto_s = open_s + load_s + warm_s + replay_s
 //                        time from "directory on disk" to "engine serving":
-//                        checkpoint open+verify, warm start, WAL tail
-//                        replay. Shrinking the interval shrinks tail_ops and
+//                        checkpoint open+verify, graph borrow (or
+//                        materialized load with --no-borrow), warm start,
+//                        WAL tail replay. Shrinking the interval shrinks
+//                        tail_ops and
 //                        with it the replay term — the recorded baseline
 //                        demonstrates exactly that trade, and
 //                        scripts/check_bench.py gates it.
@@ -68,8 +70,10 @@ struct Result {
   std::uint64_t tail_ops = 0;       // replayed on recovery
   double rto_s = 0;                 // min over reps; breakdown from that rep
   double open_s = 0;
+  double load_s = 0;
   double warm_s = 0;
   double replay_s = 0;
+  bool borrowed = false;
 };
 
 std::vector<core::Batch> make_stream(NodeId n, double deg, std::uint64_t seed,
@@ -119,7 +123,7 @@ std::uint64_t payload_bytes(const std::vector<core::Batch>& stream) {
 }
 
 Result run_cell(const std::vector<core::Batch>& stream, std::uint64_t interval,
-                NodeId n, std::uint64_t seed, int reps,
+                NodeId n, std::uint64_t seed, int reps, bool borrow,
                 const std::filesystem::path& dir) {
   Result r;
   r.interval = interval;
@@ -171,6 +175,7 @@ Result run_cell(const std::vector<core::Batch>& stream, std::uint64_t interval,
   for (int rep = 0; rep < reps; ++rep) {
     service::RecoveryOptions options;
     options.priority_seed = seed;
+    options.borrow = borrow;
     service::RecoveryManager manager(cell_dir, options);
     service::RecoveryReport report;
     const auto t_rec = Clock::now();
@@ -203,8 +208,10 @@ Result run_cell(const std::vector<core::Batch>& stream, std::uint64_t interval,
     if (rep == 0 || rto < r.rto_s) {
       r.rto_s = rto;
       r.open_s = report.open_s;
+      r.load_s = report.load_s;
       r.warm_s = report.warm_s;
       r.replay_s = report.replay_s;
+      r.borrowed = report.borrowed;
     }
   }
   if (sink == 0) std::fprintf(stderr, "(empty MIS — suspicious)\n");
@@ -223,7 +230,7 @@ bool validate(const std::vector<Result>& results, std::size_t ops_per_batch) {
     const bool ok = r.n >= 2 && r.ops > 0 && r.ingest_s > 0 &&
                     r.ingest_ops_per_sec > 0 && r.wal_bytes > 0 &&
                     r.payload_bytes > 0 && r.wal_amplification > 0 && r.rto_s > 0 &&
-                    r.open_s >= 0 && r.warm_s >= 0 && r.replay_s >= 0;
+                    r.open_s >= 0 && r.load_s >= 0 && r.warm_s >= 0 && r.replay_s >= 0;
     if (!ok) {
       std::fprintf(stderr, "validate: malformed row at interval=%llu\n",
                    static_cast<unsigned long long>(r.interval));
@@ -242,7 +249,7 @@ bool validate(const std::vector<Result>& results, std::size_t ops_per_batch) {
 
 bool write_json(const std::string& path, const std::vector<Result>& results, NodeId n,
                 double deg, std::uint64_t seed, std::uint64_t ops,
-                std::size_t ops_per_batch, int reps) {
+                std::size_t ops_per_batch, int reps, bool borrow) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -251,9 +258,11 @@ bool write_json(const std::string& path, const std::vector<Result>& results, Nod
   std::fprintf(f, "{\n  \"bench\": \"recovery\",\n");
   std::fprintf(f,
                "  \"config\": {\"n\": %u, \"deg\": %.1f, \"seed\": %llu, "
-               "\"ops\": %llu, \"batch\": %zu, \"reps\": %d, \"fsync\": \"everybatch\"},\n",
+               "\"ops\": %llu, \"batch\": %zu, \"reps\": %d, \"fsync\": \"everybatch\", "
+               "\"borrow\": %s},\n",
                n, deg, static_cast<unsigned long long>(seed),
-               static_cast<unsigned long long>(ops), ops_per_batch, reps);
+               static_cast<unsigned long long>(ops), ops_per_batch, reps,
+               borrow ? "true" : "false");
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -263,8 +272,8 @@ bool write_json(const std::string& path, const std::vector<Result>& results, Nod
                  "\"wal_bytes\": %llu, \"checkpoint_bytes\": %llu, "
                  "\"checkpoints\": %llu, \"payload_bytes\": %llu, "
                  "\"wal_amplification\": %.4f, \"tail_ops\": %llu, "
-                 "\"rto_s\": %.6f, \"open_s\": %.6f, \"warm_s\": %.6f, "
-                 "\"replay_s\": %.6f}%s\n",
+                 "\"rto_s\": %.6f, \"open_s\": %.6f, \"load_s\": %.6f, "
+                 "\"warm_s\": %.6f, \"replay_s\": %.6f, \"borrowed\": %s}%s\n",
                  static_cast<unsigned long long>(r.interval), r.n,
                  static_cast<unsigned long long>(r.ops), r.ingest_s,
                  r.ingest_ops_per_sec, static_cast<unsigned long long>(r.wal_bytes),
@@ -272,8 +281,8 @@ bool write_json(const std::string& path, const std::vector<Result>& results, Nod
                  static_cast<unsigned long long>(r.checkpoints),
                  static_cast<unsigned long long>(r.payload_bytes),
                  r.wal_amplification, static_cast<unsigned long long>(r.tail_ops),
-                 r.rto_s, r.open_s, r.warm_s, r.replay_s,
-                 i + 1 < results.size() ? "," : "");
+                 r.rto_s, r.open_s, r.load_s, r.warm_s, r.replay_s,
+                 r.borrowed ? "true" : "false", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -294,6 +303,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_recovery.json";
   std::string dir = std::filesystem::temp_directory_path().string();
   bool validate_flag = false;
+  bool borrow = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -307,6 +317,7 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out = next();
     else if (arg == "--dir") dir = next();
     else if (arg == "--validate") validate_flag = true;
+    else if (arg == "--no-borrow") borrow = false;
     else if (arg == "--intervals") {
       intervals.clear();
       const char* s = next();
@@ -326,7 +337,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--intervals a,b,c] [--n N] [--deg D] [--ops K] "
                    "[--batch B] [--seed S] [--reps R] [--dir TMP] [--out F] "
-                   "[--validate]\n",
+                   "[--validate] [--no-borrow]\n",
                    argv[0]);
       return 2;
     }
@@ -338,19 +349,21 @@ int main(int argc, char** argv) {
 
   std::vector<Result> results;
   for (const std::uint64_t interval : intervals) {
-    const Result r = run_cell(stream, interval, n, seed, reps, dir);
+    const Result r = run_cell(stream, interval, n, seed, reps, borrow, dir);
     results.push_back(r);
     std::printf("interval=%-8llu ingest=%8.0f ops/s  wal=%-9llu ckpt=%llux%-8llu "
-                "amp=%.2fx  tail=%-7llu rto=%.6fs (open %.6f + warm %.6f + replay %.6f)\n",
+                "amp=%.2fx  tail=%-7llu rto=%.6fs (open %.6f + %s %.6f + warm %.6f "
+                "+ replay %.6f)\n",
                 static_cast<unsigned long long>(r.interval), r.ingest_ops_per_sec,
                 static_cast<unsigned long long>(r.wal_bytes),
                 static_cast<unsigned long long>(r.checkpoints),
                 static_cast<unsigned long long>(
                     r.checkpoints > 0 ? r.checkpoint_bytes / r.checkpoints : 0),
                 r.wal_amplification, static_cast<unsigned long long>(r.tail_ops),
-                r.rto_s, r.open_s, r.warm_s, r.replay_s);
+                r.rto_s, r.open_s, r.borrowed ? "borrow" : "load", r.load_s, r.warm_s,
+                r.replay_s);
     std::fflush(stdout);
   }
   if (validate_flag && !validate(results, batch)) return 1;
-  return write_json(out, results, n, deg, seed, ops, batch, reps) ? 0 : 1;
+  return write_json(out, results, n, deg, seed, ops, batch, reps, borrow) ? 0 : 1;
 }

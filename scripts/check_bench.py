@@ -38,6 +38,19 @@ Tolerances (CI's contract — change them here, not in the workflow):
   --deterministic-only (where the absolute warm-time band is skipped, like
   every other wall-clock check).
 
+  The borrowed columns (borrow_open_s / borrow_speedup, PRs since the
+  zero-copy graphs landed) gate the same way: the speedup is a same-process
+  interleaved ratio (checked even under --deterministic-only, against the
+  reference AND against the intrinsic >= 10x floor at n >= 1e6), the
+  absolute open time is wall clock (best-of-N fold, throughput band).
+
+* oom — the beyond-RAM cells (bench_oom: one materialized, one borrowed,
+  both under a heap cap smaller than the snapshot). The claim is intrinsic
+  and needs no reference: materialized load must FAIL under the cap,
+  borrowed open + query + churn must SUCCEED, and the borrowed heap
+  high-water must stay under the cap. Borrowed throughput under the cap is
+  wall clock and gets the usual reference band.
+
 * recovery — the crash-recovery cells (bench_recovery: one per checkpoint
   interval). Bytes and op counts are deterministic given the seed
   (wal_bytes, checkpoint_bytes, checkpoints, payload_bytes, tail_ops), so
@@ -97,6 +110,7 @@ import sys
 THROUGHPUT_TOLERANCE = 0.30
 DETERMINISTIC_TOLERANCE = 0.05
 ENVELOPE_SLACK = 1.5
+BORROW_SPEEDUP_FLOOR = 10.0
 
 
 def close(candidate, reference, tolerance, absolute=1e-3):
@@ -123,11 +137,15 @@ def merge_best(candidates):
                         raise SystemExit(
                             f"FAIL: {field} differs between candidate runs at "
                             f"n={row['n']} — nondeterministic snapshot writer")
-                for field in ("engine_warm_s", "engine_cold_s"):
-                    cell[field] = min(cell[field], row[field])
+                for field in ("engine_warm_s", "engine_cold_s", "load_s",
+                              "borrow_open_s", "borrow_first_op_s"):
+                    if field in row and field in cell:
+                        cell[field] = min(cell[field], row[field])
         for cell in cells.values():
             if cell["engine_warm_s"] > 0:
                 cell["warm_speedup"] = cell["engine_cold_s"] / cell["engine_warm_s"]
+            if cell.get("borrow_open_s", 0) > 0:
+                cell["borrow_speedup"] = cell["load_s"] / cell["borrow_open_s"]
         return merged
     if kind == "recovery":
         # Cells are (interval, ops): the byte/op fields are deterministic
@@ -147,8 +165,10 @@ def merge_best(candidates):
                             f"interval={row['interval']} — nondeterministic "
                             f"WAL/checkpoint writer")
                 if row["rto_s"] < cell["rto_s"]:
-                    for field in ("rto_s", "open_s", "warm_s", "replay_s"):
-                        cell[field] = row[field]
+                    for field in ("rto_s", "open_s", "load_s", "warm_s",
+                                  "replay_s"):
+                        if field in row and field in cell:
+                            cell[field] = row[field]
                 cell["ingest_ops_per_sec"] = max(cell["ingest_ops_per_sec"],
                                                  row["ingest_ops_per_sec"])
         return merged
@@ -288,6 +308,31 @@ def check_snapshot(candidate, reference, tolerance, deterministic_only):
                 f"n={key}: warm-vs-cold speedup collapsed to {got:.2f}x vs "
                 f"reference {want:.2f}x (> {tolerance:.0%} drop; the ratio is "
                 f"same-process interleaved, so this is not machine drift)")
+        # Borrowed columns: the open-to-first-query ratio is same-process
+        # interleaved with the materialized load, so like warm_speedup it is
+        # gated even under --deterministic-only. The >= 10x floor at n >= 1e6
+        # is the acceptance bar for the zero-copy path — intrinsic, no
+        # reference needed.
+        if "borrow_speedup" in row:
+            got = row["borrow_speedup"]
+            if key >= 1_000_000 and got < BORROW_SPEEDUP_FLOOR:
+                cell_failures.append(
+                    f"n={key}: borrowed open-to-first-query is only {got:.1f}x "
+                    f"faster than the materialized load (floor: "
+                    f"{BORROW_SPEEDUP_FLOOR}x) — the zero-copy open degraded "
+                    f"to a copy")
+            want = base.get("borrow_speedup")
+            if want is not None and got < want * (1.0 - tolerance):
+                cell_failures.append(
+                    f"n={key}: borrow speedup collapsed to {got:.1f}x vs "
+                    f"reference {want:.1f}x (> {tolerance:.0%} drop; "
+                    f"same-process interleaved ratio)")
+            if not deterministic_only and "borrow_open_s" in base:
+                got, want = row["borrow_open_s"], base["borrow_open_s"]
+                if got > want * (1.0 + tolerance) + 1e-4:
+                    cell_failures.append(
+                        f"n={key}: borrowed open regression {got:.6f}s vs "
+                        f"reference {want:.6f}s (> {tolerance:.0%} slower)")
         if not cell_failures:
             print(f"OK   n={key}: warm {row['engine_warm_s']:.6f}s, "
                   f"{row['warm_speedup']:.2f}x vs cold "
@@ -408,12 +453,62 @@ def check_replication(candidate, reference, tolerance, deterministic_only):
     return failures, matched
 
 
+def check_oom(candidate, reference, tolerance, deterministic_only):
+    failures = []
+    ref = {r["mode"]: r for r in reference["results"]}
+    config = candidate.get("config", {})
+    matched = 0
+    # Intrinsics — the beyond-RAM claim itself, no reference needed: under a
+    # heap cap smaller than the graph, the materialized load must fail and
+    # the borrowed path must serve.
+    if config.get("slack_bytes", 0) >= config.get("snapshot_bytes", 1):
+        failures.append(
+            f"oom: heap slack {config.get('slack_bytes')} is not below the "
+            f"snapshot {config.get('snapshot_bytes')} — the cap proves nothing")
+    for row in candidate["results"]:
+        if row["mode"] == "materialized" and row["loaded"]:
+            failures.append(
+                "oom: the materialized load SUCCEEDED under the heap cap — "
+                "either the cap did not bind or load() stopped copying "
+                "(which would make this bench vacuous)")
+        if row["mode"] == "borrowed":
+            if not row["loaded"]:
+                failures.append(
+                    "oom: the borrowed path failed under the heap cap — "
+                    "beyond-RAM operation is broken")
+            if row.get("vm_data_bytes", 0) > config.get("cap_bytes", float("inf")):
+                failures.append(
+                    f"oom: borrowed heap {row['vm_data_bytes']} exceeds the cap "
+                    f"{config['cap_bytes']} — the overlay is not O(touched set)")
+        base = ref.get(row["mode"])
+        if base is None:
+            print(f"SKIP mode={row['mode']}: no reference cell (intrinsics checked)")
+            continue
+        matched += 1
+        if row["mode"] == "borrowed" and not deterministic_only:
+            for field, slower in (("churn_ops_per_sec", False),
+                                  ("query_ops_per_sec", False),
+                                  ("open_s", True)):
+                got, want = row[field], base[field]
+                bad = got > want * (1.0 + tolerance) + 1e-4 if slower \
+                    else got < want * (1.0 - tolerance)
+                if bad:
+                    failures.append(
+                        f"oom: borrowed {field} {got:.6g} vs reference "
+                        f"{want:.6g} (> {tolerance:.0%} worse under the cap)")
+    if not failures:
+        for row in candidate["results"]:
+            print(f"OK   mode={row['mode']}: loaded={row['loaded']}")
+    return failures, matched
+
+
 CHECKERS = {
     "update_latency": check_update_latency,
     "distributed_cost": check_distributed_cost,
     "snapshot": check_snapshot,
     "recovery": check_recovery,
     "replication": check_replication,
+    "oom": check_oom,
 }
 
 
@@ -451,9 +546,17 @@ def inject_regression(candidate, deterministic_only):
         elif kind == "snapshot":
             # A 2x-slower warm start halves the interleaved speedup too, so
             # the injection trips the ratio band even under
-            # --deterministic-only.
+            # --deterministic-only. The borrowed ratio is injected the same
+            # way so the zero-copy gate is exercised alongside.
             row["engine_warm_s"] *= 2.0
             row["warm_speedup"] /= 2.0
+            if "borrow_speedup" in row:
+                row["borrow_open_s"] *= 2.0
+                row["borrow_speedup"] /= 2.0
+        elif kind == "oom":
+            # The gate's core claim is the loaded/failed split — flip it.
+            if row["mode"] == "materialized":
+                row["loaded"] = True
         elif kind == "recovery" and deterministic_only:
             row["wal_amplification"] *= 2.0
         elif kind == "recovery":

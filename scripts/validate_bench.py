@@ -100,6 +100,11 @@ def validate_snapshot(data):
         require_metric(row, "open_s")
         require(row["speedup_vs_rebuild"] > 0, f"bad speedup in {row}")
         require(row["warm_speedup"] > 0, f"bad warm_speedup in {row}")
+        for key in ("borrow_open_s", "borrow_first_op_s", "borrow_speedup"):
+            require(row[key] > 0 and finite(row[key]), f"bad '{key}' in {row}")
+        require(row["borrow_open_s"] < row["load_s"],
+                f"borrowed open not faster than materialized load in {row} — "
+                f"the zero-copy path lost to the copy")
 
 
 def validate_recovery(data):
@@ -121,10 +126,13 @@ def validate_recovery(data):
         require_metric(row, "tail_ops")
         require(row["tail_ops"] <= row["ops"], f"tail_ops exceeds ops in {row}")
         require(row["rto_s"] > 0 and finite(row["rto_s"]), f"bad 'rto_s' in {row}")
-        for key in ("open_s", "warm_s", "replay_s"):
+        for key in ("open_s", "load_s", "warm_s", "replay_s"):
             require_metric(row, key)
-        require(row["open_s"] + row["warm_s"] + row["replay_s"] <= row["rto_s"],
+        require(row["open_s"] + row["load_s"] + row["warm_s"] + row["replay_s"]
+                <= row["rto_s"],
                 f"RTO breakdown exceeds rto_s in {row}")
+        require(isinstance(row.get("borrowed"), bool),
+                f"missing/odd 'borrowed' flag in {row}")
 
 
 def validate_replication(data):
@@ -160,6 +168,30 @@ def validate_replication(data):
             require_metric(row, key)
 
 
+def validate_oom(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    config = data.get("config", {})
+    for key in ("slack_bytes", "cap_bytes", "snapshot_bytes", "edges"):
+        require_metric(config, key, lo=1)
+    require(config["slack_bytes"] < config["snapshot_bytes"],
+            "heap slack is not below the snapshot — the cap proves nothing")
+    modes = {row.get("mode") for row in rows}
+    require(modes == {"materialized", "borrowed"},
+            f"expected one materialized and one borrowed row, got {modes}")
+    for row in rows:
+        require(isinstance(row.get("loaded"), bool), f"bad 'loaded' in {row}")
+        require_metric(row, "open_s")
+        if row["mode"] == "borrowed":
+            for key in ("query_ops_per_sec", "churn_ops_per_sec"):
+                require_metric(row, key)
+            require_metric(row, "resident_bytes")
+            require_metric(row, "mapped_bytes", lo=1)
+            require(row["resident_bytes"] <= row["mapped_bytes"],
+                    f"resident exceeds mapped in {row}")
+            require_metric(row, "vm_data_bytes")
+
+
 VALIDATORS = {
     "update_latency": validate_update_latency,
     "batch_throughput": validate_batch_throughput,
@@ -167,6 +199,7 @@ VALIDATORS = {
     "snapshot": validate_snapshot,
     "recovery": validate_recovery,
     "replication": validate_replication,
+    "oom": validate_oom,
 }
 
 

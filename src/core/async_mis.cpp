@@ -11,6 +11,13 @@ AsyncMis::AsyncMis(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
   init_from_snapshot(snapshot, mode);
 }
 
+AsyncMis::AsyncMis(std::shared_ptr<const graph::Snapshot> snapshot,
+                   std::uint64_t priority_seed, std::uint64_t scheduler_seed,
+                   std::uint64_t max_delay, graph::SnapshotLoad mode)
+    : Base(priority_seed, scheduler_seed, max_delay) {
+  init_from_snapshot(std::move(snapshot), mode);
+}
+
 AsyncMisProtocol::Local& AsyncMisProtocol::local(NodeId v) {
   DMIS_ASSERT_MSG(v < nodes_.size() && nodes_[v].exists, "no such async node");
   return nodes_[v];

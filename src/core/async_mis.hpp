@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 
 #include "core/neighbor_view.hpp"
@@ -124,6 +125,12 @@ class AsyncMis : public NetworkDriver<sim::AsyncNetwork, AsyncMisProtocol> {
   /// installed into every view with no greedy recompute and no priority
   /// draws; see CascadeEngine's snapshot ctor for the mode rules.
   AsyncMis(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+           std::uint64_t scheduler_seed, std::uint64_t max_delay = 8,
+           graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
+
+  /// Borrowed-mode snapshot start: the logical graph reads the mapping in
+  /// place (DynamicGraph::borrow) and the communication twin shares it.
+  AsyncMis(std::shared_ptr<const graph::Snapshot> snapshot, std::uint64_t priority_seed,
            std::uint64_t scheduler_seed, std::uint64_t max_delay = 8,
            graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 

@@ -47,6 +47,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -86,6 +87,24 @@ class CascadeEngine {
   /// which the warm-vs-cold equivalence tests pin. `priority_seed` feeds
   /// the RNG for *future* draws in every mode.
   CascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
+                graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
+
+  /// As above, but the graph is supplied by the caller — pre-materialized
+  /// with DynamicGraph::load or borrowed with DynamicGraph::borrow — while
+  /// `snapshot` provides the engine-state sections. RecoveryManager uses
+  /// this split to time graph acquisition separately from engine warm-up.
+  /// `snapshot` must be the same snapshot the graph came from.
+  CascadeEngine(graph::DynamicGraph&& g, const graph::Snapshot& snapshot,
+                std::uint64_t priority_seed,
+                graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
+
+  /// Borrowed-mode snapshot constructor: the engine's graph reads the
+  /// mapped snapshot in place (zero-copy; DynamicGraph::borrow), so
+  /// construction is ~O(id_bound) for the warm bulk copies instead of
+  /// O(n + m) materialization, and clean graph regions page in on demand.
+  /// Shares ownership of the snapshot so the mapping outlives the engine.
+  CascadeEngine(std::shared_ptr<const graph::Snapshot> snapshot,
+                std::uint64_t priority_seed,
                 graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 
   NodeId add_node(std::span<const NodeId> neighbors = {});
@@ -161,6 +180,10 @@ class CascadeEngine {
     std::uint8_t state = 0;     // mirror of state_ (eagerly maintained)
   };
 
+  /// Shared tail of the snapshot constructors, run after g_ is in place:
+  /// dispatch the SnapshotLoad mode (warm adopt / cold-keys / cold).
+  void adopt_snapshot_state(const graph::Snapshot& snapshot,
+                            graph::SnapshotLoad mode);
   /// Shared tail of the from-graph constructors: compute the initial greedy
   /// MIS for g_ and size the hot arrays.
   void init_mis();

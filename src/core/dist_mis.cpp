@@ -10,6 +10,12 @@ DistMis::DistMis(const graph::Snapshot& snapshot, std::uint64_t seed,
   init_from_snapshot(snapshot, mode);
 }
 
+DistMis::DistMis(std::shared_ptr<const graph::Snapshot> snapshot, std::uint64_t seed,
+                 graph::SnapshotLoad mode)
+    : Base(seed) {
+  init_from_snapshot(std::move(snapshot), mode);
+}
+
 DistMis::ChangeResult DistMis::insert_edge(NodeId u, NodeId v) {
   DMIS_ASSERT(logical_.add_edge(u, v));
   net_.comm().add_edge(u, v);

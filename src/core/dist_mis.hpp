@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 
 #include "core/mis_protocol.hpp"
@@ -56,6 +57,11 @@ class DistMis : public NetworkDriver<sim::SyncNetwork, MisProtocol> {
   /// installed into every protocol view with no greedy recompute and no
   /// priority draws; see CascadeEngine's snapshot ctor for the mode rules.
   DistMis(const graph::Snapshot& snapshot, std::uint64_t seed,
+          graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
+
+  /// Borrowed-mode snapshot start: the logical graph reads the mapping in
+  /// place (DynamicGraph::borrow) and the communication twin shares it.
+  DistMis(std::shared_ptr<const graph::Snapshot> snapshot, std::uint64_t seed,
           graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
 
   ChangeResult insert_edge(NodeId u, NodeId v);

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -83,15 +84,15 @@ class NetworkDriver {
   /// (the paper's stable-start assumption); no communication is charged.
   void init_stable(const graph::DynamicGraph& g) {
     logical_ = g;
-    net_.comm() = g;
-    const Membership oracle = greedy_mis(logical_, priorities_);
-    logical_.for_each_node([&](NodeId v) {
-      protocol_.install_node(v, priorities_.key(v), oracle[v] != 0);
-    });
-    logical_.for_each_edge([&](NodeId u, NodeId v) {
-      protocol_.install_neighbor(u, v, priorities_.key(v), oracle[v] != 0);
-      protocol_.install_neighbor(v, u, priorities_.key(u), oracle[u] != 0);
-    });
+    install_stable();
+  }
+  /// Move overload — a borrowed graph (or a freshly loaded one) lands in
+  /// logical_ without a deep copy; the communication twin still copies, but
+  /// a copy of a borrowed graph only shares the mapping + clones the (empty
+  /// at this point) overlay.
+  void init_stable(graph::DynamicGraph&& g) {
+    logical_ = std::move(g);
+    install_stable();
   }
 
   /// Warm start from persisted engine state (a v2 snapshot's priority-key
@@ -140,6 +141,32 @@ class NetworkDriver {
     init_stable(graph::DynamicGraph::load(snapshot));
   }
 
+  /// Borrowed-mode variant: the logical graph reads the mapped snapshot in
+  /// place (DynamicGraph::borrow — no materialization), and the
+  /// communication twin copies it, sharing the same mapping with its own
+  /// overlay. Same SnapshotLoad dispatch rules as the by-reference overload.
+  template <typename SnapshotT>
+  void init_from_snapshot(std::shared_ptr<const SnapshotT> snapshot,
+                          graph::SnapshotLoad mode) {
+    // The reference outlives the moves below: the snapshot object is owned
+    // by the shared_ptr, which the borrowed graph keeps alive.
+    const SnapshotT& s = *snapshot;
+    if (graph::snapshot_load_warm(mode, s.has_engine_state())) {
+      DMIS_ASSERT_MSG(s.has_engine_state(),
+                      "warm start requested from a graph-only (v1) snapshot");
+      init_warm(graph::DynamicGraph::borrow(std::move(snapshot)), s.priority_keys(),
+                s.membership_bytes(), s.engine_ext().rng_state, s.priority_seed());
+      return;
+    }
+    if (mode == graph::SnapshotLoad::kColdKeys) {
+      DMIS_ASSERT_MSG(s.has_engine_state(),
+                      "kColdKeys requested from a graph-only (v1) snapshot");
+      priorities_.bulk_load(s.priority_keys(), s.engine_ext().rng_state,
+                            s.priority_seed());
+    }
+    init_stable(graph::DynamicGraph::borrow(std::move(snapshot)));
+  }
+
   /// Create a node in both graphs, wire its edges, and register it with the
   /// protocol as a (not yet settled) non-member.
   NodeId materialize_node(std::span<const NodeId> neighbors) {
@@ -173,6 +200,21 @@ class NetworkDriver {
   PriorityMap priorities_;
   Net net_;
   Proto protocol_;
+
+ private:
+  /// Shared tail of the init_stable overloads: copy logical_ into the
+  /// communication twin, compute the oracle and install every view.
+  void install_stable() {
+    net_.comm() = logical_;
+    const Membership oracle = greedy_mis(logical_, priorities_);
+    logical_.for_each_node([&](NodeId v) {
+      protocol_.install_node(v, priorities_.key(v), oracle[v] != 0);
+    });
+    logical_.for_each_edge([&](NodeId u, NodeId v) {
+      protocol_.install_neighbor(u, v, priorities_.key(v), oracle[v] != 0);
+      protocol_.install_neighbor(v, u, priorities_.key(u), oracle[u] != 0);
+    });
+  }
 };
 
 }  // namespace dmis::core

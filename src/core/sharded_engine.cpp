@@ -41,6 +41,17 @@ ShardedCascadeEngine::ShardedCascadeEngine(const graph::Snapshot& snapshot,
   init_shards(frontier_capacity);
 }
 
+ShardedCascadeEngine::ShardedCascadeEngine(std::shared_ptr<const graph::Snapshot> snapshot,
+                                           std::uint64_t priority_seed,
+                                           unsigned shard_count,
+                                           std::size_t frontier_capacity,
+                                           graph::SnapshotLoad mode)
+    : engine_(std::move(snapshot), priority_seed, mode),
+      pool_(shard_count > 0 ? shard_count - 1 : 0),
+      shard_count_(shard_count) {
+  init_shards(frontier_capacity);
+}
+
 void ShardedCascadeEngine::init_shards(std::size_t frontier_capacity) {
   DMIS_ASSERT_MSG(is_pow2(shard_count_) && shard_count_ <= 64,
                   "shard count must be a power of two in [1, 64]");

@@ -74,6 +74,13 @@ class ShardedCascadeEngine {
   ShardedCascadeEngine(const graph::Snapshot& snapshot, std::uint64_t priority_seed,
                        unsigned shard_count, std::size_t frontier_capacity = 4096,
                        graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
+  /// Borrowed-mode snapshot constructor: the serial engine's graph reads
+  /// the mapped snapshot in place (CascadeEngine's shared_ptr ctor); shard
+  /// partitioning still comes off the warm-loaded key mirror.
+  ShardedCascadeEngine(std::shared_ptr<const graph::Snapshot> snapshot,
+                       std::uint64_t priority_seed, unsigned shard_count,
+                       std::size_t frontier_capacity = 4096,
+                       graph::SnapshotLoad mode = graph::SnapshotLoad::kAuto);
   ~ShardedCascadeEngine();
 
   ShardedCascadeEngine(const ShardedCascadeEngine&) = delete;

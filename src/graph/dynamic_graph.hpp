@@ -21,18 +21,45 @@
 // Prefer for_each_node / for_each_edge over nodes() / edges() in hot code —
 // the latter build a fresh vector per call.
 //
+// Two storage modes share this one interface:
+//
+//   * Materialized (the default): everything lives in the heap vectors
+//     above. load() bulk-copies a snapshot into this form.
+//   * Borrowed (borrow()): the graph reads the CSR adjacency, alive bytes
+//     and edge table *in place* from a mapped graph::Snapshot and keeps only
+//     a dirty-region overlay on the heap. Opening is ~O(header) — no
+//     per-byte work until a page is actually touched — so graphs larger
+//     than RAM page on demand. Copy-on-write is at adjacency-record
+//     granularity: a node's record (and overflow list) migrates to the heap
+//     pool on first mutation and is found through the `dirty_` index from
+//     then on; clean nodes keep reading the mapping forever. The edge table
+//     is layered: a heap delta FlatSet (`edges_`) holds inserted keys, a
+//     second FlatSet (`removed_edges_`) holds deleted base keys, and the
+//     verbatim mapped table is probed zero-copy (FlatSet::probe_raw)
+//     underneath. Invariant: a key is in at most one of {delta, removed},
+//     and the delta never contains a key present in the base — so
+//     membership is `delta ∨ (base ∧ ¬removed)` and steady-state churn on a
+//     warmed overlay is allocation-free (tombstone reuse in both deltas,
+//     FlatMap hits in the dirty index). Checkpoint write-back merges the
+//     overlay onto the base (merged_edge_set + the public accessors), and
+//     copies of a borrowed graph share the mapping (shared_ptr base).
+//
 // Node identifiers are dense indices assigned in insertion order and never
 // reused, so a NodeId is a stable handle for priorities, histories and
 // cross-structure maps (line graph, clique expansion) even across deletions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 #include "util/flat_set.hpp"
 
 namespace dmis::graph {
@@ -79,15 +106,20 @@ class DynamicGraph {
   }
 
   /// Pre-size the edge table so `expected_edges` fit without rehashing
-  /// (steady-state churn then never allocates in the edge set).
+  /// (steady-state churn then never allocates in the edge set). In borrowed
+  /// mode this sizes the *delta* table — pass the expected overlay working
+  /// set, not the base edge count.
   void reserve_edges(std::size_t expected_edges) { edges_.reserve(expected_edges); }
 
   /// Insert a fresh node; returns its id (== previous id_bound()).
   NodeId add_node() {
-    const auto id = static_cast<NodeId>(adjacency_.size());
+    const NodeId id = bound_;
+    ++bound_;
+    const std::size_t slot = adjacency_.size();
     adjacency_.emplace_back();
     adjacency_.back().alive = 1;
     overflow_.emplace_back();
+    if (borrowed()) dirty_.ref(id) = slot;  // appended ids route via the index
     ++node_count_;
     return id;
   }
@@ -97,8 +129,8 @@ class DynamicGraph {
     DMIS_ASSERT(has_node(v));
     // remove_edge swap-erases v's own entry, so draining from the back is
     // safe and needs no copy of the neighbor list.
-    while (adjacency_[v].size > 0) remove_edge(v, neighbors(v).back());
-    adjacency_[v].alive = 0;
+    while (degree(v) > 0) remove_edge(v, neighbors(v).back());
+    adjacency_[mutable_slot(v)].alive = 0;
     --node_count_;
   }
 
@@ -106,73 +138,139 @@ class DynamicGraph {
   bool add_edge(NodeId u, NodeId v) {
     DMIS_ASSERT(has_node(u) && has_node(v));
     DMIS_ASSERT_MSG(u != v, "self-loops are not part of the model");
-    if (!edges_.insert(edge_key(u, v))) return false;
-    push_neighbor(u, v);
-    push_neighbor(v, u);
+    const std::uint64_t key = edge_key(u, v);
+    if (borrowed()) {
+      if (removed_edges_.contains(key)) {
+        (void)removed_edges_.erase(key);  // re-adding a removed base edge
+      } else if (base_has_edge(key)) {
+        return false;
+      } else if (!edges_.insert(key)) {
+        return false;
+      }
+    } else if (!edges_.insert(key)) {
+      return false;
+    }
+    push_neighbor(mutable_slot(u), v);
+    push_neighbor(mutable_slot(v), u);
     return true;
   }
 
   /// Remove edge {u, v}; returns false if it was absent.
   bool remove_edge(NodeId u, NodeId v) {
-    if (!edges_.erase(edge_key(u, v))) return false;
-    erase_neighbor(u, v);
-    erase_neighbor(v, u);
+    const std::uint64_t key = edge_key(u, v);
+    if (borrowed()) {
+      if (edges_.erase(key)) {
+        // delta edge gone
+      } else if (!removed_edges_.contains(key) && base_has_edge(key)) {
+        (void)removed_edges_.insert(key);  // shadow the base edge
+      } else {
+        return false;
+      }
+    } else if (!edges_.erase(key)) {
+      return false;
+    }
+    erase_neighbor(mutable_slot(u), v);
+    erase_neighbor(mutable_slot(v), u);
     return true;
   }
 
   [[nodiscard]] bool has_node(NodeId v) const noexcept {
-    return v < adjacency_.size() && adjacency_[v].alive != 0;
+    if (!borrowed()) return v < adjacency_.size() && adjacency_[v].alive != 0;
+    if (const std::uint64_t* slot = dirty_.find(v))
+      return adjacency_[static_cast<std::size_t>(*slot)].alive != 0;
+    return v < base_bound_ && base_alive_[v] != 0;
   }
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept {
-    return edges_.contains(edge_key(u, v));
+    const std::uint64_t key = edge_key(u, v);
+    if (edges_.contains(key)) return true;
+    if (!borrowed()) return false;
+    return !removed_edges_.contains(key) && base_has_edge(key);
   }
 
   [[nodiscard]] NodeId node_count() const noexcept { return node_count_; }
-  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    if (!borrowed()) return edges_.size();
+    return static_cast<std::size_t>(base_edge_count_) + edges_.size() -
+           removed_edges_.size();
+  }
 
   /// One past the largest id ever assigned; valid ids are < id_bound().
-  [[nodiscard]] NodeId id_bound() const noexcept {
-    return static_cast<NodeId>(adjacency_.size());
-  }
+  [[nodiscard]] NodeId id_bound() const noexcept { return bound_; }
 
   [[nodiscard]] std::size_t degree(NodeId v) const {
     DMIS_ASSERT(has_node(v));
-    return adjacency_[v].size;
+    if (!borrowed()) return adjacency_[v].size;
+    if (const std::uint64_t* slot = dirty_.find(v))
+      return adjacency_[static_cast<std::size_t>(*slot)].size;
+    return static_cast<std::size_t>(base_offs_[v + 1] - base_offs_[v]);
   }
 
   /// Current neighbors of v (unordered view). Invalidated by any mutation.
+  /// In borrowed mode the span for a clean node points straight into the
+  /// mapped snapshot (zero-copy); a dirty node's span points at its heap
+  /// record like the materialized path.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
     DMIS_ASSERT(has_node(v));
-    const AdjRecord& rec = adjacency_[v];
-    if (rec.spilled != 0) return {overflow_[v].data(), rec.size};
-    return {rec.inline_slots, rec.size};
+    if (borrowed()) {
+      if (const std::uint64_t* slot = dirty_.find(v)) return record_span(*slot);
+      check_base_node(v);
+      const std::uint64_t begin = base_offs_[v];
+      return {base_nbrs_ + begin,
+              static_cast<std::size_t>(base_offs_[v + 1] - begin)};
+    }
+    return record_span(v);
   }
 
   /// Visit every live node id in ascending order, without materializing a
   /// vector. `f` must not mutate the graph.
   template <typename F>
   void for_each_node(F&& f) const {
-    const NodeId bound = id_bound();
-    for (NodeId v = 0; v < bound; ++v)
-      if (adjacency_[v].alive != 0) f(v);
+    for (NodeId v = 0; v < bound_; ++v)
+      if (has_node(v)) f(v);
   }
 
   /// Visit every edge as (lo, hi), in unspecified order, without
   /// materializing a vector. `f` must not mutate the graph.
   template <typename F>
   void for_each_edge(F&& f) const {
+    if (borrowed()) {
+      for (std::size_t i = 0; i < base_edge_capacity_; ++i) {
+        if (!util::FlatSet::is_full_slot(base_ctrl_[i])) continue;
+        const std::uint64_t key = base_keys_[i];
+        if (removed_edges_.contains(key)) continue;
+        f(static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffULL));
+      }
+    }
     edges_.for_each([&f](std::uint64_t key) {
       f(static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffULL));
     });
   }
 
-  /// Uniformly random present edge as (lo, hi) — O(1) expected via the edge
-  /// table's slot sampling, no materialized edge vector. False iff edgeless.
+  /// Uniformly random present edge as (lo, hi) — O(1) expected via slot
+  /// sampling, no materialized edge vector. False iff edgeless. Borrowed
+  /// mode samples uniformly over the combined base + delta slot space with
+  /// rejection (removed base keys and non-full slots reject), mirroring
+  /// FlatSet::sample's bounded-attempts-then-linear-fallback shape.
   template <typename RngT>
   [[nodiscard]] bool sample_edge(RngT& rng, NodeId& u, NodeId& v) const {
     std::uint64_t key = 0;
-    if (!edges_.sample(rng, key)) return false;
+    if (!borrowed()) {
+      if (!edges_.sample(rng, key)) return false;
+    } else {
+      if (edge_count() == 0) return false;
+      const std::uint64_t cap =
+          base_edge_capacity_ + static_cast<std::uint64_t>(edges_.capacity());
+      bool found = false;
+      for (int attempt = 0; attempt < 256 && !found; ++attempt)
+        found = accept_slot(static_cast<std::size_t>(rng.below(cap)), key);
+      if (!found) {
+        const std::uint64_t start = rng.below(cap);
+        for (std::uint64_t step = 0; step < cap && !found; ++step)
+          found = accept_slot(static_cast<std::size_t>((start + step) % cap), key);
+      }
+      if (!found) return false;  // unreachable: edge_count() > 0
+    }
     u = static_cast<NodeId>(key >> 32);
     v = static_cast<NodeId>(key & 0xffffffffULL);
     return true;
@@ -190,15 +288,66 @@ class DynamicGraph {
   /// for_each_edge when hot.
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const {
     std::vector<std::pair<NodeId, NodeId>> out;
-    out.reserve(edges_.size());
+    out.reserve(edge_count());
     for_each_edge([&out](NodeId u, NodeId v) { out.emplace_back(u, v); });
     return out;
   }
 
-  /// The edge hash table, exposed read-only for the snapshot writer and the
-  /// deep structural verifier (graph/snapshot.cpp); everything else should
-  /// go through has_edge / for_each_edge.
-  [[nodiscard]] const util::FlatSet& edge_set() const noexcept { return edges_; }
+  /// The edge hash table, exposed read-only for callers that need the
+  /// serialized-table view (deep verifiers, tests). Materialized mode only —
+  /// a borrowed graph's table is split across the mapping and two deltas;
+  /// use merged_edge_set() (writers) or has_edge/for_each_edge (queries).
+  [[nodiscard]] const util::FlatSet& edge_set() const noexcept {
+    DMIS_ASSERT_MSG(!borrowed(),
+                    "edge_set() is materialized-mode only; use merged_edge_set()");
+    return edges_;
+  }
+
+  // --- borrowed (zero-copy snapshot-backed) mode ---
+
+  /// True when this graph reads its base state from a mapped snapshot.
+  [[nodiscard]] bool borrowed() const noexcept { return base_alive_ != nullptr; }
+
+  /// Borrow a graph view over an open snapshot: ~O(1) — no per-node or
+  /// per-edge work, just pointer setup. The snapshot is shared-owned so the
+  /// mapping outlives every copy of the graph. A shallow-validated snapshot
+  /// (SnapshotValidation::kShallow) gets lazy per-node CSR guards: the first
+  /// touch of a corrupt record aborts with a clear message instead of
+  /// reading out of bounds. Defined in graph/snapshot.cpp.
+  [[nodiscard]] static DynamicGraph borrow(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The borrowed base snapshot (nullptr in materialized mode) — stats
+  /// tooling reads mapped/resident bytes through it.
+  [[nodiscard]] const Snapshot* base_snapshot() const noexcept { return base_.get(); }
+
+  /// Overlay footprint, for stats: heap-migrated adjacency records and the
+  /// two edge-delta sizes. All zero in materialized mode.
+  [[nodiscard]] std::size_t overlay_nodes() const noexcept { return dirty_.size(); }
+  [[nodiscard]] std::size_t overlay_added_edges() const noexcept {
+    return borrowed() ? edges_.size() : 0;
+  }
+  [[nodiscard]] std::size_t overlay_removed_edges() const noexcept {
+    return removed_edges_.size();
+  }
+
+  /// The complete edge table for serialization: the materialized table
+  /// itself, or — for a borrowed graph — the base table restored into
+  /// `scratch` with the overlay merged on top (removed keys erased, delta
+  /// keys inserted). The snapshot writer calls this, so checkpointing a
+  /// borrowed graph streams unchanged regions from the mapping and never
+  /// materializes adjacency. Note the merged table is *semantically* equal
+  /// to a materialized twin's, not byte-identical (tombstone placement
+  /// differs), so write-back equality checks must compare graphs, not bytes.
+  [[nodiscard]] const util::FlatSet& merged_edge_set(util::FlatSet& scratch) const {
+    if (!borrowed()) return edges_;
+    const bool restored = scratch.restore(
+        {base_ctrl_, base_edge_capacity_}, {base_keys_, base_edge_capacity_},
+        static_cast<std::size_t>(base_edge_count_), base_edge_occupied_);
+    DMIS_ASSERT_MSG(restored, "borrowed snapshot edge table fails validation");
+    removed_edges_.for_each([&scratch](std::uint64_t key) { (void)scratch.erase(key); });
+    edges_.for_each([&scratch](std::uint64_t key) { (void)scratch.insert(key); });
+    return scratch;
+  }
 
   /// Bulk-rebuild a graph from a binary snapshot: adjacency records are
   /// reassembled with memcpy from the CSR arrays and the edge table is
@@ -211,21 +360,21 @@ class DynamicGraph {
   bool save(const std::string& path, std::string* error = nullptr) const;
 
   friend bool operator==(const DynamicGraph& a, const DynamicGraph& b) {
-    if (a.node_count_ != b.node_count_ || a.edges_.size() != b.edges_.size())
+    if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count())
       return false;
     const NodeId bound = a.id_bound() < b.id_bound() ? b.id_bound() : a.id_bound();
     for (NodeId v = 0; v < bound; ++v)
       if (a.has_node(v) != b.has_node(v)) return false;
     bool equal = true;
-    a.edges_.for_each([&](std::uint64_t key) { equal &= b.edges_.contains(key); });
+    a.for_each_edge([&](NodeId u, NodeId v) { equal &= b.has_edge(u, v); });
     return equal;
   }
 
  private:
   /// One cache line per node: liveness, degree and the first
   /// kInlineNeighbors neighbors. Nodes whose degree ever exceeds the inline
-  /// capacity move their list to overflow_[v] permanently (spilled == 1) so
-  /// steady-state toggling around the threshold never reallocates.
+  /// capacity move their list to overflow_[slot] permanently (spilled == 1)
+  /// so steady-state toggling around the threshold never reallocates.
   struct AdjRecord {
     std::uint32_t size = 0;
     std::uint8_t alive = 0;
@@ -236,16 +385,92 @@ class DynamicGraph {
   static_assert(sizeof(AdjRecord) == 64, "AdjRecord must stay one cache line");
   static constexpr std::uint32_t kInlineNeighbors = 14;
 
-  void push_neighbor(NodeId v, NodeId target) {
-    AdjRecord& rec = adjacency_[v];
+  [[nodiscard]] std::span<const NodeId> record_span(std::size_t slot) const {
+    const AdjRecord& rec = adjacency_[slot];
+    if (rec.spilled != 0) return {overflow_[slot].data(), rec.size};
+    return {rec.inline_slots, rec.size};
+  }
+
+  /// Zero-copy probe of the mapped base edge table.
+  [[nodiscard]] bool base_has_edge(std::uint64_t key) const noexcept {
+    return util::FlatSet::probe_raw({base_ctrl_, base_edge_capacity_},
+                                    {base_keys_, base_edge_capacity_}, key);
+  }
+
+  /// sample_edge helper: slot i of the combined [base | delta] slot space;
+  /// accepts (filling `key`) iff it holds a currently-present edge.
+  [[nodiscard]] bool accept_slot(std::size_t i, std::uint64_t& key) const noexcept {
+    if (i < base_edge_capacity_) {
+      if (!util::FlatSet::is_full_slot(base_ctrl_[i])) return false;
+      if (removed_edges_.contains(base_keys_[i])) return false;
+      key = base_keys_[i];
+      return true;
+    }
+    const std::size_t j = i - base_edge_capacity_;
+    if (!util::FlatSet::is_full_slot(edges_.raw_ctrl()[j])) return false;
+    key = edges_.raw_keys()[j];
+    return true;
+  }
+
+  /// Heap record slot for v, for mutation: identity in materialized mode;
+  /// in borrowed mode the dirty-index hit, or a copy-on-write migration of
+  /// the clean base record into the pool (the one O(deg) moment a node pays
+  /// on its first write — every later touch is a FlatMap hit).
+  [[nodiscard]] std::size_t mutable_slot(NodeId v) {
+    if (!borrowed()) return v;
+    if (const std::uint64_t* slot = dirty_.find(v))
+      return static_cast<std::size_t>(*slot);
+    check_base_node(v);
+    const std::uint64_t begin = base_offs_[v];
+    const auto deg = static_cast<std::uint32_t>(base_offs_[v + 1] - begin);
+    const std::size_t slot = adjacency_.size();
+    AdjRecord rec;
+    rec.alive = base_alive_[v];
+    rec.size = deg;
+    if (deg <= kInlineNeighbors && deg > 0)
+      std::memcpy(rec.inline_slots, base_nbrs_ + begin, deg * sizeof(NodeId));
+    adjacency_.push_back(rec);
+    overflow_.emplace_back();
+    if (deg > kInlineNeighbors) {
+      adjacency_[slot].spilled = 1;
+      overflow_[slot].assign(base_nbrs_ + begin, base_nbrs_ + begin + deg);
+    }
+    dirty_.ref(v) = slot;
+    return slot;
+  }
+
+  /// Lazy CSR guard for shallow-validated bases (no-op — one null check —
+  /// when the base snapshot was deep-validated at open). First touch of a
+  /// node validates its offsets and neighbor ids so corruption aborts
+  /// deterministically here rather than reading out of bounds later. The
+  /// bitmap is shared across copies (same base, same verdicts) and updated
+  /// with relaxed atomics — a racing double-check is idempotent.
+  void check_base_node(NodeId v) const {
+    if (base_checked_ == nullptr) return;
+    std::atomic<std::uint64_t>& word = base_checked_.get()[v >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (v & 63U);
+    if ((word.load(std::memory_order_relaxed) & bit) != 0) return;
+    const std::uint64_t begin = base_offs_[v];
+    const std::uint64_t end = base_offs_[v + 1];
+    DMIS_ASSERT_MSG(begin <= end && end <= 2 * base_edge_count_,
+                    "borrowed snapshot: corrupt CSR offsets (shallow-validated base)");
+    for (std::uint64_t i = begin; i < end; ++i)
+      DMIS_ASSERT_MSG(base_nbrs_[i] < base_bound_,
+                      "borrowed snapshot: neighbor id out of range "
+                      "(shallow-validated base)");
+    word.fetch_or(bit, std::memory_order_relaxed);
+  }
+
+  void push_neighbor(std::size_t slot, NodeId target) {
+    AdjRecord& rec = adjacency_[slot];
     if (rec.spilled != 0) {
-      overflow_[v].push_back(target);
+      overflow_[slot].push_back(target);
     } else if (rec.size < kInlineNeighbors) {
       rec.inline_slots[rec.size] = target;
     } else {
       // Spill: move the inline list (plus the newcomer) to the overflow
       // vector. One-way door by design.
-      auto& list = overflow_[v];
+      auto& list = overflow_[slot];
       list.assign(rec.inline_slots, rec.inline_slots + kInlineNeighbors);
       list.push_back(target);
       rec.spilled = 1;
@@ -253,24 +478,46 @@ class DynamicGraph {
     ++rec.size;
   }
 
-  void erase_neighbor(NodeId v, NodeId target) {
-    AdjRecord& rec = adjacency_[v];
-    NodeId* data = rec.spilled != 0 ? overflow_[v].data() : rec.inline_slots;
+  void erase_neighbor(std::size_t slot, NodeId target) {
+    AdjRecord& rec = adjacency_[slot];
+    NodeId* data = rec.spilled != 0 ? overflow_[slot].data() : rec.inline_slots;
     for (std::uint32_t i = 0; i < rec.size; ++i) {
       if (data[i] == target) {
         data[i] = data[rec.size - 1];
         --rec.size;
-        if (rec.spilled != 0) overflow_[v].pop_back();
+        if (rec.spilled != 0) overflow_[slot].pop_back();
         return;
       }
     }
     DMIS_ASSERT_MSG(false, "adjacency list inconsistent with edge set");
   }
 
+  // Materialized mode: adjacency_/overflow_ are indexed by node id and
+  // bound_ == adjacency_.size(). Borrowed mode: they are the dirty-record
+  // pool, indexed through dirty_; edges_ holds only inserted keys.
   std::vector<AdjRecord> adjacency_;
   std::vector<std::vector<NodeId>> overflow_;  // only touched once spilled
   util::FlatSet edges_;
   NodeId node_count_ = 0;
+  NodeId bound_ = 0;  // one past the largest id ever assigned
+
+  // Borrowed-mode state. base_ owns the mapping; the raw pointers cache its
+  // section bases so the hot path never touches the Snapshot type (which is
+  // only forward-declared here).
+  std::shared_ptr<const Snapshot> base_;
+  const std::uint8_t* base_alive_ = nullptr;  // non-null iff borrowed
+  const std::uint64_t* base_offs_ = nullptr;
+  const NodeId* base_nbrs_ = nullptr;
+  const std::uint8_t* base_ctrl_ = nullptr;
+  const std::uint64_t* base_keys_ = nullptr;
+  NodeId base_bound_ = 0;
+  std::uint64_t base_edge_count_ = 0;
+  std::size_t base_edge_capacity_ = 0;
+  std::size_t base_edge_occupied_ = 0;
+  util::FlatMap dirty_;          // node id → heap pool slot
+  util::FlatSet removed_edges_;  // base keys shadowed by the overlay
+  // One bit per base node; null when the base was deep-validated at open.
+  std::shared_ptr<std::atomic<std::uint64_t>[]> base_checked_;
 };
 
 }  // namespace dmis::graph

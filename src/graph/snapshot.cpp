@@ -13,9 +13,11 @@ namespace dmis::graph {
 using util::pad8;
 using util::set_error;
 
-bool Snapshot::open(const std::string& path, std::string* error, bool force_read) {
+bool Snapshot::open(const std::string& path, std::string* error, bool force_read,
+                    SnapshotValidation validation) {
   header_ = SnapshotHeader{};
   ext_ = SnapshotEngineExt{};
+  deep_validated_ = false;
   if (!file_.open(path, error, force_read)) return false;
   const auto fail = [&](const std::string& message) {
     set_error(error, path + ": " + message);
@@ -81,6 +83,23 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
     if (!section_ok(ext_.membership_off, bound))
       return fail("membership section out of bounds");
   }
+  // O(1) edge-table capacity shape (full membership classification is the
+  // linear scan below): probe_raw and restore() both require a power-of-two
+  // capacity ≥ one group, and the occupancy ceiling is what bounds probe
+  // chains on a well-formed table.
+  if (header_.edge_capacity != 0 &&
+      (header_.edge_capacity < 16 ||
+       (header_.edge_capacity & (header_.edge_capacity - 1)) != 0))
+    return fail("edge table capacity is not a power of two >= 16");
+  if (header_.edge_occupied > header_.edge_capacity - header_.edge_capacity / 8)
+    return fail("edge table occupancy exceeds the 7/8 ceiling");
+  // Two O(1) reads pin the CSR to the neighbor section even in shallow
+  // mode; the per-node monotonicity walk is the linear pass below.
+  const auto offs = csr_offsets();
+  if (offs[0] != 0 || offs[bound] != half_edges)
+    return fail("CSR offsets do not cover the neighbor section");
+
+  if (validation == SnapshotValidation::kShallow) return true;
 
   // One linear pass: CSR offsets monotone and bounded, neighbor ids in
   // range, alive bytes boolean and consistent with node_count, dead nodes
@@ -88,9 +107,6 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
   // consistent with the extension header's mis_size. After this every
   // accessor is memory-safe and load() cannot be driven out of bounds by a
   // corrupt file.
-  const auto offs = csr_offsets();
-  if (offs[0] != 0 || offs[bound] != half_edges)
-    return fail("CSR offsets do not cover the neighbor section");
   const auto alive_b = alive_bytes();
   const std::uint8_t* member_b =
       has_engine_state() ? section<std::uint8_t>(ext_.membership_off) : nullptr;
@@ -122,6 +138,7 @@ bool Snapshot::open(const std::string& path, std::string* error, bool force_read
           edge_ctrl(), static_cast<std::size_t>(header_.edge_count),
           static_cast<std::size_t>(header_.edge_occupied)))
     return fail("edge table fails structural validation");
+  deep_validated_ = true;
   return true;
 }
 
@@ -210,15 +227,15 @@ namespace {
 /// Compute the header (and, for v2, the extension header) a save will
 /// write: section offsets, counts, file size — everything except the
 /// payload checksum, which only exists once the payload has streamed.
-void layout_snapshot(const DynamicGraph& g, const EngineStateView* state,
-                     SnapshotHeader* header, SnapshotEngineExt* ext) {
+void layout_snapshot(const DynamicGraph& g, const util::FlatSet& edges,
+                     const EngineStateView* state, SnapshotHeader* header,
+                     SnapshotEngineExt* ext) {
   std::memcpy(header->magic, kSnapshotMagic, sizeof(kSnapshotMagic));
   header->version = state == nullptr ? kSnapshotVersion : kSnapshotVersionEngine;
   header->endian_tag = kSnapshotEndianTag;
   header->id_bound = g.id_bound();
   header->node_count = g.node_count();
   header->edge_count = g.edge_count();
-  const util::FlatSet& edges = g.edge_set();
   header->edge_capacity = edges.capacity();
   header->edge_occupied = edges.occupied();
 
@@ -258,10 +275,10 @@ void layout_snapshot(const DynamicGraph& g, const EngineStateView* state,
 /// the stdio writer, the pre-pass hasher, or an append-only WritableFile.
 /// One template so the byte stream cannot drift between the paths.
 template <class Sink>
-bool stream_snapshot_payload(const DynamicGraph& g, const SnapshotHeader& header,
+bool stream_snapshot_payload(const DynamicGraph& g, const util::FlatSet& edges,
+                             const SnapshotHeader& header,
                              const SnapshotEngineExt* ext,
                              const EngineStateView* state, Sink& w) {
-  const util::FlatSet& edges = g.edge_set();
   bool ok = true;
   // The extension header is part of the checksummed payload, so it streams
   // through the writer like any section (and is never patched afterwards).
@@ -351,11 +368,15 @@ bool save_snapshot_impl(const DynamicGraph& g, const EngineStateView* state,
 
   SnapshotHeader header{};
   SnapshotEngineExt ext{};
-  layout_snapshot(g, state, &header, &ext);
+  // A borrowed graph's edge table is merged (base + overlay) into the
+  // scratch here; a materialized graph's is referenced directly, no copy.
+  util::FlatSet merged_scratch;
+  const util::FlatSet& edges = g.merged_edge_set(merged_scratch);
+  layout_snapshot(g, edges, state, &header, &ext);
 
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
   util::PayloadWriter w(f, sizeof(SnapshotHeader));
-  ok = ok && stream_snapshot_payload(g, header, &ext, state, w);
+  ok = ok && stream_snapshot_payload(g, edges, header, &ext, state, w);
 
   // Patch the checksum now that the payload has streamed through the hash.
   header.payload_checksum = w.checksum();
@@ -392,10 +413,12 @@ bool save_snapshot_via_factory(const DynamicGraph& g, const EngineStateView* sta
                                std::string* error) {
   SnapshotHeader header{};
   SnapshotEngineExt ext{};
-  layout_snapshot(g, state, &header, &ext);
+  util::FlatSet merged_scratch;
+  const util::FlatSet& edges = g.merged_edge_set(merged_scratch);
+  layout_snapshot(g, edges, state, &header, &ext);
 
   util::PayloadHasher hasher(sizeof(SnapshotHeader));
-  stream_snapshot_payload(g, header, &ext, state, hasher);
+  stream_snapshot_payload(g, edges, header, &ext, state, hasher);
   header.payload_checksum = hasher.checksum();
 
   const std::string tmp = path + ".tmp";
@@ -403,7 +426,7 @@ bool save_snapshot_via_factory(const DynamicGraph& g, const EngineStateView* sta
   if (file == nullptr) return false;
   WritableFileSink sink(file.get(), sizeof(SnapshotHeader), error);
   bool ok = file->write(&header, sizeof(header), error) &&
-            stream_snapshot_payload(g, header, &ext, state, sink) &&
+            stream_snapshot_payload(g, edges, header, &ext, state, sink) &&
             file->sync(error);
   ok = file->close(ok ? error : nullptr) && ok;
   if (ok && !util::atomic_publish(tmp, path, error)) ok = false;
@@ -460,11 +483,39 @@ DynamicGraph DynamicGraph::load(const Snapshot& snapshot) {
     }
     g.adjacency_.push_back(rec);
   }
+  g.bound_ = bound;
   const bool restored = g.edges_.restore(
       snapshot.edge_ctrl(), snapshot.edge_keys(),
       static_cast<std::size_t>(snapshot.edge_count()),
       static_cast<std::size_t>(snapshot.edge_occupied()));
   DMIS_ASSERT_MSG(restored, "snapshot edge table fails validation");
+  return g;
+}
+
+DynamicGraph DynamicGraph::borrow(std::shared_ptr<const Snapshot> snapshot) {
+  DMIS_ASSERT_MSG(snapshot != nullptr && snapshot->is_open(),
+                  "borrow from a closed snapshot");
+  DynamicGraph g;
+  g.base_ = std::move(snapshot);
+  const Snapshot& s = *g.base_;
+  g.base_alive_ = s.alive_bytes().data();
+  g.base_offs_ = s.csr_offsets().data();
+  g.base_nbrs_ = s.csr_neighbors().data();
+  g.base_ctrl_ = s.edge_ctrl().data();
+  g.base_keys_ = s.edge_keys().data();
+  g.base_bound_ = s.id_bound();
+  g.bound_ = s.id_bound();
+  g.base_edge_count_ = s.edge_count();
+  g.base_edge_capacity_ = s.edge_ctrl().size();
+  g.base_edge_occupied_ = static_cast<std::size_t>(s.edge_occupied());
+  g.node_count_ = s.node_count();
+  if (!s.deep_validated() && g.base_bound_ > 0) {
+    // Shallow-opened base: arm the lazy per-node CSR guards (one bit per
+    // node, value-initialized to "unchecked"). Deep-validated bases skip
+    // the bitmap entirely — check_base_node is then a single null test.
+    const std::size_t words = (static_cast<std::size_t>(g.base_bound_) + 63) / 64;
+    g.base_checked_.reset(new std::atomic<std::uint64_t>[words]());
+  }
   return g;
 }
 

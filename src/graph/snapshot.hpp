@@ -111,22 +111,51 @@ struct EngineStateView {
   std::uint64_t rng_state[4] = {};
 };
 
+/// How much of a snapshot open() validates before accepting it.
+enum class SnapshotValidation : std::uint8_t {
+  /// Header + section bounds + one linear pass over the CSR/alive/membership
+  /// arrays + edge-table shape scan (the default, and the only mode fuzzed
+  /// inputs should ever get): every accessor is then memory-safe and
+  /// DynamicGraph::load cannot be driven out of bounds.
+  kFull,
+  /// O(1) checks only — header fields, section bounds, the CSR end-pins and
+  /// the edge-table capacity shape. No per-node or per-edge pass, so open
+  /// really is ~O(header) and a beyond-RAM file faults in zero pages. Only
+  /// for *trusted* files (e.g. a snapshot this process just wrote); a
+  /// borrowed graph over a shallow-opened snapshot installs lazy per-node
+  /// guards that abort deterministically on first touch of a corrupt
+  /// record, but engine-state sections are read unguarded.
+  kShallow,
+};
+
 /// Read-only view of a snapshot file. Accessors return spans directly into
 /// the mapped bytes — zero-copy; the view must outlive them.
 class Snapshot {
  public:
   Snapshot() = default;
 
-  /// Map `path` and validate the header + section structure. Returns false
-  /// (with *error set) on any malformed input; the view is then closed.
-  /// `force_read` takes MmapFile's owned-buffer fallback path.
+  /// Map `path` and validate per `validation`. Returns false (with *error
+  /// set) on any malformed input; the view is then closed. `force_read`
+  /// takes MmapFile's owned-buffer fallback path.
   bool open(const std::string& path, std::string* error = nullptr,
-            bool force_read = false);
+            bool force_read = false,
+            SnapshotValidation validation = SnapshotValidation::kFull);
 
   [[nodiscard]] bool is_open() const noexcept { return file_.is_open(); }
   /// True when backed by a real mapping (false on the read fallback).
   [[nodiscard]] bool is_mapped() const noexcept { return file_.is_mapped(); }
   [[nodiscard]] std::size_t file_size() const noexcept { return file_.size(); }
+  /// True when open() ran the full linear validation pass (kFull). Borrow
+  /// paths use this to decide whether lazy guards are needed.
+  [[nodiscard]] bool deep_validated() const noexcept { return deep_validated_; }
+  /// Bytes of the view currently resident in RAM (util::MmapFile) — what a
+  /// borrowed graph actually holds, vs file_size() which is what it could
+  /// fault in.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return file_.resident_bytes();
+  }
+  /// Forward paging advice to the mapping (no-op on the read fallback).
+  bool advise(util::MapAdvice advice) const noexcept { return file_.advise(advice); }
 
   [[nodiscard]] NodeId id_bound() const noexcept { return header_.id_bound; }
   [[nodiscard]] NodeId node_count() const noexcept { return header_.node_count; }
@@ -207,6 +236,7 @@ class Snapshot {
   util::MmapFile file_;
   SnapshotHeader header_{};
   SnapshotEngineExt ext_{};  // zero unless header_.version >= 2
+  bool deep_validated_ = false;
 };
 
 /// Write `g` as a version-1 (graph-only) snapshot file. Returns false (with

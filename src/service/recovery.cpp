@@ -1,6 +1,7 @@
 #include "service/recovery.hpp"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -81,16 +82,34 @@ std::optional<core::CascadeEngine> RecoveryManager::recover(RecoveryReport* repo
   }
   r.open_s = seconds_since(t_open);
 
-  // Phase 2 — warm start (bulk state adoption, zero recompute) or, with no
-  // usable checkpoint, a fresh engine that the replay builds from lsn 0.
-  const auto t_warm = Clock::now();
+  // Phase 2 — bring up the graph (borrow the mapping in place, or
+  // materialize heap copies), then warm-start the engine (bulk key +
+  // membership adoption, zero recompute). With no usable checkpoint: a
+  // fresh engine that the replay builds from lsn 0.
   std::optional<core::CascadeEngine> engine;
   if (snapshot.is_open()) {
-    engine.emplace(snapshot, snapshot.priority_seed(), graph::SnapshotLoad::kWarm);
+    const auto t_load = Clock::now();
+    std::shared_ptr<const graph::Snapshot> shared;
+    graph::DynamicGraph g;
+    if (options_.borrow) {
+      shared = std::make_shared<graph::Snapshot>(std::move(snapshot));
+      g = graph::DynamicGraph::borrow(shared);
+      r.borrowed = true;
+    } else {
+      g = graph::DynamicGraph::load(snapshot);
+    }
+    r.load_s = seconds_since(t_load);
+    // Valid on both arms: the borrowed graph keeps `shared` alive; the
+    // materialized arm never moved `snapshot`.
+    const graph::Snapshot& src = shared != nullptr ? *shared : snapshot;
+    const auto t_warm = Clock::now();
+    engine.emplace(std::move(g), src, src.priority_seed(), graph::SnapshotLoad::kWarm);
+    r.warm_s = seconds_since(t_warm);
   } else {
+    const auto t_warm = Clock::now();
     engine.emplace(options_.priority_seed);
+    r.warm_s = seconds_since(t_warm);
   }
-  r.warm_s = seconds_since(t_warm);
   r.recovered_lsn = r.checkpoint_lsn;
 
   // Phase 3 — replay the WAL tail.

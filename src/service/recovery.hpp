@@ -65,6 +65,12 @@ struct RecoveryOptions {
   bool verify_checkpoint_checksum = true;
   /// Take MmapFile's owned-buffer path (tests exercise both).
   bool force_read = false;
+  /// Borrow the checkpoint graph in place (DynamicGraph::borrow over the
+  /// mapped snapshot) instead of materializing heap copies. Borrowed
+  /// recovery is O(header + keys/membership) before replay starts and is
+  /// what keeps RTO flat as checkpoints outgrow RAM; false forces the
+  /// classic materialized load (tests exercise both, differentially).
+  bool borrow = true;
 };
 
 struct RecoveryReport {
@@ -82,11 +88,17 @@ struct RecoveryReport {
   bool torn_tail = false;
   /// Human log: rejected checkpoints, skipped files, tail diagnosis.
   std::string detail;
-  // RTO breakdown (seconds): checkpoint open+verify, engine warm start,
-  // WAL tail replay.
+  // RTO breakdown (seconds): checkpoint open+verify; graph borrow or
+  // materialized load; engine warm start (key/membership adoption); WAL
+  // tail replay. load_s is the number the borrowed path collapses —
+  // borrow is O(1) in graph size while a materialized load is O(n + m).
   double open_s = 0;
+  double load_s = 0;
   double warm_s = 0;
   double replay_s = 0;
+  /// The recovered engine's graph borrows the checkpoint mapping (set iff
+  /// a checkpoint was used and options.borrow was true).
+  bool borrowed = false;
 };
 
 class RecoveryManager {

@@ -14,6 +14,7 @@ std::optional<MisService> MisService::open(ServiceConfig config, std::string* er
   recovery_options.priority_seed = config.priority_seed;
   recovery_options.verify_checkpoint_checksum = config.verify_checkpoint_checksum;
   recovery_options.force_read = config.force_read;
+  recovery_options.borrow = config.borrow;
   RecoveryManager manager(config.dir, recovery_options);
   RecoveryReport report;
   std::optional<core::CascadeEngine> engine = manager.recover(&report, error);

@@ -49,6 +49,10 @@ struct ServiceConfig {
   std::uint64_t checkpoint_interval_ops = 0;
   bool verify_checkpoint_checksum = true;
   bool force_read = false;
+  /// Open the recovery checkpoint borrowed (graph reads the mapping in
+  /// place — O(header + keys) restart, resident set stays small); false
+  /// forces the classic materialized load. See RecoveryOptions::borrow.
+  bool borrow = true;
   /// Fault injection for tests; empty = real files. Applies to WAL
   /// segment files only.
   util::FileFactory file_factory;

@@ -53,6 +53,46 @@ bool read_whole_file(const std::string& path, std::vector<std::uint8_t>& out,
 
 }  // namespace
 
+bool MmapFile::advise(MapAdvice advice) const noexcept {
+#if defined(DMIS_HAVE_MMAP)
+  if (map_ == nullptr || size_ == 0) return true;  // nothing mapped to advise
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case MapAdvice::kNormal: native = MADV_NORMAL; break;
+    case MapAdvice::kSequential: native = MADV_SEQUENTIAL; break;
+    case MapAdvice::kRandom: native = MADV_RANDOM; break;
+    case MapAdvice::kWillNeed: native = MADV_WILLNEED; break;
+    case MapAdvice::kDontNeed: native = MADV_DONTNEED; break;
+  }
+  return ::madvise(map_, size_, native) == 0;
+#else
+  (void)advice;
+  return true;
+#endif
+}
+
+std::size_t MmapFile::resident_bytes() const noexcept {
+#if defined(DMIS_HAVE_MMAP)
+  if (map_ != nullptr && size_ > 0) {
+    const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t pages = (size_ + page - 1) / page;
+    // mincore wants one byte per page; a vector here is fine — this is an
+    // observability call (stats/bench), never a hot path.
+    std::vector<unsigned char> vec(pages);
+#if defined(__linux__)
+    if (::mincore(map_, size_, vec.data()) != 0) return size_;
+#else
+    if (::mincore(map_, size_, reinterpret_cast<char*>(vec.data())) != 0) return size_;
+#endif
+    std::size_t resident_pages = 0;
+    for (const unsigned char b : vec) resident_pages += b & 1U;
+    const std::size_t bytes = resident_pages * page;
+    return bytes < size_ ? bytes : size_;
+  }
+#endif
+  return buffer_.size();  // owned fallback buffer: fully resident
+}
+
 MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
   if (this != &other) {
     reset();

@@ -1,0 +1,386 @@
+// Borrowed (zero-copy snapshot-backed) DynamicGraph: differential checks
+// against materialized twins.
+//
+// The contract under test is mode transparency — a graph borrowed from a
+// mapped snapshot must be observationally identical to the graph
+// DynamicGraph::load materializes from the same file, under every query and
+// under arbitrary further mutation (the copy-on-write overlay). The checks
+// are differential: drive a borrowed graph and its materialized twin through
+// the same seeded op stream and require equality throughout, then push the
+// state through write-back (save of a borrowed graph streams the base table
+// from the mapping and merges the overlay) and require the round-tripped
+// file to load back equal. Engine-level transparency gets the same
+// treatment across all four engines: borrowed-mode construction from a v2
+// snapshot must track a materialized twin bit for bit (membership, MIS
+// size, priority-RNG state) through churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/async_mis.hpp"
+#include "core/batch.hpp"
+#include "core/cascade_engine.hpp"
+#include "core/dist_mis.hpp"
+#include "core/engine_snapshot.hpp"
+#include "core/sharded_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+#include "util/rng.hpp"
+#include "workload/batched.hpp"
+#include "workload/churn.hpp"
+#include "workload/distributed.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dmis;
+using graph::DynamicGraph;
+using graph::NodeId;
+using graph::Snapshot;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("dmis_borrow_" + name)).string();
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(temp_path(name)) {}
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+/// A graph with dead ids, spilled records and tombstones — the awkward
+/// shapes the borrowed overlay must reproduce, not a fresh clean CSR.
+DynamicGraph churned_graph(NodeId n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  DynamicGraph g = graph::random_avg_degree(n, 8.0, rng);
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.4;
+  workload::ChurnGenerator gen(std::move(g), config, seed + 1);
+  (void)gen.generate(3 * n);
+  return gen.graph();
+}
+
+/// Full observational equality, both directions: counts, liveness, every
+/// edge, and the per-node views (degree + neighbor multiset as a sorted
+/// copy — borrowed and materialized adjacency may order neighbors
+/// differently only if something is wrong; both derive from the same
+/// insertion order, so exact order must match for clean AND dirty nodes).
+void expect_same(const DynamicGraph& borrowed, const DynamicGraph& materialized) {
+  ASSERT_EQ(borrowed.node_count(), materialized.node_count());
+  ASSERT_EQ(borrowed.edge_count(), materialized.edge_count());
+  ASSERT_EQ(borrowed.id_bound(), materialized.id_bound());
+  ASSERT_TRUE(borrowed == materialized);
+  ASSERT_TRUE(materialized == borrowed);
+  for (NodeId v = 0; v < borrowed.id_bound(); ++v) {
+    ASSERT_EQ(borrowed.has_node(v), materialized.has_node(v)) << "node " << v;
+    if (!borrowed.has_node(v)) continue;
+    ASSERT_EQ(borrowed.degree(v), materialized.degree(v)) << "node " << v;
+    const auto bn = borrowed.neighbors(v);
+    const auto mn = materialized.neighbors(v);
+    ASSERT_EQ(bn.size(), mn.size()) << "node " << v;
+    for (std::size_t i = 0; i < bn.size(); ++i)
+      ASSERT_EQ(bn[i], mn[i]) << "node " << v << " slot " << i;
+  }
+}
+
+TEST(BorrowedGraph, BorrowEqualsLoadOnOpen) {
+  const DynamicGraph original = churned_graph(300, 17);
+  TempFile file("open.snap");
+  ASSERT_TRUE(original.save(file.path));
+
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(snap->open(file.path, &error)) << error;
+  const DynamicGraph borrowed = DynamicGraph::borrow(snap);
+  const DynamicGraph materialized = DynamicGraph::load(*snap);
+
+  EXPECT_TRUE(borrowed.borrowed());
+  EXPECT_FALSE(materialized.borrowed());
+  EXPECT_EQ(borrowed.overlay_nodes(), 0U);  // untouched: everything clean
+  expect_same(borrowed, materialized);
+  EXPECT_TRUE(borrowed == original);
+}
+
+TEST(BorrowedGraph, ShallowOpenBorrowEqualsFullOpenBorrow) {
+  // kShallow skips the linear validation pass; on a well-formed file the
+  // borrowed view must nonetheless be identical to one over a fully
+  // validated open (the lazy guards pass silently on clean records).
+  const DynamicGraph original = churned_graph(200, 23);
+  TempFile file("shallow.snap");
+  ASSERT_TRUE(original.save(file.path));
+
+  auto full = std::make_shared<Snapshot>();
+  auto shallow = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(full->open(file.path, &error)) << error;
+  ASSERT_TRUE(shallow->open(file.path, &error, /*force_read=*/false,
+                            graph::SnapshotValidation::kShallow))
+      << error;
+  EXPECT_TRUE(full->deep_validated());
+  EXPECT_FALSE(shallow->deep_validated());
+
+  const DynamicGraph a = DynamicGraph::borrow(full);
+  const DynamicGraph b = DynamicGraph::borrow(shallow);
+  expect_same(b, DynamicGraph::load(*full));
+  ASSERT_TRUE(a == b);
+}
+
+/// The differential churn fuzz: one seeded op stream, applied in lockstep
+/// to the borrowed graph and its materialized twin. Ops are chosen from the
+/// twins' (identical) current state, so divergence surfaces as a direct
+/// mismatch at the op that caused it.
+void fuzz_pair(DynamicGraph& borrowed, DynamicGraph& materialized,
+               std::uint64_t seed, int ops) {
+  util::Rng rng(seed);
+  util::Rng sample_rng_b(seed + 1);  // separate streams: borrowed sampling
+  util::Rng sample_rng_m(seed + 2);  // consumes different draw counts
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t what = rng.next_u64() % 100;
+    const NodeId bound = borrowed.id_bound();
+    if (what < 55 && bound >= 2) {
+      // Edge toggle (the overlay's bread and butter: COW the touched
+      // records, route the key through the add/remove deltas).
+      const auto u = static_cast<NodeId>(rng.below(bound));
+      const auto v = static_cast<NodeId>(rng.below(bound));
+      if (u == v || !borrowed.has_node(u) || !borrowed.has_node(v)) continue;
+      const bool had = borrowed.has_edge(u, v);
+      ASSERT_EQ(had, materialized.has_edge(u, v)) << "(" << u << "," << v << ")";
+      if (had) {
+        ASSERT_TRUE(borrowed.remove_edge(u, v));
+        ASSERT_TRUE(materialized.remove_edge(u, v));
+      } else {
+        ASSERT_TRUE(borrowed.add_edge(u, v));
+        ASSERT_TRUE(materialized.add_edge(u, v));
+      }
+    } else if (what < 65) {
+      // Node insertion appends past the snapshot's id_bound — borrowed mode
+      // must route the fresh record through the overlay index.
+      ASSERT_EQ(borrowed.add_node(), materialized.add_node());
+    } else if (what < 72 && bound > 0) {
+      // Node removal: COWs the victim's neighbors too (their lists shrink).
+      const auto start = static_cast<NodeId>(rng.below(bound));
+      NodeId victim = graph::kInvalidNode;
+      for (NodeId d = 0; d < bound; ++d) {
+        const NodeId v = static_cast<NodeId>((start + d) % bound);
+        if (borrowed.has_node(v)) { victim = v; break; }
+      }
+      if (victim == graph::kInvalidNode) continue;
+      borrowed.remove_node(victim);
+      materialized.remove_node(victim);
+    } else if (what < 85 && bound >= 1) {
+      // Query probe: neighbors + has_edge agreement on a random live node.
+      const auto v = static_cast<NodeId>(rng.below(bound));
+      if (!borrowed.has_node(v)) continue;
+      ASSERT_EQ(borrowed.degree(v), materialized.degree(v));
+      for (const NodeId u : borrowed.neighbors(v)) {
+        ASSERT_TRUE(materialized.has_edge(u, v));
+        ASSERT_TRUE(borrowed.has_edge(u, v));
+      }
+    } else {
+      // sample_edge draws differently per mode (different slot spaces), so
+      // require validity, not equality: each sampled edge must be present
+      // in BOTH graphs.
+      NodeId u = 0, v = 0;
+      const bool bs = borrowed.sample_edge(sample_rng_b, u, v);
+      ASSERT_EQ(bs, borrowed.edge_count() > 0);
+      if (bs) {
+        EXPECT_TRUE(borrowed.has_edge(u, v));
+        EXPECT_TRUE(materialized.has_edge(u, v));
+      }
+      const bool ms = materialized.sample_edge(sample_rng_m, u, v);
+      ASSERT_EQ(ms, bs);
+      if (ms) {
+        EXPECT_TRUE(borrowed.has_edge(u, v));
+      }
+    }
+    if (i % 50 == 0) expect_same(borrowed, materialized);
+  }
+  expect_same(borrowed, materialized);
+}
+
+TEST(BorrowedGraph, DifferentialChurnMatchesMaterializedTwin) {
+  for (const std::uint64_t seed : {3ULL, 29ULL, 71ULL}) {
+    const DynamicGraph original = churned_graph(250, seed);
+    TempFile file("fuzz.snap");
+    ASSERT_TRUE(original.save(file.path));
+    auto snap = std::make_shared<Snapshot>();
+    std::string error;
+    ASSERT_TRUE(snap->open(file.path, &error)) << error;
+    DynamicGraph borrowed = DynamicGraph::borrow(snap);
+    DynamicGraph materialized = DynamicGraph::load(*snap);
+    fuzz_pair(borrowed, materialized, seed * 13 + 5, 2000);
+    EXPECT_GT(borrowed.overlay_nodes(), 0U);  // the fuzz must have dirtied some
+  }
+}
+
+TEST(BorrowedGraph, SpillBoundaryCrossingUnderCow) {
+  // Push one clean base node's degree across the inline-record capacity:
+  // the COW copy must spill to an overflow list exactly like a materialized
+  // record, then drain back below the boundary without corruption.
+  DynamicGraph original(40);
+  for (NodeId v = 1; v <= 6; ++v) ASSERT_TRUE(original.add_edge(0, v));
+  TempFile file("spill.snap");
+  ASSERT_TRUE(original.save(file.path));
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(snap->open(file.path, &error)) << error;
+  DynamicGraph borrowed = DynamicGraph::borrow(snap);
+  DynamicGraph materialized = DynamicGraph::load(*snap);
+
+  // 6 base neighbors + 24 more crosses any plausible inline capacity.
+  for (NodeId v = 7; v <= 30; ++v) {
+    ASSERT_TRUE(borrowed.add_edge(0, v));
+    ASSERT_TRUE(materialized.add_edge(0, v));
+    expect_same(borrowed, materialized);
+  }
+  for (NodeId v = 1; v <= 30; ++v) {
+    ASSERT_TRUE(borrowed.remove_edge(0, v));
+    ASSERT_TRUE(materialized.remove_edge(0, v));
+  }
+  expect_same(borrowed, materialized);
+  EXPECT_EQ(borrowed.degree(0), 0U);
+}
+
+TEST(BorrowedGraph, WriteBackRoundTripsThroughMergedEdgeSet) {
+  // Checkpointing a borrowed graph goes through merged_edge_set (base table
+  // restored from the mapping, overlay merged on top). The resulting file
+  // must load back semantically equal to the churned state — the twin saved
+  // from materialized mode pins the expectation.
+  const DynamicGraph original = churned_graph(220, 41);
+  TempFile base("wb_base.snap");
+  ASSERT_TRUE(original.save(base.path));
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(snap->open(base.path, &error)) << error;
+  DynamicGraph borrowed = DynamicGraph::borrow(snap);
+  DynamicGraph materialized = DynamicGraph::load(*snap);
+  fuzz_pair(borrowed, materialized, 57, 1500);
+
+  TempFile from_borrowed("wb_b.snap");
+  TempFile from_materialized("wb_m.snap");
+  ASSERT_TRUE(borrowed.save(from_borrowed.path));
+  ASSERT_TRUE(materialized.save(from_materialized.path));
+
+  Snapshot sb, sm;
+  ASSERT_TRUE(sb.open(from_borrowed.path, &error)) << error;
+  ASSERT_TRUE(sm.open(from_materialized.path, &error)) << error;
+  EXPECT_TRUE(sb.verify(&error)) << error;  // checksum + undirectedness
+  const DynamicGraph lb = DynamicGraph::load(sb);
+  const DynamicGraph lm = DynamicGraph::load(sm);
+  expect_same(lb, lm);  // both materialized now; full structural agreement
+  EXPECT_TRUE(lb == borrowed);
+  EXPECT_TRUE(lb == materialized);
+}
+
+// ---- engine-level transparency: all four engines ----
+
+/// Drive the borrowed-constructed engine set and the materialized twins
+/// through the same churn trace; memberships must agree after every op and
+/// the cascade pair must also agree on the priority-RNG stream (so future
+/// draws stay aligned forever).
+TEST(BorrowedEngines, AllFourEnginesTrackMaterializedTwins) {
+  const std::uint64_t seed = 31;
+  const DynamicGraph g0 = churned_graph(150, seed);
+  core::CascadeEngine source(g0, /*priority_seed=*/seed * 3 + 1);
+  TempFile file("engines.snap");
+  ASSERT_TRUE(core::save_snapshot(source, file.path));
+
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(snap->open(file.path, &error)) << error;
+  ASSERT_TRUE(snap->has_engine_state());
+
+  // Borrowed set (shared_ptr ctors: graphs read the mapping in place).
+  core::CascadeEngine cascade_b(snap, seed * 3 + 1);
+  core::ShardedCascadeEngine sharded_b(snap, seed * 3 + 1, /*shard_count=*/4,
+                                       /*frontier_capacity=*/64);
+  core::DistMis dist_b(snap, seed * 3 + 1);
+  core::AsyncMis async_b(snap, seed * 3 + 1, /*scheduler_seed=*/seed + 5);
+  EXPECT_TRUE(cascade_b.graph().borrowed());
+
+  // Materialized twins from the same file.
+  core::CascadeEngine cascade_m(*snap, seed * 3 + 1);
+  core::ShardedCascadeEngine sharded_m(*snap, seed * 3 + 1, 4, 64);
+  core::DistMis dist_m(*snap, seed * 3 + 1);
+  core::AsyncMis async_m(*snap, seed * 3 + 1, seed + 5);
+  EXPECT_FALSE(cascade_m.graph().borrowed());
+
+  workload::ChurnConfig config;
+  config.p_abrupt = 0.5;
+  workload::ChurnGenerator gen(g0, config, seed + 99);
+  core::Batch batch;
+  for (int i = 0; i < 400; ++i) {
+    const workload::GraphOp op = gen.next();
+    workload::apply(cascade_b, op);
+    workload::apply(cascade_m, op);
+    batch.clear();
+    workload::append_op(batch, op);
+    (void)sharded_b.apply_batch(batch);
+    (void)sharded_m.apply_batch(batch);
+    (void)workload::apply_with_cost(dist_b, op);
+    (void)workload::apply_with_cost(dist_m, op);
+    (void)workload::apply_with_cost(async_b, op);
+    (void)workload::apply_with_cost(async_m, op);
+
+    ASSERT_EQ(cascade_b.mis_size(), cascade_m.mis_size()) << "op " << i;
+    bool agree = true;
+    cascade_m.graph().for_each_node([&](NodeId v) {
+      agree &= cascade_b.in_mis(v) == cascade_m.in_mis(v) &&
+               sharded_b.in_mis(v) == sharded_m.in_mis(v) &&
+               dist_b.in_mis(v) == dist_m.in_mis(v) &&
+               async_b.in_mis(v) == async_m.in_mis(v);
+    });
+    ASSERT_TRUE(agree) << "borrowed/materialized membership divergence at op " << i;
+  }
+
+  ASSERT_TRUE(cascade_b.graph() == cascade_m.graph());
+  ASSERT_TRUE(dist_b.graph() == dist_m.graph());
+  ASSERT_TRUE(async_b.graph() == async_m.graph());
+  EXPECT_EQ(cascade_b.membership(), cascade_m.membership());
+  EXPECT_TRUE(cascade_b.priorities().rng_state() == cascade_m.priorities().rng_state());
+  cascade_b.verify();
+  sharded_b.verify();
+  dist_b.verify();
+  async_b.verify();
+}
+
+TEST(BorrowedEngines, CheckpointOfBorrowedEngineWarmStartsEqual) {
+  // Full circle: borrow-start an engine, churn it, checkpoint it (the
+  // writer streams clean regions from the mapping), then warm-start a new
+  // engine from that checkpoint and require equality with the live one.
+  const std::uint64_t seed = 47;
+  const DynamicGraph g0 = churned_graph(120, seed);
+  core::CascadeEngine source(g0, seed);
+  TempFile first("ckpt1.snap");
+  ASSERT_TRUE(core::save_snapshot(source, first.path));
+
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  ASSERT_TRUE(snap->open(first.path, &error)) << error;
+  core::CascadeEngine live(snap, seed);
+  util::Rng rng(seed + 7);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(live.graph().id_bound()));
+    const auto v = static_cast<NodeId>(rng.below(live.graph().id_bound()));
+    if (u == v || !live.graph().has_node(u) || !live.graph().has_node(v)) continue;
+    if (live.graph().has_edge(u, v)) live.remove_edge(u, v);
+    else live.add_edge(u, v);
+  }
+
+  TempFile second("ckpt2.snap");
+  ASSERT_TRUE(core::save_snapshot(live, second.path));
+  Snapshot reopened;
+  ASSERT_TRUE(reopened.open(second.path, &error)) << error;
+  EXPECT_TRUE(reopened.verify(&error)) << error;  // incl. greedy fixpoint
+  const core::CascadeEngine warm(reopened, seed, graph::SnapshotLoad::kWarm);
+  ASSERT_TRUE(warm.graph() == live.graph());
+  EXPECT_EQ(warm.membership(), live.membership());
+  EXPECT_TRUE(warm.priorities().rng_state() == live.priorities().rng_state());
+  warm.verify();
+}
+
+}  // namespace

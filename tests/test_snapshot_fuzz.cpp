@@ -14,10 +14,12 @@
 // Mutations are seeded (util::Rng) so a failure reproduces exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,12 +73,18 @@ void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes
 /// verify also accepts, the adopted state must satisfy the engine's full
 /// invariant (semantic safety). Aborts (DMIS_ASSERT) or sanitizer faults
 /// anywhere in here are the failures this suite exists to catch.
+///
+/// The borrowed path rides the same gauntlet: whatever open() accepts, a
+/// zero-copy borrow over it must walk clean and agree with the materialized
+/// load — and whatever open() rejects, both paths reject identically
+/// (there is one open(); borrow never re-parses the file).
 void exercise(const std::string& path, std::uint64_t engine_seed) {
-  Snapshot snap;
+  auto shared = std::make_shared<Snapshot>();
+  Snapshot& snap = *shared;
   std::string error;
   if (!snap.open(path, &error)) {
     EXPECT_FALSE(error.empty());
-    return;  // rejected — the common, correct outcome
+    return;  // rejected — the common, correct outcome, for both modes
   }
   // Open accepted: structural safety is promised. Walk everything.
   const DynamicGraph g = DynamicGraph::load(snap);
@@ -86,6 +94,51 @@ void exercise(const std::string& path, std::uint64_t engine_seed) {
     if (snap.alive(v))
       for (const NodeId u : snap.neighbors(v)) degree_sum += u < snap.id_bound();
   EXPECT_EQ(degree_sum, 2 * snap.edge_count());
+  // Borrowed twin: every query view over the mapped bytes must be safe and
+  // must agree with the materialized graph. Open-accepted mutants may be
+  // internally inconsistent (CSR vs edge table can disagree if flips
+  // conspire past the structural counters — verify() exists to catch
+  // that), so the claims here are strictly differential: borrowed answers
+  // == materialized answers, never cross-structure consistency.
+  {
+    DynamicGraph borrowed = DynamicGraph::borrow(shared);
+    EXPECT_EQ(borrowed.node_count(), g.node_count());
+    EXPECT_EQ(borrowed.edge_count(), g.edge_count());
+    // Same edge enumeration (slot order differs only if a mode walks the
+    // wrong bytes) and the same membership answer for every enumerated
+    // edge — even when a conspired flip left a key probe-unreachable, both
+    // modes must fail to find it identically.
+    auto be = borrowed.edges();
+    auto me = g.edges();
+    std::sort(be.begin(), be.end());
+    std::sort(me.begin(), me.end());
+    ASSERT_EQ(be, me);
+    for (const auto& [eu, ev] : be)
+      EXPECT_EQ(borrowed.has_edge(eu, ev), g.has_edge(eu, ev))
+          << "(" << eu << "," << ev << ")";
+    for (NodeId v = 0; v < snap.id_bound(); ++v) {
+      ASSERT_EQ(borrowed.has_node(v), g.has_node(v));
+      if (!borrowed.has_node(v)) continue;
+      const auto bn = borrowed.neighbors(v);
+      const auto mn = g.neighbors(v);
+      ASSERT_EQ(bn.size(), mn.size()) << "node " << v;
+      for (std::size_t i = 0; i < bn.size(); ++i)
+        EXPECT_EQ(bn[i], mn[i]) << "node " << v << " slot " << i;
+    }
+    // A churn touch (COW a record, route the key through the deltas) must
+    // net to zero. Endpoints must be live toggleable nodes under BOTH
+    // views before mutation is legal at all.
+    NodeId u = 0, w = 0;
+    util::Rng sample_rng(engine_seed);
+    if (borrowed.sample_edge(sample_rng, u, w) && u != w &&
+        borrowed.has_node(u) && borrowed.has_node(w) &&
+        borrowed.has_edge(u, w) && g.has_edge(u, w)) {
+      EXPECT_TRUE(borrowed.remove_edge(u, w));
+      EXPECT_FALSE(borrowed.has_edge(u, w));
+      EXPECT_TRUE(borrowed.add_edge(u, w));
+      EXPECT_TRUE(borrowed.has_edge(u, w));
+    }
+  }
   const bool verified = snap.verify(&error);
   if (snap.has_engine_state()) {
     // Warm construction must be safe on any open-accepted file (open
@@ -347,6 +400,83 @@ TEST_F(SnapshotFuzz, SuccessfulSaveReplacesAndLeavesNoResidue) {
   ASSERT_TRUE(snap.open(file.path, &error)) << error;
   EXPECT_TRUE(snap.verify(&error)) << error;
   EXPECT_EQ(snap.priority_seed(), 9U);  // the new file, not the old one
+}
+
+/// A live node with at least one neighbor, located by parsing the pristine
+/// header sections directly (the corruption tests below need a victim whose
+/// record they can poison byte-precisely).
+NodeId find_live_node_with_degree(const std::vector<std::uint8_t>& pristine,
+                                  const graph::SnapshotHeader& header) {
+  const std::uint8_t* alive = pristine.data() + header.alive_off;
+  const auto* offs =
+      reinterpret_cast<const std::uint64_t*>(pristine.data() + header.offsets_off);
+  // Prefer a mid-range id so the corruption sits far from the shallow
+  // checks' end-pins.
+  for (NodeId v = header.id_bound / 2; v < header.id_bound; ++v)
+    if (alive[v] != 0 && offs[v + 1] > offs[v]) return v;
+  for (NodeId v = 0; v < header.id_bound / 2; ++v)
+    if (alive[v] != 0 && offs[v + 1] > offs[v]) return v;
+  return graph::kInvalidNode;
+}
+
+using SnapshotFuzzDeathTest = SnapshotFuzz;
+
+TEST_F(SnapshotFuzzDeathTest, ShallowCorruptCsrOffsetAbortsOnFirstTouch) {
+  // kShallow pins only the CSR end-points, so a corrupted *interior* offset
+  // slides past open() by design — that is the price of the O(header) open.
+  // The borrowed graph's lazy per-node guard must then abort with a clear
+  // message on the FIRST touch of the poisoned record, instead of handing
+  // out an out-of-bounds neighbor span. (kFull keeps rejecting the file,
+  // which is why only shallow opens arm the guard bitmap.)
+  graph::SnapshotHeader header{};
+  std::memcpy(&header, v1_->pristine.data(), sizeof(header));
+  const NodeId victim = find_live_node_with_degree(v1_->pristine, header);
+  ASSERT_NE(victim, graph::kInvalidNode);
+
+  std::vector<std::uint8_t> bytes = v1_->pristine;
+  const std::uint64_t evil = 2 * header.edge_count + (1ULL << 20);
+  std::memcpy(bytes.data() + header.offsets_off + std::uint64_t{victim} * 8,
+              &evil, sizeof(evil));
+  write_bytes(v1_->file.path, bytes);
+
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  EXPECT_FALSE(snap->open(v1_->file.path, &error));  // kFull still rejects
+  ASSERT_TRUE(snap->open(v1_->file.path, &error, /*force_read=*/false,
+                         graph::SnapshotValidation::kShallow))
+      << error;  // shallow accepts: nothing O(1) can see is wrong
+  const DynamicGraph borrowed = DynamicGraph::borrow(snap);
+  EXPECT_DEATH((void)borrowed.neighbors(victim), "corrupt CSR offsets");
+  write_bytes(v1_->file.path, v1_->pristine);
+}
+
+TEST_F(SnapshotFuzzDeathTest, ShallowCorruptNeighborIdAbortsOnFirstTouch) {
+  // Same contract, other array: a neighbor id past id_bound would index the
+  // alive/offset arrays out of bounds downstream. The first-touch guard
+  // must catch it before any accessor dereferences through it.
+  graph::SnapshotHeader header{};
+  std::memcpy(&header, v1_->pristine.data(), sizeof(header));
+  const NodeId victim = find_live_node_with_degree(v1_->pristine, header);
+  ASSERT_NE(victim, graph::kInvalidNode);
+  const auto* offs = reinterpret_cast<const std::uint64_t*>(
+      v1_->pristine.data() + header.offsets_off);
+  const std::uint64_t slot = offs[victim];
+
+  std::vector<std::uint8_t> bytes = v1_->pristine;
+  const NodeId evil = ~NodeId{0};
+  std::memcpy(bytes.data() + header.neighbors_off + slot * sizeof(NodeId),
+              &evil, sizeof(evil));
+  write_bytes(v1_->file.path, bytes);
+
+  auto snap = std::make_shared<Snapshot>();
+  std::string error;
+  EXPECT_FALSE(snap->open(v1_->file.path, &error));  // kFull still rejects
+  ASSERT_TRUE(snap->open(v1_->file.path, &error, /*force_read=*/false,
+                         graph::SnapshotValidation::kShallow))
+      << error;
+  const DynamicGraph borrowed = DynamicGraph::borrow(snap);
+  EXPECT_DEATH((void)borrowed.neighbors(victim), "neighbor id out of range");
+  write_bytes(v1_->file.path, v1_->pristine);
 }
 
 TEST_F(SnapshotFuzz, NonFixpointMembershipRejectedByVerifyNotOpen) {

@@ -11,10 +11,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <new>
+#include <string>
 
 #include "core/cascade_engine.hpp"
+#include "core/engine_snapshot.hpp"
 #include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -89,6 +94,37 @@ TEST(UpdateAlloc, RepeatedRepairIsAllocationFree) {
   const std::uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - before;
   EXPECT_EQ(allocs, 0U) << "repair() with warm buffers must not allocate";
   engine.verify();
+}
+
+TEST(UpdateAlloc, BorrowedEngineChurnIsAllocationFreeAfterOverlayWarmUp) {
+  // Borrowed mode adds the copy-on-write overlay to the hot path: first
+  // touches migrate adjacency records to the heap pool and grow the edge
+  // deltas, but once the toggle workload's working set has been touched the
+  // overlay is at capacity and steady-state churn must allocate exactly as
+  // much as materialized mode — nothing.
+  const graph::NodeId n = 64;
+  util::Rng graph_rng(5);
+  auto g = graph::random_avg_degree(n, 6.0, graph_rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dmis_alloc_borrow.snap").string();
+  core::CascadeEngine source(g, 7);
+  ASSERT_TRUE(core::save_snapshot(source, path));
+
+  auto snap = std::make_shared<graph::Snapshot>();
+  ASSERT_TRUE(snap->open(path));
+  core::CascadeEngine engine(snap, 7);
+  ASSERT_TRUE(engine.graph().borrowed());
+
+  util::Rng rng(11);
+  // Warm-up: every node the toggle sequence can touch gets COW-migrated and
+  // both edge deltas (inserts and removed-base keys) reach their
+  // steady-state capacities, alongside the usual engine scratch growth.
+  (void)toggles(engine, n, 300'000, rng);
+
+  const std::uint64_t allocs = toggles(engine, n, 50'000, rng);
+  EXPECT_EQ(allocs, 0U) << "borrowed steady-state updates must not allocate";
+  engine.verify();
+  std::filesystem::remove(path);
 }
 
 TEST(UpdateAlloc, ColdEngineEventuallyStopsAllocating) {

@@ -38,7 +38,10 @@
 //                        print the RTO; --verify checks the promoted
 //                        engine against the regenerated workload prefix.
 //   dmis_service stats   --dir d [--json]
-//                        list checkpoints and WAL segments with lsn ranges.
+//                        list checkpoints (with resident vs mapped bytes from
+//                        a shallow zero-copy open) and WAL segments with lsn
+//                        ranges, plus the open mode recovery will use
+//                        (borrowed vs materialized).
 //
 // The workload is pinned by (--seed, --ops, --batch): grow a random graph
 // op by op from empty, then mixed churn — the same recipe the service and
@@ -61,6 +64,7 @@
 #include "core/batch.hpp"
 #include "core/cascade_engine.hpp"
 #include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
 #include "service/checkpoint.hpp"
 #include "service/ingest.hpp"
 #include "service/replication.hpp"
@@ -300,8 +304,10 @@ int cmd_recover(util::Cli& cli) {
               static_cast<unsigned long long>(r.replayed_ops),
               static_cast<unsigned long long>(r.segments_scanned),
               r.torn_tail ? ", torn tail shed" : "");
-  std::printf("rto %.6fs = open %.6fs + warm %.6fs + replay %.6fs (+ wal writer)\n",
-              rto_s, r.open_s, r.warm_s, r.replay_s);
+  std::printf("rto %.6fs = open %.6fs + %s %.6fs + warm %.6fs + replay %.6fs "
+              "(+ wal writer)\n",
+              rto_s, r.open_s, r.borrowed ? "borrow" : "load", r.load_s,
+              r.warm_s, r.replay_s);
   if (!r.detail.empty()) std::printf("detail:\n%s", r.detail.c_str());
   std::printf("|MIS| %zu, fingerprint %016llx\n", svc->engine().mis_size(),
               static_cast<unsigned long long>(fingerprint(svc->engine())));
@@ -691,6 +697,33 @@ int cmd_stats(util::Cli& cli) {
     std::string detail;
   };
   const auto checkpoints = service::list_checkpoints(dir);
+
+  // Shallow-open each checkpoint: O(header) per file, and mincore tells us
+  // how much of the mapping is actually resident — the footprint a borrowed
+  // recovery would start from, vs the full file a materialized load copies.
+  struct CheckpointRow {
+    std::uint64_t bytes = 0;
+    std::uint64_t resident = 0;
+    const char* map_mode = "unreadable";
+  };
+  std::vector<CheckpointRow> cp_rows;
+  cp_rows.reserve(checkpoints.size());
+  for (const auto& cp : checkpoints) {
+    CheckpointRow row;
+    graph::Snapshot snap;
+    std::string err;
+    if (snap.open(cp.path, &err, /*force_read=*/false,
+                  graph::SnapshotValidation::kShallow)) {
+      row.bytes = snap.file_size();
+      row.resident = snap.resident_bytes();
+      row.map_mode = snap.is_mapped() ? "mmap" : "read";
+    }
+    cp_rows.push_back(row);
+  }
+  // What MisService::open will do with the newest checkpoint by default.
+  const char* open_mode =
+      service::ServiceConfig{}.borrow ? "borrowed" : "materialized";
+
   std::vector<std::string> skipped;
   const auto segments = service::list_segments(dir, &skipped);
   std::vector<SegmentRow> rows;
@@ -719,11 +752,17 @@ int cmd_stats(util::Cli& cli) {
   }
 
   if (json) {
-    std::printf("{\n  \"dir\": \"%s\",\n  \"checkpoints\": [", dir.c_str());
+    std::printf("{\n  \"dir\": \"%s\",\n  \"open_mode\": \"%s\",\n"
+                "  \"checkpoints\": [",
+                dir.c_str(), open_mode);
     for (std::size_t i = 0; i < checkpoints.size(); ++i)
-      std::printf("%s\n    {\"path\": \"%s\", \"lsn\": %llu}", i ? "," : "",
-                  checkpoints[i].path.c_str(),
-                  static_cast<unsigned long long>(checkpoints[i].lsn));
+      std::printf("%s\n    {\"path\": \"%s\", \"lsn\": %llu, \"bytes\": %llu, "
+                  "\"resident_bytes\": %llu, \"map_mode\": \"%s\"}",
+                  i ? "," : "", checkpoints[i].path.c_str(),
+                  static_cast<unsigned long long>(checkpoints[i].lsn),
+                  static_cast<unsigned long long>(cp_rows[i].bytes),
+                  static_cast<unsigned long long>(cp_rows[i].resident),
+                  cp_rows[i].map_mode);
     std::printf("%s],\n  \"segments\": [", checkpoints.empty() ? "" : "\n  ");
     for (std::size_t i = 0; i < rows.size(); ++i)
       std::printf("%s\n    {\"path\": \"%s\", \"seq\": %llu, \"base_lsn\": %llu, "
@@ -740,10 +779,15 @@ int cmd_stats(util::Cli& cli) {
     return 0;
   }
 
-  std::printf("%zu checkpoint(s):\n", checkpoints.size());
-  for (const auto& cp : checkpoints)
-    std::printf("  %s  lsn %llu\n", cp.path.c_str(),
-                static_cast<unsigned long long>(cp.lsn));
+  std::printf("%zu checkpoint(s), recovery opens %s:\n", checkpoints.size(),
+              open_mode);
+  for (std::size_t i = 0; i < checkpoints.size(); ++i)
+    std::printf("  %s  lsn %llu  %llu of %llu bytes resident (%s)\n",
+                checkpoints[i].path.c_str(),
+                static_cast<unsigned long long>(checkpoints[i].lsn),
+                static_cast<unsigned long long>(cp_rows[i].resident),
+                static_cast<unsigned long long>(cp_rows[i].bytes),
+                cp_rows[i].map_mode);
   std::printf("%zu wal segment(s):\n", rows.size());
   for (const auto& row : rows) {
     std::printf("  %s  seq %llu, lsn [%llu, %llu), %llu records, %s\n",
