@@ -27,6 +27,25 @@ Tolerances (CI's contract — change them here, not in the workflow):
   aborts before writing JSON if any cell disagrees with the sequential
   greedy oracle — a cell that exists has been oracle-verified.
 
+* skew — the heavy-tailed / adversarial-churn sweep (bench_skew), cells
+  keyed (graph distribution, churn policy, n). Same regime as
+  distributed_cost: every cost is a deterministic count, so bucket means
+  gate at DETERMINISTIC_TOLERANCE against the reference, and the Lemma 13
+  envelope (abrupt-delete mean broadcasts <= ENVELOPE_SLACK x mean
+  min{log2 n, d(v*)}) is checked intrinsically on every cell with at least
+  MIN_ENVELOPE_SAMPLES abrupt deletes. Hub-targeting policies put every
+  abrupt delete on a max-degree node, so this is the envelope check in the
+  regime where min{log n, d} genuinely binds — the committed hub-kill and
+  burst-mute cells (hundreds to thousands of samples) sit at 0.2-0.4x.
+  Flash-crowd cells collapse a hub only once per ~65-op storm (~12 samples
+  a cell) and the per-collapse cost is bimodal — ~0 when the hub was
+  dominated, ~d(v*) when its freshly-inserted leaves must join — so their
+  cell means are not expectation estimates and are gated against the
+  reference only (the star-collapse cliff those cells quantify is
+  documented in docs/BENCHMARKS.md). Pure-adversarial policies may
+  legitimately emit zero graceful ops; empty buckets are skipped, never
+  compared.
+
 * snapshot — the warm-start cells. engine_warm_s (engine-ready time from a
   version-2 snapshot, persisted keys + membership, zero greedy recompute)
   is a wall-clock timing, so it gets the same best-of-N fold and
@@ -110,6 +129,11 @@ import sys
 THROUGHPUT_TOLERANCE = 0.30
 DETERMINISTIC_TOLERANCE = 0.05
 ENVELOPE_SLACK = 1.5
+# Lemma 13 bounds an *expectation*; on skewed cells the per-delete cost is
+# bimodal (a collapsing hub either changes nothing or wakes its whole
+# neighborhood), so a cell mean only estimates the expectation once it has
+# enough samples. Below this bar the envelope column is reference-gated only.
+MIN_ENVELOPE_SAMPLES = 100
 BORROW_SPEEDUP_FLOOR = 10.0
 
 
@@ -281,6 +305,64 @@ def check_distributed_cost(candidate, reference, _tolerance, _deterministic_only
         if not cell_failures:
             print(f"OK   {key}: graceful bcast {row['graceful']['mean_broadcasts']:.2f} "
                   f"(reference {base['graceful']['mean_broadcasts']:.2f})")
+        failures.extend(cell_failures)
+    return failures, matched
+
+
+def check_skew(candidate, reference, _tolerance, _deterministic_only):
+    """Skewed-graph sweep (bench_skew): like distributed_cost, every cost is
+    a deterministic count, so bucket means gate at DETERMINISTIC_TOLERANCE
+    against the reference, and the Lemma 13 envelope check is intrinsic —
+    on heavy-tailed graphs under hub-targeting churn it is the regime where
+    min{log n, d} actually binds, so a break here is the paper's bound
+    failing exactly where it matters. Cells are keyed (graph, policy, n,
+    ops) — the counts are deterministic only for a fixed trace length, so a
+    smoke run must sweep a subset of the reference's cells at the
+    reference's --ops. Pure-adversarial policies legitimately have empty
+    graceful buckets, so each bucket is only compared when both sides saw
+    ops in it."""
+    failures = []
+    ref = {(r["graph"], r["policy"], r["n"], r["ops"]): r
+           for r in reference["results"]}
+    matched = 0
+    for row in candidate["results"]:
+        key = (row["graph"], row["policy"], row["n"], row["ops"])
+        cell_failures = []
+        abrupt = row.get("abrupt_node_delete", {})
+        if abrupt.get("count", 0) >= MIN_ENVELOPE_SAMPLES:
+            got = abrupt["mean_broadcasts"]
+            envelope = abrupt["mean_envelope"]
+            if got > ENVELOPE_SLACK * envelope:
+                cell_failures.append(
+                    f"{key}: abrupt-delete broadcasts {got:.2f} exceed "
+                    f"{ENVELOPE_SLACK}x the min{{log n, d}} envelope {envelope:.2f}")
+        elif abrupt.get("count", 0) > 0:
+            print(f"note {key}: only {abrupt['count']} abrupt samples — "
+                  f"envelope reference-gated, not intrinsically checked "
+                  f"(bar: {MIN_ENVELOPE_SAMPLES})")
+        base = ref.get(key)
+        if base is None:
+            print(f"SKIP {key}: no reference cell (envelope checked)")
+            failures.extend(cell_failures)
+            continue
+        matched += 1
+        for bucket, fields in (
+                ("graceful", ("mean_broadcasts", "mean_adjustments", "mean_rounds")),
+                ("node_insert", ("mean_broadcasts", "mean_adjustments")),
+                ("abrupt_node_delete",
+                 ("mean_broadcasts", "mean_envelope", "mean_adjustments"))):
+            if row[bucket]["count"] == 0 or base[bucket]["count"] == 0:
+                continue
+            for field in fields:
+                got, want = row[bucket][field], base[bucket][field]
+                if not close(got, want, DETERMINISTIC_TOLERANCE, absolute=0.02):
+                    cell_failures.append(
+                        f"{key}: {bucket} {field} {got:.3f} vs reference {want:.3f} "
+                        f"— deterministic cost moved (> {DETERMINISTIC_TOLERANCE:.0%})")
+        if not cell_failures:
+            abr = row["abrupt_node_delete"]
+            print(f"OK   {key}: abrupt bcast {abr['mean_broadcasts']:.2f} "
+                  f"vs envelope {abr['mean_envelope']:.2f}")
         failures.extend(cell_failures)
     return failures, matched
 
@@ -505,6 +587,7 @@ def check_oom(candidate, reference, tolerance, deterministic_only):
 CHECKERS = {
     "update_latency": check_update_latency,
     "distributed_cost": check_distributed_cost,
+    "skew": check_skew,
     "snapshot": check_snapshot,
     "recovery": check_recovery,
     "replication": check_replication,
@@ -543,6 +626,12 @@ def inject_regression(candidate, deterministic_only):
             row["updates_per_sec"] /= 2.0
         elif kind == "distributed_cost":
             row["graceful"]["mean_broadcasts"] *= 2.0
+        elif kind == "skew":
+            # Doubling the abrupt-delete broadcasts trips both the envelope
+            # intrinsic and the deterministic reference band (hub-targeting
+            # cells sit near the envelope already).
+            row["abrupt_node_delete"]["mean_broadcasts"] = \
+                row["abrupt_node_delete"]["mean_broadcasts"] * 2.0 + 1.0
         elif kind == "snapshot":
             # A 2x-slower warm start halves the interleaved speedup too, so
             # the injection trips the ratio band even under

@@ -86,6 +86,47 @@ def validate_distributed_cost(data):
                         f"bad {bucket}.{key} in {row}")
 
 
+def validate_skew(data):
+    rows = data["results"]
+    require(rows, "no result rows")
+    for row in rows:
+        require(row.get("graph") in ("ba", "chung-lu", "planted", "uniform"),
+                f"unknown graph distribution in {row}")
+        require(row.get("policy") in ("hub-kill", "burst-mute", "flash-crowd",
+                                      "churn"),
+                f"unknown churn policy in {row}")
+        require_metric(row, "n", lo=2)
+        require_metric(row, "ops", lo=1)
+        require(row.get("verified") is True,
+                f"cell not oracle-verified in {row} — a committed skew cell "
+                f"must have run with --verify")
+        for metric in ("rounds", "broadcasts", "messages", "bits", "adjustments"):
+            require(metric in row, f"missing metric '{metric}' in {row}")
+            summary = row[metric]
+            for key in ("mean", "p50", "p95", "p99", "max"):
+                require_metric(summary, key)
+        total = 0
+        for bucket in ("graceful", "node_insert", "abrupt_node_delete"):
+            require(bucket in row, f"missing bucket '{bucket}' in {row}")
+            for key, value in row[bucket].items():
+                require(finite(value) and value >= 0,
+                        f"bad {bucket}.{key} in {row}")
+            total += row[bucket]["count"]
+        # Pure-adversarial policies may skip whole buckets, but every op
+        # must land in one of them.
+        require(total == row["ops"], f"bucket counts do not sum to ops in {row}")
+        tail = row.get("degree_tail")
+        require(isinstance(tail, dict), f"missing degree_tail in {row}")
+        for key in ("p50", "p90", "p99", "max", "spilled_fraction",
+                    "tail_exponent"):
+            require_metric(tail, key)
+        require(tail["p50"] <= tail["p90"] <= tail["p99"] <= tail["max"],
+                f"degree_tail percentiles out of order in {row}")
+        require(tail["spilled_fraction"] <= 1.0,
+                f"spilled_fraction above 1 in {row}")
+        require_metric(row, "shard_skew", lo=1.0)
+
+
 def validate_snapshot(data):
     rows = data["results"]
     require(rows, "no result rows")
@@ -196,6 +237,7 @@ VALIDATORS = {
     "update_latency": validate_update_latency,
     "batch_throughput": validate_batch_throughput,
     "distributed_cost": validate_distributed_cost,
+    "skew": validate_skew,
     "snapshot": validate_snapshot,
     "recovery": validate_recovery,
     "replication": validate_replication,

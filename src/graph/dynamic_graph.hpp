@@ -98,6 +98,13 @@ inline constexpr NodeId kInvalidNode = ~static_cast<NodeId>(0);
 
 class DynamicGraph {
  public:
+  /// Inline-neighbor capacity of one 64-byte adjacency record; nodes whose
+  /// degree ever exceeds this spill to a per-node overflow vector. Public so
+  /// stats/benches can report how much of a workload lives past the spill
+  /// threshold (heavy-tailed graphs are exactly where this policy is
+  /// stressed).
+  static constexpr std::uint32_t kInlineNeighbors = 14;
+
   DynamicGraph() = default;
 
   /// Create a graph with `n` initial nodes (ids 0 … n−1) and no edges.
@@ -383,7 +390,6 @@ class DynamicGraph {
     NodeId inline_slots[14] = {};
   };
   static_assert(sizeof(AdjRecord) == 64, "AdjRecord must stay one cache line");
-  static constexpr std::uint32_t kInlineNeighbors = 14;
 
   [[nodiscard]] std::span<const NodeId> record_span(std::size_t slot) const {
     const AdjRecord& rec = adjacency_[slot];

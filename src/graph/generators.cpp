@@ -129,6 +129,99 @@ DynamicGraph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng) {
   return g;
 }
 
+namespace {
+
+/// Batagelj–Brandes geometric skipping over the pairs within [lo, hi):
+/// each pair an edge with probability p, O(span + edges). The erdos_renyi
+/// loop below is the lo = 0 special case; this range form also builds the
+/// per-block boost of planted_partition.
+void er_range(DynamicGraph& g, NodeId lo, NodeId hi, double p, util::Rng& rng) {
+  if (p <= 0.0 || hi - lo < 2) return;
+  if (p >= 1.0) {
+    for (NodeId u = lo; u < hi; ++u)
+      for (NodeId v = u + 1; v < hi; ++v) g.add_edge(u, v);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  const auto span = static_cast<std::int64_t>(hi - lo);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < span) {
+    const double r = rng.real01();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < span) {
+      w -= v;
+      ++v;
+    }
+    if (v < span)
+      g.add_edge(lo + static_cast<NodeId>(v), lo + static_cast<NodeId>(w));
+  }
+}
+
+}  // namespace
+
+DynamicGraph chung_lu(NodeId n, double exponent, double avg_degree, util::Rng& rng) {
+  DMIS_ASSERT_MSG(exponent > 2.0, "chung_lu wants tail exponent > 2 (finite mean)");
+  DynamicGraph g(n);
+  if (n < 2 || avg_degree <= 0.0) return g;
+  // Power-law weights, largest first (node 0 is the biggest hub): the
+  // Miller–Hagberg skipping construction needs w non-increasing in j.
+  const double alpha = 1.0 / (exponent - 1.0);
+  // i0 shifts the sequence so the maximum weight stays below the
+  // sqrt(S) threshold where min(1, ·) would truncate the head badly.
+  const double i0 = 1.0;
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + i0, -alpha);
+    sum += w[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  double s_total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] *= scale;
+    s_total += w[i];
+  }
+  // For each i, sweep j > i with geometric skips at the upper-bound
+  // probability p = min(1, w_i w_j / S); accept at q/p (Miller–Hagberg).
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    std::size_t j = i + 1;
+    double p = std::min(1.0, w[i] * w[j] / s_total);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng.real01();
+        j += static_cast<std::size_t>(std::log1p(-r) / std::log1p(-p));
+      }
+      if (j >= n) break;
+      const double q = std::min(1.0, w[i] * w[j] / s_total);
+      if (rng.real01() < q / p) g.add_edge(i, static_cast<NodeId>(j));
+      p = q;
+      ++j;
+    }
+  }
+  return g;
+}
+
+DynamicGraph planted_partition(NodeId n, NodeId communities, double p_in,
+                               double p_out, util::Rng& rng) {
+  DMIS_ASSERT(communities >= 1 && n >= communities);
+  DMIS_ASSERT_MSG(p_in >= p_out, "planted_partition wants assortative blocks");
+  // ER(p_out) everywhere, then boost each block so the union hits p_in:
+  // 1 − (1 − p_out)(1 − boost) = p_in. add_edge dedups the overlap.
+  DynamicGraph g = erdos_renyi(n, p_out, rng);
+  const double boost =
+      p_out >= 1.0 ? 0.0 : (p_in - p_out) / (1.0 - p_out);
+  const NodeId base = n / communities;
+  const NodeId extra = n % communities;  // first `extra` blocks get one more
+  NodeId lo = 0;
+  for (NodeId c = 0; c < communities; ++c) {
+    const NodeId size = base + (c < extra ? 1 : 0);
+    er_range(g, lo, lo + size, boost, rng);
+    lo += size;
+  }
+  return g;
+}
+
 DynamicGraph barabasi_albert(NodeId n, NodeId attach, util::Rng& rng) {
   DMIS_ASSERT(attach >= 1);
   DMIS_ASSERT(n > attach);

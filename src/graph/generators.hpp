@@ -57,6 +57,26 @@ namespace dmis::graph {
 /// sampled proportionally to degree.
 [[nodiscard]] DynamicGraph barabasi_albert(NodeId n, NodeId attach, util::Rng& rng);
 
+/// Chung-Lu expected-degree model with a power-law weight sequence: node i
+/// gets weight w_i ∝ (i + i0)^(−1/(exponent−1)) scaled so the mean weight is
+/// `avg_degree`, and each pair {i, j} is an edge independently with
+/// probability min(1, w_i·w_j / Σw). Realized degrees concentrate around the
+/// weights, so the degree distribution has tail exponent ≈ `exponent`
+/// (use 2 < exponent ≤ 4; smaller is heavier). O(n + m) via the
+/// Miller–Hagberg geometric-skipping construction over the sorted weights.
+[[nodiscard]] DynamicGraph chung_lu(NodeId n, double exponent, double avg_degree,
+                                    util::Rng& rng);
+
+/// Planted-partition (stochastic block model with equal blocks): n nodes in
+/// `communities` contiguous equal blocks, intra-block edge probability
+/// `p_in`, inter-block `p_out` (requires p_in ≥ p_out). Community-clustered
+/// topologies make correlated churn bursts hit overlapping neighborhoods.
+/// O(n + m): an ER(p_out) background plus per-block ER at the conditional
+/// boost probability (p_in − p_out)/(1 − p_out).
+[[nodiscard]] DynamicGraph planted_partition(NodeId n, NodeId communities,
+                                             double p_in, double p_out,
+                                             util::Rng& rng);
+
 /// Watts–Strogatz small world: a ring lattice where each node connects to
 /// its `k` nearest neighbors (k even), with each edge rewired to a uniform
 /// endpoint with probability `beta`. Realistic mesh/P2P topologies.

@@ -1,6 +1,7 @@
 #include "graph/graph_stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 namespace dmis::graph {
@@ -24,6 +25,44 @@ util::Histogram degree_histogram(const DynamicGraph& g) {
   util::Histogram h;
   g.for_each_node([&](NodeId v) { h.add(static_cast<std::int64_t>(g.degree(v))); });
   return h;
+}
+
+DegreeTail degree_tail_from(std::vector<std::size_t> degrees, std::size_t x_min) {
+  DegreeTail t;
+  const std::size_t n = degrees.size();
+  if (n == 0) return t;
+  double log_sum = 0.0;
+  const double cutoff = static_cast<double>(x_min) - 0.5;
+  for (const std::size_t d : degrees) {
+    if (d > DynamicGraph::kInlineNeighbors) ++t.spilled;
+    if (x_min >= 1 && d >= x_min) {
+      ++t.tail_count;
+      log_sum += std::log(static_cast<double>(d) / cutoff);
+    }
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+    return degrees[idx];
+  };
+  t.p50 = pct(0.50);
+  t.p90 = pct(0.90);
+  t.p99 = pct(0.99);
+  t.maximum = degrees.back();
+  t.spilled_fraction = static_cast<double>(t.spilled) / static_cast<double>(n);
+  // The continuous-approximation Hill estimator (Clauset–Shalizi–Newman eq.
+  // 3.7 with the −1/2 discreteness correction) needs ≥ 2 tail points and a
+  // positive log-sum to say anything.
+  if (t.tail_count >= 2 && log_sum > 0.0)
+    t.tail_exponent = 1.0 + static_cast<double>(t.tail_count) / log_sum;
+  return t;
+}
+
+DegreeTail degree_tail(const DynamicGraph& g, std::size_t x_min) {
+  std::vector<std::size_t> degrees;
+  degrees.reserve(g.node_count());
+  g.for_each_node([&](NodeId v) { degrees.push_back(g.degree(v)); });
+  return degree_tail_from(std::move(degrees), x_min);
 }
 
 std::size_t component_count(const DynamicGraph& g) {

@@ -23,6 +23,34 @@ struct DegreeSummary {
 
 [[nodiscard]] util::Histogram degree_histogram(const DynamicGraph& g);
 
+/// Heavy-tail shape of the degree distribution. Skewed workloads (power-law
+/// graphs, hub-kill churn) live or die by the tail, so the benches and
+/// snapshot tooling report it alongside the mean/max.
+struct DegreeTail {
+  std::size_t p50 = 0;   ///< median degree
+  std::size_t p90 = 0;
+  std::size_t p99 = 0;
+  std::size_t maximum = 0;
+  /// Nodes whose degree exceeds DynamicGraph::kInlineNeighbors, i.e. whose
+  /// adjacency spilled out of the one-cache-line inline record.
+  std::size_t spilled = 0;
+  double spilled_fraction = 0.0;  ///< spilled / node_count (0 when empty)
+  /// Hill/Clauset MLE of the power-law tail exponent over degrees ≥ x_min:
+  /// alpha = 1 + n_tail / Σ ln(d_i / (x_min − 0.5)). 0 when fewer than two
+  /// nodes reach x_min (no tail to fit).
+  double tail_exponent = 0.0;
+  std::size_t tail_count = 0;  ///< nodes with degree ≥ x_min used in the fit
+};
+
+/// Tail summary of g's degree distribution; `x_min` is the lower cutoff for
+/// the MLE exponent fit (degrees below it are ignored by the fit only).
+[[nodiscard]] DegreeTail degree_tail(const DynamicGraph& g, std::size_t x_min = 5);
+
+/// Same summary from a raw degree sequence (consumed), for callers that read
+/// degrees without materializing a DynamicGraph (snapshot tooling).
+[[nodiscard]] DegreeTail degree_tail_from(std::vector<std::size_t> degrees,
+                                          std::size_t x_min = 5);
+
 /// Number of connected components among live nodes.
 [[nodiscard]] std::size_t component_count(const DynamicGraph& g);
 

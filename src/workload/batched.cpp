@@ -38,7 +38,7 @@ std::vector<core::Batch> chunk_trace(const Trace& trace, std::size_t batch_size)
   return batches;
 }
 
-std::vector<core::Batch> churn_batches(ChurnGenerator& generator,
+std::vector<core::Batch> churn_batches(TraceGenerator& generator,
                                        std::size_t count, std::size_t batch_size) {
   DMIS_ASSERT_MSG(batch_size > 0, "batch size must be positive");
   std::vector<core::Batch> batches;

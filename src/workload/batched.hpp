@@ -30,7 +30,7 @@ void append_op(core::Batch& batch, const GraphOp& op);
 /// Generate `count` batches of exactly `batch_size` valid churn ops each
 /// (the generator's internal graph evolves op by op, so every op in a batch
 /// is valid at its position — the contract apply_batch checks).
-[[nodiscard]] std::vector<core::Batch> churn_batches(ChurnGenerator& generator,
+[[nodiscard]] std::vector<core::Batch> churn_batches(TraceGenerator& generator,
                                                      std::size_t count,
                                                      std::size_t batch_size);
 

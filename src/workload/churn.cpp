@@ -2,13 +2,13 @@
 
 namespace dmis::workload {
 
-void ChurnGenerator::track_add(NodeId v) {
+void TraceGenerator::track_add(NodeId v) {
   if (pos_.size() <= v) pos_.resize(static_cast<std::size_t>(v) + 1, kNoPos);
   pos_[v] = live_.size();
   live_.push_back(v);
 }
 
-void ChurnGenerator::track_remove(NodeId v) {
+void TraceGenerator::track_remove(NodeId v) {
   const std::size_t i = pos_[v];
   pos_[live_.back()] = i;
   live_[i] = live_.back();
@@ -16,20 +16,40 @@ void ChurnGenerator::track_remove(NodeId v) {
   pos_[v] = kNoPos;
 }
 
-NodeId ChurnGenerator::random_node() {
-  // O(1) via the maintained live list — the old g_.nodes() materialized
-  // every live id per op, which made generating million-node batch
-  // workloads quadratic.
+NodeId TraceGenerator::random_node() {
+  // O(1) via the maintained live list — materializing g_.nodes() per op
+  // would make generating million-node batch workloads quadratic.
   DMIS_ASSERT(!live_.empty());
   return live_[rng_.below(live_.size())];
 }
 
-bool ChurnGenerator::random_edge(NodeId& u, NodeId& v) {
+NodeId TraceGenerator::preferential_node() {
+  NodeId u = 0;
+  NodeId v = 0;
+  if (!random_edge(u, v)) return random_node();
+  return rng_.next_bit() ? u : v;
+}
+
+NodeId TraceGenerator::max_degree_node() const {
+  DMIS_ASSERT(!live_.empty());
+  NodeId best = live_.front();
+  std::size_t best_deg = g_.degree(best);
+  for (const NodeId v : live_) {
+    const std::size_t d = g_.degree(v);
+    if (d > best_deg || (d == best_deg && v < best)) {
+      best = v;
+      best_deg = d;
+    }
+  }
+  return best;
+}
+
+bool TraceGenerator::random_edge(NodeId& u, NodeId& v) {
   // O(1) expected via the edge table's slot sampling (no edges() vector).
   return g_.sample_edge(rng_, u, v);
 }
 
-bool ChurnGenerator::random_non_edge(NodeId& u, NodeId& v) {
+bool TraceGenerator::random_non_edge(NodeId& u, NodeId& v) {
   if (g_.node_count() < 2) return false;
   for (int attempt = 0; attempt < 64; ++attempt) {
     const NodeId a = random_node();
@@ -43,6 +63,34 @@ bool ChurnGenerator::random_non_edge(NodeId& u, NodeId& v) {
   return false;
 }
 
+GraphOp TraceGenerator::emit_add_node(std::vector<NodeId> neighbors, bool unmute) {
+  GraphOp op = unmute ? GraphOp::unmute_node(std::move(neighbors))
+                      : GraphOp::add_node(std::move(neighbors));
+  const NodeId v = g_.add_node();
+  track_add(v);
+  for (const NodeId u : op.neighbors) g_.add_edge(v, u);
+  return op;
+}
+
+GraphOp TraceGenerator::emit_remove_node(NodeId v, bool abrupt) {
+  GraphOp op = GraphOp::remove_node(v, abrupt);
+  g_.remove_node(v);
+  track_remove(v);
+  return op;
+}
+
+GraphOp TraceGenerator::emit_add_edge(NodeId u, NodeId v) {
+  GraphOp op = GraphOp::add_edge(u, v);
+  g_.add_edge(u, v);
+  return op;
+}
+
+GraphOp TraceGenerator::emit_remove_edge(NodeId u, NodeId v, bool abrupt) {
+  GraphOp op = GraphOp::remove_edge(u, v, abrupt);
+  g_.remove_edge(u, v);
+  return op;
+}
+
 GraphOp ChurnGenerator::next() {
   for (;;) {
     const double roll = rng_.real01();
@@ -50,48 +98,31 @@ GraphOp ChurnGenerator::next() {
       NodeId u = 0;
       NodeId v = 0;
       if (!random_non_edge(u, v)) continue;
-      GraphOp op = GraphOp::add_edge(u, v);
-      g_.add_edge(u, v);
-      return op;
+      return emit_add_edge(u, v);
     }
     if (roll < config_.p_add_edge + config_.p_remove_edge) {
       NodeId u = 0;
       NodeId v = 0;
       if (!random_edge(u, v)) continue;
-      GraphOp op = GraphOp::remove_edge(u, v, rng_.chance(config_.p_abrupt));
-      g_.remove_edge(u, v);
-      return op;
+      return emit_remove_edge(u, v, rng_.chance(config_.p_abrupt));
     }
     if (roll < config_.p_add_edge + config_.p_remove_edge + config_.p_add_node) {
       std::vector<NodeId> neighbors;
-      for (std::uint32_t i = 0;
-           i < config_.attach_degree && !live_.empty(); ++i) {
+      for (std::uint32_t i = 0; i < config_.attach_degree && live_count() > 0; ++i) {
         const NodeId candidate = random_node();
         bool fresh = true;
         for (const NodeId existing : neighbors) fresh &= existing != candidate;
         if (fresh) neighbors.push_back(candidate);
       }
-      GraphOp op = rng_.chance(config_.p_unmute) ? GraphOp::unmute_node(neighbors)
-                                                 : GraphOp::add_node(neighbors);
-      const NodeId v = g_.add_node();
-      track_add(v);
-      for (const NodeId u : op.neighbors) g_.add_edge(v, u);
-      return op;
+      return emit_add_node(std::move(neighbors), rng_.chance(config_.p_unmute));
     }
     if (g_.node_count() <= 1) continue;  // keep the graph non-trivial
-    const NodeId v = random_node();
-    GraphOp op = GraphOp::remove_node(v, rng_.chance(config_.p_abrupt));
-    g_.remove_node(v);
-    track_remove(v);
-    return op;
+    // Two rng_ draws: sequence them explicitly (argument evaluation order
+    // would be unspecified) so the draw stream — and with it every committed
+    // deterministic baseline — is stable across compilers.
+    const NodeId victim = random_node();
+    return emit_remove_node(victim, rng_.chance(config_.p_abrupt));
   }
-}
-
-Trace ChurnGenerator::generate(std::size_t count) {
-  Trace trace;
-  trace.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) trace.push_back(next());
-  return trace;
 }
 
 }  // namespace dmis::workload

@@ -43,12 +43,13 @@ void replay_with_costs(Engine& engine, const Trace& trace, Sink&& sink) {
   for (const GraphOp& op : trace) sink(apply_with_cost(engine, op));
 }
 
-/// Stream `count` live churn ops through the engine without materializing a
-/// trace. The generator owns the evolving reference graph, so every op is
-/// valid at its position; the engine must have been built from the same
-/// starting graph.
+/// Stream `count` live generated ops through the engine without
+/// materializing a trace. Accepts any TraceGenerator (uniform churn, the
+/// skewed/adversarial policies, …): the generator owns the evolving
+/// reference graph, so every op is valid at its position; the engine must
+/// have been built from the same starting graph.
 template <typename Engine, typename Sink>
-void stream_churn(Engine& engine, ChurnGenerator& gen, std::size_t count,
+void stream_churn(Engine& engine, TraceGenerator& gen, std::size_t count,
                   Sink&& sink) {
   for (std::size_t i = 0; i < count; ++i)
     sink(apply_with_cost(engine, gen.next()));

@@ -1,0 +1,78 @@
+#include "workload/edge_list.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+namespace dmis::workload {
+
+bool read_edge_list(std::istream& in, graph::DynamicGraph& out,
+                    EdgeListStats* stats, std::string* error) {
+  EdgeListStats local;
+  EdgeListStats& s = stats ? *stats : local;
+  s = EdgeListStats{};
+  graph::DynamicGraph g;
+  std::unordered_map<std::uint64_t, graph::NodeId> dense;
+
+  const auto intern = [&](std::uint64_t raw) {
+    const auto it = dense.find(raw);
+    if (it != dense.end()) return it->second;
+    const graph::NodeId id = g.add_node();
+    dense.emplace(raw, id);
+    return id;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++s.lines;
+    // Find the first non-space byte; '#'/'%' lines and blank lines are
+    // comments (SNAP uses '#', Matrix-Market-adjacent dumps use '%').
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r'))
+      ++i;
+    if (i == line.size() || line[i] == '#' || line[i] == '%') {
+      ++s.comments;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!(ls >> a >> b)) {
+      if (error) {
+        *error = "edge list line " + std::to_string(s.lines) +
+                 ": expected two integer ids, got '" + line + "'";
+      }
+      return false;
+    }
+    ++s.parsed;
+    if (a == b) {
+      ++s.self_loops;  // the engines model simple graphs
+      continue;
+    }
+    const graph::NodeId u = intern(a);
+    const graph::NodeId v = intern(b);
+    if (g.has_edge(u, v)) {
+      ++s.duplicates;  // SNAP ships both directions of undirected edges
+      continue;
+    }
+    g.add_edge(u, v);
+  }
+  s.nodes = g.node_count();
+  s.edges = g.edge_count();
+  out = std::move(g);
+  return true;
+}
+
+bool read_edge_list_file(const std::string& path, graph::DynamicGraph& out,
+                         EdgeListStats* stats, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  return read_edge_list(in, out, stats, error);
+}
+
+}  // namespace dmis::workload

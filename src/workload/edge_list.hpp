@@ -1,0 +1,46 @@
+// SNAP-style edge-list ingestion: turn real-world graph datasets into the
+// repo's replayable trace/snapshot formats.
+//
+// The published SNAP datasets (and most graph corpora) are plain text, one
+// edge per line as two whitespace-separated integer ids, with '#' (or '%')
+// comment lines. Ids are arbitrary and sparse, so ingestion densifies them
+// in first-appearance order — the resulting DynamicGraph has positional ids
+// and therefore round-trips through workload::grow_trace / TraceFile like
+// any generated graph. The skewed-workload benches replay real heavy-tailed
+// topologies through the engines this way (tools/dmis_ingest is the CLI).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace dmis::workload {
+
+/// What the parser saw, for operator-facing diagnostics. `parsed` counts
+/// well-formed edge lines; self-loops and duplicate edges are skipped but
+/// tallied (SNAP files routinely contain both directions of each edge).
+struct EdgeListStats {
+  std::size_t lines = 0;       ///< total lines read
+  std::size_t comments = 0;    ///< '#'/'%' comment or blank lines
+  std::size_t parsed = 0;      ///< well-formed "u v" lines
+  std::size_t self_loops = 0;  ///< skipped u == v lines
+  std::size_t duplicates = 0;  ///< skipped repeated {u, v} pairs
+  std::size_t nodes = 0;       ///< distinct ids seen (== out.node_count())
+  std::size_t edges = 0;       ///< distinct undirected edges kept
+};
+
+/// Parse a SNAP-style edge list from `in` into a dense-id DynamicGraph.
+/// Ids are remapped to 0..n-1 in first-appearance order (reading the same
+/// file always yields the same graph). Returns false and sets `*error` on a
+/// malformed non-comment line; `stats` is optional.
+[[nodiscard]] bool read_edge_list(std::istream& in, graph::DynamicGraph& out,
+                                  EdgeListStats* stats, std::string* error);
+
+/// File-path convenience wrapper around read_edge_list().
+[[nodiscard]] bool read_edge_list_file(const std::string& path,
+                                       graph::DynamicGraph& out,
+                                       EdgeListStats* stats, std::string* error);
+
+}  // namespace dmis::workload

@@ -1,0 +1,122 @@
+#include "workload/skewed.hpp"
+
+namespace dmis::workload {
+
+const char* to_string(ChurnPolicy policy) noexcept {
+  switch (policy) {
+    case ChurnPolicy::kHubKill:
+      return "hub-kill";
+    case ChurnPolicy::kBurstMute:
+      return "burst-mute";
+    case ChurnPolicy::kFlashCrowd:
+      return "flash-crowd";
+  }
+  return "unknown";
+}
+
+GraphOp SkewedChurnGenerator::refill_insert() {
+  std::vector<NodeId> neighbors;
+  for (std::uint32_t i = 0; i < config_.attach_degree && live_count() > 0; ++i) {
+    const NodeId candidate = preferential_node();
+    bool fresh = true;
+    for (const NodeId existing : neighbors) fresh &= existing != candidate;
+    if (fresh) neighbors.push_back(candidate);
+  }
+  return emit_add_node(std::move(neighbors), /*unmute=*/false);
+}
+
+GraphOp SkewedChurnGenerator::crowd_insert(NodeId hub) {
+  std::vector<NodeId> neighbors;
+  neighbors.push_back(hub);
+  for (std::uint32_t i = 1; i < config_.attach_degree && live_count() > 1; ++i) {
+    const NodeId candidate = preferential_node();
+    bool fresh = true;
+    for (const NodeId existing : neighbors) fresh &= existing != candidate;
+    if (fresh) neighbors.push_back(candidate);
+  }
+  return emit_add_node(std::move(neighbors), /*unmute=*/false);
+}
+
+bool SkewedChurnGenerator::pop_pending(GraphOp& op) {
+  while (!pending_.empty()) {
+    const Pending p = pending_.front();
+    pending_.pop_front();
+    if (p.kind == Pending::kDelete) {
+      // Victims are live distinct nodes when enqueued and burst phases only
+      // delete, so a dead victim here is a config/composition safety net,
+      // not an expected path.
+      if (!g_.has_node(p.node) || g_.node_count() <= 1) continue;
+      op = emit_remove_node(p.node, rng_.chance(config_.p_abrupt));
+      return true;
+    }
+    // kInsertAt: the storm's hub cannot die mid-storm (its collapse is the
+    // last queue entry), but re-anchor to the current hub if it somehow did.
+    const NodeId anchor = g_.has_node(p.node) ? p.node : max_degree_node();
+    op = crowd_insert(anchor);
+    return true;
+  }
+  return false;
+}
+
+GraphOp SkewedChurnGenerator::next_hub_kill() {
+  if (refill_left_ > 0 || g_.node_count() <= 1) {
+    if (refill_left_ > 0) --refill_left_;
+    return refill_insert();
+  }
+  refill_left_ = config_.refill_per_kill;
+  const NodeId hub = max_degree_node();
+  return emit_remove_node(hub, rng_.chance(config_.p_abrupt));
+}
+
+GraphOp SkewedChurnGenerator::next_burst_mute() {
+  GraphOp op;
+  if (pop_pending(op)) return op;
+  if (refill_left_ > 0 || g_.node_count() <= 2) {
+    if (refill_left_ > 0) --refill_left_;
+    return refill_insert();
+  }
+  // Start a burst: snapshot the seed's neighborhood (the span is invalidated
+  // by the deletions to come) and queue it, seed last.
+  refill_left_ = config_.refill_per_burst;
+  const bool hub_seed = rng_.chance(config_.p_hub_seed);
+  const NodeId seed = hub_seed ? max_degree_node() : random_node();
+  std::vector<NodeId> victims(g_.neighbors(seed).begin(), g_.neighbors(seed).end());
+  if (victims.size() > config_.burst_cap) victims.resize(config_.burst_cap);
+  for (const NodeId v : victims) pending_.push_back({Pending::kDelete, v});
+  pending_.push_back({Pending::kDelete, seed});
+  const bool popped = pop_pending(op);
+  DMIS_ASSERT(popped);  // the seed is live, so the queue cannot drain empty
+  return op;
+}
+
+GraphOp SkewedChurnGenerator::next_flash_crowd() {
+  GraphOp op;
+  if (pop_pending(op)) return op;
+  // Start a storm aimed at the current hub; whether it collapses is decided
+  // (and its rng draw consumed) up front so the storm is one queue episode.
+  const NodeId hub = max_degree_node();
+  const bool collapse = rng_.chance(config_.p_collapse);
+  const std::uint32_t storm = config_.storm_len > 0 ? config_.storm_len : 1;
+  for (std::uint32_t i = 0; i < storm; ++i)
+    pending_.push_back({Pending::kInsertAt, hub});
+  if (collapse && g_.node_count() > 1) pending_.push_back({Pending::kDelete, hub});
+  const bool popped = pop_pending(op);
+  DMIS_ASSERT(popped);  // storm_len >= 1 inserts were just queued
+  return op;
+}
+
+GraphOp SkewedChurnGenerator::next() {
+  if (g_.node_count() == 0) return emit_add_node({}, /*unmute=*/false);
+  switch (config_.policy) {
+    case ChurnPolicy::kHubKill:
+      return next_hub_kill();
+    case ChurnPolicy::kBurstMute:
+      return next_burst_mute();
+    case ChurnPolicy::kFlashCrowd:
+      return next_flash_crowd();
+  }
+  DMIS_ASSERT(false);
+  return GraphOp::add_node({});
+}
+
+}  // namespace dmis::workload

@@ -1,0 +1,116 @@
+// Skewed and adversarial churn policies: hub-centric change sequences that
+// uniform churn structurally cannot produce.
+//
+// Everything measured through workload/churn.hpp samples endpoints
+// uniformly, so the victim of a typical deletion has ~average degree and the
+// inline-14 adjacency records / uniform shard ranges never leave their
+// comfort zone. The paper's bounds are per-change and distribution-free
+// (Censor-Hillel–Haramaty–Karnin, PODC 2016) — the O(min{log n, d}) abrupt
+// path of Lemma 13 is only *exercised* when d is large — and the dynamic-MIS
+// literature it spawned evaluates on heavy-tailed real graphs. These
+// generators aim the change stream at the degree tail:
+//
+//   * kHubKill      — repeatedly abrupt-delete the current maximum-degree
+//                     node, with preferential-attachment refill inserts
+//                     between kills so fresh hubs keep forming. Every kill
+//                     is a worst-case Lemma 13 event.
+//   * kBurstMute    — correlated bursts: snapshot a hub's neighborhood and
+//                     abrupt-delete it node by node (then the hub itself),
+//                     so many overlapping multi-source recoveries hit the
+//                     same region back to back.
+//   * kFlashCrowd   — insert storms targeting one hub: runs of new nodes
+//                     all wired to the current max-degree node, driving its
+//                     degree far past the inline-14 spill threshold; with
+//                     p_collapse the crowd's hub is then abruptly deleted
+//                     at peak degree.
+//
+// All three derive from TraceGenerator and inherit its seeding contract
+// (see workload/churn.hpp): the op stream is a pure function of
+// (initial graph, config, seed), every draw flows through the inherited
+// rng_, and every emitted op is valid at its position in the stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "workload/churn.hpp"
+
+namespace dmis::workload {
+
+enum class ChurnPolicy : std::uint8_t {
+  kHubKill,
+  kBurstMute,
+  kFlashCrowd,
+};
+
+[[nodiscard]] const char* to_string(ChurnPolicy policy) noexcept;
+
+struct SkewedChurnConfig {
+  ChurnPolicy policy = ChurnPolicy::kHubKill;
+  /// New nodes attach to this many targets (preferential for refills and
+  /// crowd extras, the hub itself always first for flash crowds).
+  std::uint32_t attach_degree = 3;
+  /// kHubKill: preferential refill inserts between consecutive hub kills
+  /// (keeps node count roughly stable and regrows the degree tail).
+  std::uint32_t refill_per_kill = 8;
+  /// kBurstMute: cap on nodes muted per burst (a hub's whole neighborhood up
+  /// to this many, then the hub), and preferential refills between bursts.
+  std::uint32_t burst_cap = 32;
+  std::uint32_t refill_per_burst = 16;
+  /// kBurstMute: burst victims are hubs with this probability, else uniform
+  /// (1.0 = always the max-degree node).
+  double p_hub_seed = 1.0;
+  /// kFlashCrowd: inserts per storm, all wired to the storm's hub.
+  std::uint32_t storm_len = 64;
+  /// kFlashCrowd: probability the storm ends in an abrupt hub delete at
+  /// peak degree (0 = pure insert pressure, the spill-threshold stress).
+  double p_collapse = 0.5;
+  /// Deletions are abrupt with this probability (default: always — the
+  /// adversarial point is the multi-source Lemma 13 path).
+  double p_abrupt = 1.0;
+};
+
+/// Streaming generator for the three skewed policies. One policy per
+/// instance; each next() emits exactly one op, with multi-op phases (bursts,
+/// storms) carried across calls in an internal queue so the generator
+/// composes with every per-op driver (stream_churn, the fuzzer, TraceFile
+/// recording).
+class SkewedChurnGenerator final : public TraceGenerator {
+ public:
+  SkewedChurnGenerator(graph::DynamicGraph initial, SkewedChurnConfig config,
+                       std::uint64_t seed)
+      : TraceGenerator(std::move(initial), seed), config_(config) {}
+
+  [[nodiscard]] GraphOp next() override;
+
+ private:
+  /// One queued future action: insert a node wired to `anchor` (+
+  /// preferential extras), or delete `victim`.
+  struct Pending {
+    enum Kind : std::uint8_t { kInsertAt, kDelete } kind = kDelete;
+    NodeId node = 0;
+  };
+
+  [[nodiscard]] GraphOp next_hub_kill();
+  [[nodiscard]] GraphOp next_burst_mute();
+  [[nodiscard]] GraphOp next_flash_crowd();
+
+  /// A preferential-attachment node insert (the refill op shared by all
+  /// policies): attach_degree degree-weighted distinct targets.
+  [[nodiscard]] GraphOp refill_insert();
+
+  /// Wire a new node to `hub` first, then attach_degree−1 preferential
+  /// extras (the flash-crowd storm op).
+  [[nodiscard]] GraphOp crowd_insert(NodeId hub);
+
+  /// Drain the pending queue, skipping entries whose node died since it was
+  /// enqueued; false if the queue emptied without producing an op.
+  [[nodiscard]] bool pop_pending(GraphOp& op);
+
+  SkewedChurnConfig config_;
+  std::deque<Pending> pending_;
+  std::uint32_t refill_left_ = 0;  // refills before the next kill/burst/storm
+};
+
+}  // namespace dmis::workload

@@ -33,6 +33,7 @@
 #include "workload/batched.hpp"
 #include "workload/churn.hpp"
 #include "workload/distributed.hpp"
+#include "workload/skewed.hpp"
 #include "workload/trace.hpp"
 
 namespace {
@@ -62,23 +63,24 @@ constexpr unsigned kEnginesPerTrace = 4;
 
 /// Human-readable failure locator. The op index is minimal by construction:
 /// every earlier op passed the same checks.
-std::string locate(const Regime& regime, std::uint64_t seed, std::size_t op_index,
+std::string locate(const char* regime_name, std::uint64_t seed, std::size_t op_index,
                    const workload::GraphOp& op) {
   std::ostringstream os;
-  os << "regime=" << regime.name << " seed=" << seed
+  os << "regime=" << regime_name << " seed=" << seed
      << " minimized-op-index=" << op_index << " kind=" << static_cast<int>(op.kind)
      << " u=" << op.u << " v=" << op.v
      << " (replay the first " << (op_index + 1) << " ops of this trace to reproduce)";
   return os.str();
 }
 
-/// One fuzz case: drive all engines through one random trace, checking
-/// adjustments and full membership after every op and the greedy oracle
+/// One fuzz case over an arbitrary generator (uniform churn or a skewed
+/// adversarial policy): drive all engines through one random trace,
+/// checking adjustments and full membership against the greedy oracle
 /// after every op (graphs are small; exhaustive checking is what makes the
 /// reported op index minimal). Returns false on the first divergence.
-bool run_case(const Regime& regime, std::uint64_t seed) {
-  util::Rng graph_rng(seed);
-  const graph::DynamicGraph g0 = graph::random_avg_degree(regime.n, regime.deg, graph_rng);
+bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
+                    workload::TraceGenerator& gen, std::size_t ops,
+                    std::uint64_t seed) {
   const std::uint64_t prio_seed = seed * 1000 + 17;
 
   core::CascadeEngine cascade(g0, prio_seed);
@@ -87,9 +89,8 @@ bool run_case(const Regime& regime, std::uint64_t seed) {
   core::DistMis dist(g0, prio_seed);
   core::AsyncMis async(g0, prio_seed, /*scheduler_seed=*/seed + 5);
 
-  workload::ChurnGenerator gen(g0, regime.config, seed + 99);
   core::Batch batch;
-  for (std::size_t i = 0; i < regime.ops; ++i) {
+  for (std::size_t i = 0; i < ops; ++i) {
     const workload::GraphOp op = gen.next();
 
     workload::apply(cascade, op);
@@ -108,7 +109,7 @@ bool run_case(const Regime& regime, std::uint64_t seed) {
                     << " sharded=" << sharded_result.report.adjustments
                     << " dist=" << dist_sample.cost.adjustments
                     << " async=" << async_sample.cost.adjustments << "\n  "
-                    << locate(regime, seed, i, op);
+                    << locate(regime_name, seed, i, op);
       return false;
     }
 
@@ -136,7 +137,7 @@ bool run_case(const Regime& regime, std::uint64_t seed) {
                     << " cascade=" << cascade.in_mis(bad)
                     << " sharded=" << sharded.in_mis(bad)
                     << " dist=" << dist.in_mis(bad) << " async=" << async.in_mis(bad)
-                    << "\n  " << locate(regime, seed, i, op);
+                    << "\n  " << locate(regime_name, seed, i, op);
       return false;
     }
   }
@@ -150,6 +151,15 @@ bool run_case(const Regime& regime, std::uint64_t seed) {
   EXPECT_TRUE(dist.graph() == gen.graph());
   EXPECT_TRUE(async.graph() == gen.graph());
   return true;
+}
+
+/// The uniform-mix case: random base graph + ChurnGenerator.
+bool run_case(const Regime& regime, std::uint64_t seed) {
+  util::Rng graph_rng(seed);
+  const graph::DynamicGraph g0 =
+      graph::random_avg_degree(regime.n, regime.deg, graph_rng);
+  workload::ChurnGenerator gen(g0, regime.config, seed + 99);
+  return run_trace_case(regime.name, g0, gen, regime.ops, seed);
 }
 
 TEST(EngineFuzz, DifferentialAcrossAllEnginesAndRegimes) {
@@ -168,6 +178,42 @@ TEST(EngineFuzz, DifferentialAcrossAllEnginesAndRegimes) {
   // The tier-1 bar: at least 50 seeded trace/engine combinations must have
   // run clean in this suite.
   EXPECT_GE(combos, 50U) << "differential fuzz coverage dropped below the bar";
+}
+
+// Skewed regimes: heavy-tailed base graphs under the adversarial policies.
+// Hub deletions, correlated neighborhood bursts and insert storms hit the
+// engines' cascade paths much harder per op than the uniform mix, so a
+// smaller grid still probes deep recovery chains.
+struct SkewedRegime {
+  const char* name;
+  workload::ChurnPolicy policy;
+  std::size_t ops;
+};
+
+const SkewedRegime kSkewedRegimes[] = {
+    {"ba-hub-kill", workload::ChurnPolicy::kHubKill, 300},
+    {"ba-burst-mute", workload::ChurnPolicy::kBurstMute, 300},
+    {"ba-flash-crowd", workload::ChurnPolicy::kFlashCrowd, 300},
+};
+constexpr std::uint64_t kSeedsPerSkewedRegime = 2;
+
+TEST(EngineFuzz, DifferentialUnderSkewedChurn) {
+  unsigned combos = 0;
+  for (const SkewedRegime& regime : kSkewedRegimes) {
+    for (std::uint64_t s = 0; s < kSeedsPerSkewedRegime; ++s) {
+      const std::uint64_t seed = s * 104729 + 31;
+      util::Rng graph_rng(seed);
+      const graph::DynamicGraph g0 = graph::barabasi_albert(100, 3, graph_rng);
+      workload::SkewedChurnConfig config;
+      config.policy = regime.policy;
+      config.burst_cap = 12;
+      config.storm_len = 24;
+      workload::SkewedChurnGenerator gen(g0, config, seed + 99);
+      if (!run_trace_case(regime.name, g0, gen, regime.ops, seed)) continue;
+      combos += kEnginesPerTrace;
+    }
+  }
+  EXPECT_GE(combos, 20U) << "skewed differential coverage dropped below the bar";
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cascade_engine.hpp"
 #include "core/engine_snapshot.hpp"
@@ -275,19 +276,25 @@ int cmd_stats(util::Cli& cli) {
                 static_cast<unsigned long long>(ext.priority_seed));
   }
 
-  std::uint32_t max_deg = 0;
-  std::uint64_t spilled = 0;  // nodes past the 14-slot inline capacity
+  std::vector<std::size_t> degrees;
+  degrees.reserve(snap.node_count());
   double deg_sum = 0;
   for (NodeId v = 0; v < snap.id_bound(); ++v) {
     if (!snap.alive(v)) continue;
     const std::uint32_t d = snap.degree(v);
     deg_sum += d;
-    if (d > max_deg) max_deg = d;
-    if (d > 14) ++spilled;
+    degrees.push_back(d);
   }
-  std::printf("  degree           avg %.2f  max %u  spilled-inline %llu\n",
-              snap.node_count() > 0 ? deg_sum / snap.node_count() : 0.0, max_deg,
-              static_cast<unsigned long long>(spilled));
+  const graph::DegreeTail tail = graph::degree_tail_from(std::move(degrees));
+  std::printf("  degree           avg %.2f  p50 %zu  p90 %zu  p99 %zu  max %zu\n",
+              snap.node_count() > 0 ? deg_sum / snap.node_count() : 0.0, tail.p50,
+              tail.p90, tail.p99, tail.maximum);
+  std::printf("  spilled-inline   %zu nodes past the %u-slot record (%.2f%%)\n",
+              tail.spilled, graph::DynamicGraph::kInlineNeighbors,
+              100.0 * tail.spilled_fraction);
+  if (tail.tail_exponent > 0.0)
+    std::printf("  tail exponent    %.2f (Hill MLE over %zu nodes with degree >= 5)\n",
+                tail.tail_exponent, tail.tail_count);
   return 0;
 }
 
