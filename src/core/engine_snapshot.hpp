@@ -14,9 +14,12 @@
 
 #include <string>
 
+#include <cstdint>
+
 #include "core/async_mis.hpp"
 #include "core/cascade_engine.hpp"
 #include "core/dist_mis.hpp"
+#include "core/lockfree_engine.hpp"
 #include "core/sharded_engine.hpp"
 #include "util/fault_file.hpp"  // util::FileFactory
 
@@ -38,5 +41,15 @@ bool save_snapshot(const DistMis& engine, const std::string& path,
                    std::string* error = nullptr);
 bool save_snapshot(const AsyncMis& engine, const std::string& path,
                    std::string* error = nullptr);
+bool save_snapshot(const LockFreeEngine& engine, const std::string& path,
+                   std::string* error = nullptr);
+
+/// Version-3 writers: identical engine state plus the shard table that lets
+/// S loaders adopt disjoint id ranges during a warm start (docs/FORMATS.md).
+/// `shard_count` is clamped to [1, graph::kSnapshotMaxShards].
+bool save_snapshot_sharded(const CascadeEngine& engine, const std::string& path,
+                           std::uint32_t shard_count, std::string* error = nullptr);
+bool save_snapshot_sharded(const LockFreeEngine& engine, const std::string& path,
+                           std::uint32_t shard_count, std::string* error = nullptr);
 
 }  // namespace dmis::core

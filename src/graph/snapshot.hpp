@@ -10,6 +10,7 @@
 //
 //   [SnapshotHeader]                fixed 104 bytes, validated on open
 //   [SnapshotEngineExt]             fixed 64 bytes, version >= 2 only
+//   [SnapshotShardExt]              fixed 128 bytes, version >= 3 only
 //   [alive]     id_bound  × u8     1 = live node, 0 = deleted id
 //   [offsets]   id_bound+1 × u64   CSR offsets into [neighbors]; off[0] = 0,
 //                                  off[id_bound] = 2·edge_count, monotone
@@ -22,7 +23,9 @@
 // Version 1 (graph-only) is frozen; version 2 appends the engine-state
 // sections — per-node 64-bit priority keys plus the MIS membership bytes —
 // located by offsets in the SnapshotEngineExt header that immediately
-// follows the frozen 104-byte base header. Because the greedy-by-priority
+// follows the frozen 104-byte base header. Version 3 inserts one more fixed
+// header (SnapshotShardExt) carrying a node-range shard table for parallel
+// warm loads; every section's contents stay byte-identical to v2. Because the greedy-by-priority
 // MIS is the unique fixpoint of the node priorities (paper §3), those two
 // arrays ARE the complete engine state: an engine that adopts them warm
 // (CascadeEngine et al., graph::SnapshotLoad::kWarm) restarts with zero
@@ -61,6 +64,14 @@ inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// membership). save_snapshot without engine state still writes version 1,
 /// byte-identical to the frozen format.
 inline constexpr std::uint32_t kSnapshotVersionEngine = 2;
+/// v2 + SnapshotShardExt: shard-partitioned node-range boundaries so S
+/// loaders can adopt disjoint ranges in parallel (section contents are
+/// byte-identical to v2 — the shard table only inserts a third fixed header,
+/// per the FORMATS.md append-only versioning rules). Written only by the
+/// explicit shard-count save overload; the default writers stay v2/v1.
+inline constexpr std::uint32_t kSnapshotVersionSharded = 3;
+/// Upper bound on v3 shard counts (the shard table is fixed-size).
+inline constexpr std::uint32_t kSnapshotMaxShards = 16;
 /// Written as the native u32 0x01020304; a reader on a different-endian host
 /// sees 0x04030201 and rejects. All production targets are little-endian,
 /// so the format is little-endian by fiat.
@@ -99,6 +110,22 @@ struct SnapshotEngineExt {
                                  ///< stream of the saved process
 };
 static_assert(sizeof(SnapshotEngineExt) == 64, "extension header layout is frozen");
+
+/// Version-3 shard extension header, immediately after SnapshotEngineExt
+/// (and inside the checksummed payload). It partitions the node-id space
+/// [0, id_bound) into `shard_count` contiguous ranges balanced by adjacency
+/// mass at save time: shard s covers [b_s, b_{s+1}) where b_0 = 0,
+/// b_shard_count = id_bound, and boundary[i] stores the interior split
+/// b_{i+1} for i < shard_count - 1. Every key/membership/CSR section is
+/// unchanged from v2 — the table only names disjoint ranges of them — so S
+/// loaders can bulk-adopt the ranges in parallel with no coordination.
+/// Unused boundary slots must be zero (open() rejects otherwise, so a bit
+/// flip in the dormant slots is a structural failure, not silent garbage).
+struct SnapshotShardExt {
+  std::uint64_t shard_count;      ///< 1 … kSnapshotMaxShards
+  std::uint64_t boundary[15];     ///< interior splits, monotone, <= id_bound
+};
+static_assert(sizeof(SnapshotShardExt) == 128, "shard header layout is frozen");
 
 /// Engine state handed to the v2 writer: spans sized at most id_bound
 /// (shorter spans are zero-padded — trailing ids then carry key 0 and
@@ -217,6 +244,24 @@ class Snapshot {
   }
   [[nodiscard]] const SnapshotEngineExt& engine_ext() const noexcept { return ext_; }
 
+  /// Shard partition of the node-id space (v3). Pre-v3 snapshots report a
+  /// single shard covering [0, id_bound), so consumers can treat every
+  /// version uniformly: `for s in [0, shard_count()): adopt [shard_begin(s),
+  /// shard_end(s))` is always a disjoint cover of the id space.
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return header_.version >= kSnapshotVersionSharded
+               ? static_cast<std::uint32_t>(shard_.shard_count)
+               : 1U;
+  }
+  [[nodiscard]] NodeId shard_begin(std::uint32_t s) const noexcept {
+    return s == 0 ? 0 : static_cast<NodeId>(shard_.boundary[s - 1]);
+  }
+  [[nodiscard]] NodeId shard_end(std::uint32_t s) const noexcept {
+    return s + 1 == shard_count() ? header_.id_bound
+                                  : static_cast<NodeId>(shard_.boundary[s]);
+  }
+  [[nodiscard]] const SnapshotShardExt& shard_ext() const noexcept { return shard_; }
+
   /// Deep integrity check (full pass over the file): payload checksum, edge
   /// table ↔ CSR agreement (every adjacency pair present in the table with a
   /// reciprocal neighbor entry, table size == edge_count), degree sanity,
@@ -235,7 +280,8 @@ class Snapshot {
 
   util::MmapFile file_;
   SnapshotHeader header_{};
-  SnapshotEngineExt ext_{};  // zero unless header_.version >= 2
+  SnapshotEngineExt ext_{};    // zero unless header_.version >= 2
+  SnapshotShardExt shard_{};   // zero unless header_.version >= 3
   bool deep_validated_ = false;
 };
 
@@ -259,5 +305,14 @@ bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
 bool save_snapshot(const DynamicGraph& g, const EngineStateView& state,
                    const std::string& path, const util::FileFactory& factory,
                    std::string* error = nullptr);
+
+/// Write a version-3 (shard-partitioned) snapshot: v2's sections plus a
+/// SnapshotShardExt naming `shard_count` node ranges balanced by adjacency
+/// mass, so warm loaders can adopt the ranges in parallel. `shard_count` is
+/// clamped to [1, kSnapshotMaxShards]. Explicit opt-in: the overloads above
+/// keep writing v2/v1 byte-identically.
+bool save_snapshot_sharded(const DynamicGraph& g, const EngineStateView& state,
+                           const std::string& path, std::uint32_t shard_count,
+                           std::string* error = nullptr);
 
 }  // namespace dmis::graph

@@ -3,38 +3,56 @@
 //
 // Each fuzz case generates a random churn trace (mixed graceful/abrupt edge
 // and node ops, unmutes included, across several n / density regimes) and
-// replays it op by op through all four dynamic engines — CascadeEngine,
+// replays it op by op through all five dynamic engines — CascadeEngine,
 // ShardedCascadeEngine (driven through batch-of-one apply_batch so the
-// parallel rounds machinery actually runs), DistMis and AsyncMis — plus the
-// sequential random-greedy oracle. History independence makes the comparison
-// exact: same priority seed ⇒ same permutation ⇒ the engines must agree on
-// the full membership after EVERY op and report identical per-op adjustment
+// parallel rounds machinery actually runs), DistMis, AsyncMis and the
+// lock-free CAS engine (whose worker count follows the DMIS_THREADS compile
+// knob, so the TSan leg fuzzes it 4-threaded) — plus the sequential
+// random-greedy oracle. History independence makes the comparison exact:
+// same priority seed ⇒ same permutation ⇒ the engines must agree on the
+// full membership after EVERY op and report identical per-op adjustment
 // counts. Divergence is reported with the regime, the seed and the op index;
 // because every op is checked, the reported index is already minimal — the
 // shortest failing prefix of that trace ends exactly there.
 //
-// The regimes × seeds grid below yields 16 traces × 4 engines = 64
-// trace/engine combinations (the tier-1 bar is >= 50); graphs are kept small
+// On divergence the fuzzer additionally dumps a self-contained repro to
+// $TEST_TMPDIR (falling back to the system temp dir): a binary TraceFile
+// whose replay from an empty engine reproduces the failure at its final op,
+// plus a version-2 snapshot of the pre-failure engine state (graph + keys +
+// membership rebuilt by replaying the passing prefix), so the failure can
+// be re-driven offline in one command without rerunning the fuzzer:
+//
+//   dmis_snapshot verify --in <dump>.snap   # pre-failure state is a fixpoint
+//   dmis_snapshot save --trace <dump>.trc --engine --priority-seed <printed>
+//
+// The regimes × seeds grid below yields 16 traces × 5 engines = 80
+// trace/engine combinations (the tier-1 bar is >= 65); graphs are kept small
 // enough that the whole suite stays well inside the ctest budget even under
 // the sanitizer jobs.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
 #include "core/batch.hpp"
 #include "core/cascade_engine.hpp"
 #include "core/dist_mis.hpp"
+#include "core/engine_snapshot.hpp"
 #include "core/greedy_mis.hpp"
+#include "core/lockfree_engine.hpp"
 #include "core/sharded_engine.hpp"
 #include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
 #include "util/rng.hpp"
 #include "workload/batched.hpp"
 #include "workload/churn.hpp"
 #include "workload/distributed.hpp"
 #include "workload/skewed.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_file.hpp"
 
 namespace {
 
@@ -59,7 +77,53 @@ const Regime kRegimes[] = {
     {"abrupt-heavy", 150, 6.0, 250, {0.15, 0.40, 0.10, 0.35, 4, 1.0, 0.0}},
 };
 constexpr std::uint64_t kSeedsPerRegime = 4;
-constexpr unsigned kEnginesPerTrace = 4;
+constexpr unsigned kEnginesPerTrace = 5;
+
+/// Where divergence repros land: $TEST_TMPDIR when the harness provides one
+/// (bazel-style; the CI jobs export it), the system temp dir otherwise.
+std::string dump_dir() {
+  if (const char* dir = std::getenv("TEST_TMPDIR"); dir != nullptr && *dir != '\0')
+    return dir;
+  return std::filesystem::temp_directory_path().string();
+}
+
+/// Dump the one-command offline repro for a divergence at `ops[fail]`:
+/// a TraceFile of grow(g0) + ops[0..fail] (replayable from empty) and a v2
+/// snapshot of the pre-failure state (grow + passing prefix replayed into a
+/// fresh CascadeEngine under the same priority seed). Returns the message
+/// describing where everything landed.
+std::string dump_divergence(const char* regime_name, std::uint64_t seed,
+                            std::uint64_t prio_seed, const graph::DynamicGraph& g0,
+                            const workload::Trace& ops, std::size_t fail) {
+  std::ostringstream os;
+  const std::string stem = dump_dir() + "/dmis_fuzz_" + regime_name + "_s" +
+                           std::to_string(seed);
+  workload::Trace full = workload::grow_trace(g0);
+  const std::size_t prefix_len = full.size() + fail;
+  full.insert(full.end(), ops.begin(), ops.begin() + static_cast<long>(fail) + 1);
+
+  std::string error;
+  const std::string trace_path = stem + ".trc";
+  if (!workload::TraceFile::save(trace_path, full, &error)) {
+    os << " (trace dump failed: " << error << ")";
+    return os.str();
+  }
+  // Pre-failure state: everything up to but excluding the failing op.
+  core::CascadeEngine pre(g0, prio_seed);
+  for (std::size_t i = 0; i < fail; ++i) workload::apply(pre, ops[i]);
+  const std::string snap_path = stem + ".snap";
+  if (!core::save_snapshot(pre, snap_path, &error)) {
+    os << " (snapshot dump failed: " << error << ")";
+    return os.str();
+  }
+  os << "\n  repro dumped: trace=" << trace_path << " (" << full.size()
+     << " ops; the failure is op " << full.size() - 1
+     << ", replay the first " << prefix_len << " to stop just before it)"
+     << "\n  pre-failure state: snapshot=" << snap_path << " (v2, priority seed "
+     << prio_seed << ")"
+     << "\n  one-command check: dmis_snapshot verify --in " << snap_path;
+  return os.str();
+}
 
 /// Human-readable failure locator. The op index is minimal by construction:
 /// every earlier op passed the same checks.
@@ -77,7 +141,8 @@ std::string locate(const char* regime_name, std::uint64_t seed, std::size_t op_i
 /// adversarial policy): drive all engines through one random trace,
 /// checking adjustments and full membership against the greedy oracle
 /// after every op (graphs are small; exhaustive checking is what makes the
-/// reported op index minimal). Returns false on the first divergence.
+/// reported op index minimal). Returns false on the first divergence, after
+/// dumping the offline repro for it.
 bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
                     workload::TraceGenerator& gen, std::size_t ops,
                     std::uint64_t seed) {
@@ -88,10 +153,14 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
                                      /*frontier_capacity=*/64);
   core::DistMis dist(g0, prio_seed);
   core::AsyncMis async(g0, prio_seed, /*scheduler_seed=*/seed + 5);
+  core::LockFreeEngine lockfree(g0, prio_seed);
 
+  workload::Trace applied;
+  applied.reserve(ops);
   core::Batch batch;
   for (std::size_t i = 0; i < ops; ++i) {
     const workload::GraphOp op = gen.next();
+    applied.push_back(op);
 
     workload::apply(cascade, op);
     const std::uint64_t want_adjustments = cascade.last_report().adjustments;
@@ -101,15 +170,20 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
     const core::BatchResult sharded_result = sharded.apply_batch(batch);
     const workload::CostSample dist_sample = workload::apply_with_cost(dist, op);
     const workload::CostSample async_sample = workload::apply_with_cost(async, op);
+    workload::apply(lockfree, op);
+    const std::uint64_t lockfree_adjustments = lockfree.last_report().adjustments;
 
     if (sharded_result.report.adjustments != want_adjustments ||
         dist_sample.cost.adjustments != want_adjustments ||
-        async_sample.cost.adjustments != want_adjustments) {
+        async_sample.cost.adjustments != want_adjustments ||
+        lockfree_adjustments != want_adjustments) {
       ADD_FAILURE() << "adjustment-count divergence: cascade=" << want_adjustments
                     << " sharded=" << sharded_result.report.adjustments
                     << " dist=" << dist_sample.cost.adjustments
-                    << " async=" << async_sample.cost.adjustments << "\n  "
-                    << locate(regime_name, seed, i, op);
+                    << " async=" << async_sample.cost.adjustments
+                    << " lockfree=" << lockfree_adjustments << "\n  "
+                    << locate(regime_name, seed, i, op)
+                    << dump_divergence(regime_name, seed, prio_seed, g0, applied, i);
       return false;
     }
 
@@ -121,7 +195,8 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
     cascade.graph().for_each_node([&](NodeId v) {
       const bool want = oracle[v] != 0;
       members_ok &= cascade.in_mis(v) == want && sharded.in_mis(v) == want &&
-                    dist.in_mis(v) == want && async.in_mis(v) == want;
+                    dist.in_mis(v) == want && async.in_mis(v) == want &&
+                    lockfree.in_mis(v) == want;
     });
     if (!members_ok) {
       NodeId bad = graph::kInvalidNode;
@@ -129,7 +204,8 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
         const bool want = oracle[v] != 0;
         if (bad == graph::kInvalidNode &&
             (cascade.in_mis(v) != want || sharded.in_mis(v) != want ||
-             dist.in_mis(v) != want || async.in_mis(v) != want))
+             dist.in_mis(v) != want || async.in_mis(v) != want ||
+             lockfree.in_mis(v) != want))
           bad = v;
       });
       ADD_FAILURE() << "membership divergence from the greedy oracle at node " << bad
@@ -137,7 +213,9 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
                     << " cascade=" << cascade.in_mis(bad)
                     << " sharded=" << sharded.in_mis(bad)
                     << " dist=" << dist.in_mis(bad) << " async=" << async.in_mis(bad)
-                    << "\n  " << locate(regime_name, seed, i, op);
+                    << " lockfree=" << lockfree.in_mis(bad)
+                    << "\n  " << locate(regime_name, seed, i, op)
+                    << dump_divergence(regime_name, seed, prio_seed, g0, applied, i);
       return false;
     }
   }
@@ -147,9 +225,11 @@ bool run_trace_case(const char* regime_name, const graph::DynamicGraph& g0,
   sharded.verify();
   dist.verify();
   async.verify();
+  lockfree.verify();
   EXPECT_TRUE(cascade.graph() == gen.graph());
   EXPECT_TRUE(dist.graph() == gen.graph());
   EXPECT_TRUE(async.graph() == gen.graph());
+  EXPECT_TRUE(lockfree.graph() == gen.graph());
   return true;
 }
 
@@ -175,9 +255,9 @@ TEST(EngineFuzz, DifferentialAcrossAllEnginesAndRegimes) {
       combos += kEnginesPerTrace;
     }
   }
-  // The tier-1 bar: at least 50 seeded trace/engine combinations must have
+  // The tier-1 bar: at least 65 seeded trace/engine combinations must have
   // run clean in this suite.
-  EXPECT_GE(combos, 50U) << "differential fuzz coverage dropped below the bar";
+  EXPECT_GE(combos, 65U) << "differential fuzz coverage dropped below the bar";
 }
 
 // Skewed regimes: heavy-tailed base graphs under the adversarial policies.
@@ -213,7 +293,45 @@ TEST(EngineFuzz, DifferentialUnderSkewedChurn) {
       combos += kEnginesPerTrace;
     }
   }
-  EXPECT_GE(combos, 20U) << "skewed differential coverage dropped below the bar";
+  EXPECT_GE(combos, 25U) << "skewed differential coverage dropped below the bar";
+}
+
+// The dump machinery itself is load-bearing test infrastructure, so it gets
+// its own deterministic check: force a "divergence" at a known op index and
+// assert the dumped TraceFile and snapshot replay to exactly the engine
+// state the fuzzer would have been holding.
+TEST(EngineFuzz, DivergenceDumpReplaysToPreFailureState) {
+  util::Rng graph_rng(5);
+  const graph::DynamicGraph g0 = graph::random_avg_degree(60, 4.0, graph_rng);
+  workload::ChurnGenerator gen(g0, {}, 77);
+  const workload::Trace ops = gen.generate(50);
+  const std::uint64_t prio_seed = 4321;
+  const std::size_t fail = 37;
+
+  const std::string msg =
+      dump_divergence("selftest", 5, prio_seed, g0, ops, fail);
+  ASSERT_NE(msg.find("repro dumped"), std::string::npos) << msg;
+
+  const std::string stem = dump_dir() + "/dmis_fuzz_selftest_s5";
+
+  // The trace replays from empty to the failing op inclusive...
+  workload::TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(tf.open(stem + ".trc", &error)) << error;
+  core::CascadeEngine replayed(prio_seed);
+  tf.replay(replayed);
+  // ...and the snapshot holds the state just before it.
+  graph::Snapshot snap;
+  ASSERT_TRUE(snap.open(stem + ".snap", &error)) << error;
+  EXPECT_TRUE(snap.verify(&error)) << error;
+  core::CascadeEngine pre(snap, snap.priority_seed(), graph::SnapshotLoad::kWarm);
+  workload::apply(pre, ops[fail]);
+  EXPECT_EQ(pre.membership(), replayed.membership());
+  EXPECT_EQ(pre.mis_size(), replayed.mis_size());
+  EXPECT_TRUE(pre.graph() == replayed.graph());
+
+  std::filesystem::remove(stem + ".trc");
+  std::filesystem::remove(stem + ".snap");
 }
 
 }  // namespace

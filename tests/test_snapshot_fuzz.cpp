@@ -1,5 +1,6 @@
 // Snapshot corruption fuzz: byte/bit flips, truncations and section swaps
-// over version-1 (graph-only) and version-2 (engine-state) snapshot files.
+// over version-1 (graph-only), version-2 (engine-state) and version-3
+// (shard-partitioned) snapshot files.
 //
 // The contract under test is the format's safety ladder (docs/FORMATS.md):
 // whatever the bytes, Snapshot::open either rejects the file or yields a
@@ -147,6 +148,14 @@ void exercise(const std::string& path, std::uint64_t engine_seed) {
     const core::CascadeEngine warm(snap, engine_seed, graph::SnapshotLoad::kWarm);
     EXPECT_EQ(warm.mis_size(), static_cast<std::size_t>(snap.mis_size()));
     if (verified) warm.verify();
+    // The lock-free engine's warm start consumes the same sections through
+    // the shard table (validated at open, so its ranges are in bounds on
+    // any accepted file) with parallel loaders — it must digest whatever
+    // the cascade digested and land on the identical membership.
+    const core::LockFreeEngine parallel(snap, engine_seed,
+                                        graph::SnapshotLoad::kWarm, /*workers=*/2);
+    EXPECT_EQ(parallel.membership(), warm.membership());
+    if (verified) parallel.verify();
   } else if (verified) {
     const core::CascadeEngine cold(snap, engine_seed, graph::SnapshotLoad::kCold);
     cold.verify();
@@ -159,15 +168,18 @@ struct Corpus {
   std::vector<std::uint8_t> pristine;
 };
 
-/// Build the two seed files: a v1 graph snapshot and a v2 engine snapshot,
-/// both from a churned graph (dead ids, spilled records, tombstones).
-void build_corpus(Corpus& v1, Corpus& v2, NodeId n, std::uint64_t seed) {
+/// Build the three seed files: a v1 graph snapshot, a v2 engine snapshot
+/// and a v3 shard-partitioned snapshot of the same engine state, all from a
+/// churned graph (dead ids, spilled records, tombstones).
+void build_corpus(Corpus& v1, Corpus& v2, Corpus& v3, NodeId n, std::uint64_t seed) {
   const DynamicGraph g = churned_graph(n, seed);
   ASSERT_TRUE(g.save(v1.file.path));
   const core::CascadeEngine engine(g, seed * 3 + 1);
   ASSERT_TRUE(core::save_snapshot(engine, v2.file.path));
+  ASSERT_TRUE(core::save_snapshot_sharded(engine, v3.file.path, /*shard_count=*/4));
   v1.pristine = read_bytes(v1.file.path);
   v2.pristine = read_bytes(v2.file.path);
+  v3.pristine = read_bytes(v3.file.path);
 }
 
 void fuzz_bit_flips(Corpus& c, std::uint64_t seed, int iterations) {
@@ -260,23 +272,29 @@ class SnapshotFuzz : public ::testing::Test {
   void SetUp() override {
     v1_ = std::make_unique<Corpus>("v1.snap");
     v2_ = std::make_unique<Corpus>("v2.snap");
-    build_corpus(*v1_, *v2_, /*n=*/250, /*seed=*/29);
+    v3_ = std::make_unique<Corpus>("v3.snap");
+    build_corpus(*v1_, *v2_, *v3_, /*n=*/250, /*seed=*/29);
     // Sanity: the pristine corpus opens, verifies and warm-starts.
     exercise(v1_->file.path, 1);
     exercise(v2_->file.path, 1);
+    exercise(v3_->file.path, 1);
   }
   std::unique_ptr<Corpus> v1_;
   std::unique_ptr<Corpus> v2_;
+  std::unique_ptr<Corpus> v3_;
 };
 
 TEST_F(SnapshotFuzz, BitFlipsNeverCrashV1) { fuzz_bit_flips(*v1_, 0xF00D, 200); }
 TEST_F(SnapshotFuzz, BitFlipsNeverCrashV2) { fuzz_bit_flips(*v2_, 0xBEEF, 200); }
+TEST_F(SnapshotFuzz, BitFlipsNeverCrashV3) { fuzz_bit_flips(*v3_, 0xC0DE, 200); }
 
 TEST_F(SnapshotFuzz, TruncationsAlwaysRejectedV1) { fuzz_truncations(*v1_, 0xACE1, 60); }
 TEST_F(SnapshotFuzz, TruncationsAlwaysRejectedV2) { fuzz_truncations(*v2_, 0xACE2, 60); }
+TEST_F(SnapshotFuzz, TruncationsAlwaysRejectedV3) { fuzz_truncations(*v3_, 0xACE3, 60); }
 
 TEST_F(SnapshotFuzz, SectionSwapsNeverCrashV1) { fuzz_section_swaps(*v1_, 0x51AB); }
 TEST_F(SnapshotFuzz, SectionSwapsNeverCrashV2) { fuzz_section_swaps(*v2_, 0x51AC); }
+TEST_F(SnapshotFuzz, SectionSwapsNeverCrashV3) { fuzz_section_swaps(*v3_, 0x51AD); }
 
 TEST_F(SnapshotFuzz, VersionRelabelingRejected) {
   // The version field lives OUTSIDE the checksummed payload, so relabeling
@@ -301,6 +319,89 @@ TEST_F(SnapshotFuzz, VersionRelabelingRejected) {
 
   write_bytes(v1_->file.path, v1_->pristine);
   write_bytes(v2_->file.path, v2_->pristine);
+}
+
+TEST_F(SnapshotFuzz, V3VersionNegotiation) {
+  // Downgrade relabelings of a v3 file: the alive section starts at 296, so
+  // claiming v2 (header end 168) or v1 (104) must trip the header-end pin —
+  // the checksum stays valid by construction, exactly the attack the pin
+  // exists for.
+  std::vector<std::uint8_t> bytes = v3_->pristine;
+  ASSERT_EQ(bytes[8], 3);
+  Snapshot snap;
+  std::string error;
+  for (const std::uint8_t relabel : {std::uint8_t{2}, std::uint8_t{1}}) {
+    bytes[8] = relabel;
+    write_bytes(v3_->file.path, bytes);
+    EXPECT_FALSE(snap.open(v3_->file.path, &error)) << "relabeled v" << int(relabel);
+    EXPECT_NE(error.find("header end"), std::string::npos) << error;
+  }
+  // Upgrade relabelings: a v2 file claiming v3 must be rejected (its bytes
+  // at [168, 296) are alive bytes, not a shard table, and its alive section
+  // does not start at 296); a claimed version 4 is from a future writer and
+  // an old validator — this one — must reject it cleanly by number.
+  bytes = v2_->pristine;
+  bytes[8] = 3;
+  write_bytes(v2_->file.path, bytes);
+  EXPECT_FALSE(snap.open(v2_->file.path, &error));
+  EXPECT_FALSE(error.empty());
+  bytes = v3_->pristine;
+  bytes[8] = 4;
+  write_bytes(v3_->file.path, bytes);
+  EXPECT_FALSE(snap.open(v3_->file.path, &error));
+  EXPECT_NE(error.find("unsupported snapshot version"), std::string::npos) << error;
+
+  // And the backward direction of the negotiation contract: genuine v1/v2
+  // files keep opening (and v2 keeps warm-loading) with the v3-aware
+  // reader. shard_count() reports the implicit single shard.
+  write_bytes(v1_->file.path, v1_->pristine);
+  write_bytes(v2_->file.path, v2_->pristine);
+  write_bytes(v3_->file.path, v3_->pristine);
+  ASSERT_TRUE(snap.open(v2_->file.path, &error)) << error;
+  EXPECT_EQ(snap.shard_count(), 1U);
+  const core::CascadeEngine warm(snap, snap.priority_seed(), graph::SnapshotLoad::kWarm);
+  warm.verify();
+  ASSERT_TRUE(snap.open(v3_->file.path, &error)) << error;
+  EXPECT_EQ(snap.shard_count(), 4U);
+}
+
+TEST_F(SnapshotFuzz, ShardTableBitFlipsRejected) {
+  // Every bit of the 128-byte shard table sits inside the checksummed
+  // payload. The safety ladder splits the rejection: open()'s structural
+  // validation kills any flip that breaks the partition shape (count out of
+  // range, non-monotone boundary, dormant slot non-zero), and the flips
+  // that slide past it — a boundary nudged but still monotone — MUST fail
+  // verify() via the checksum, while every open-accepted mutant still rides
+  // the full consumer gauntlet (including the 2-loader parallel warm start,
+  // whose shard ranges came from the flipped table) memory-safely.
+  // 1024 single-bit mutants, exhaustively.
+  const std::size_t shard_off =
+      sizeof(graph::SnapshotHeader) + sizeof(graph::SnapshotEngineExt);
+  std::size_t open_accepted = 0;
+  for (std::size_t byte = 0; byte < sizeof(graph::SnapshotShardExt); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = v3_->pristine;
+      bytes[shard_off + byte] ^= static_cast<std::uint8_t>(1U << bit);
+      write_bytes(v3_->file.path, bytes);
+      Snapshot snap;
+      std::string error;
+      if (snap.open(v3_->file.path, &error)) {
+        ++open_accepted;
+        EXPECT_FALSE(snap.verify(&error))
+            << "verified a flipped shard-table bit (byte " << byte << " bit "
+            << bit << ")";
+        exercise(v3_->file.path,
+                 static_cast<std::uint64_t>(byte * 8 + static_cast<std::size_t>(bit)));
+      } else {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+  }
+  // Both rungs of the ladder must actually have fired: most flips are
+  // structural rejections, but monotone boundary nudges do exist.
+  EXPECT_GT(open_accepted, 0U);
+  EXPECT_LT(open_accepted, 8U * sizeof(graph::SnapshotShardExt));
+  write_bytes(v3_->file.path, v3_->pristine);
 }
 
 /// Every prefix length a crash mid-save could leave behind if the save were
@@ -328,6 +429,12 @@ void truncate_at_boundaries(Corpus& c) {
     cuts.push_back(static_cast<std::size_t>(ext.keys_off));
     cuts.push_back(static_cast<std::size_t>(ext.membership_off));
   }
+  if (header.version >= graph::kSnapshotVersionSharded) {
+    // The v3 header end (shard table included) — the boundary every v3
+    // section offset is pinned against.
+    cuts.push_back(sizeof(graph::SnapshotHeader) + sizeof(graph::SnapshotEngineExt) +
+                   sizeof(graph::SnapshotShardExt));
+  }
   // ±1 around every boundary probes off-by-one acceptance.
   const std::vector<std::size_t> base = cuts;
   for (const std::size_t at : base) {
@@ -353,6 +460,9 @@ TEST_F(SnapshotFuzz, SectionBoundaryTruncationsRejectedV1) {
 }
 TEST_F(SnapshotFuzz, SectionBoundaryTruncationsRejectedV2) {
   truncate_at_boundaries(*v2_);
+}
+TEST_F(SnapshotFuzz, SectionBoundaryTruncationsRejectedV3) {
+  truncate_at_boundaries(*v3_);
 }
 
 TEST_F(SnapshotFuzz, FailedSaveLeavesExistingSnapshotIntact) {
